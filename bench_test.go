@@ -1,0 +1,138 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// experiment in DESIGN.md (E1–E18), each regenerating one of the paper's
+// figures, worked examples, or quantitative claims via internal/exp — the
+// same code cmd/an2bench runs.
+//
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Per-algorithm micro-benchmarks live next to their packages (e.g.
+// internal/pim, internal/schedule); these benchmarks measure whole
+// experiments, so their numbers are end-to-end simulation costs, not
+// data-path costs.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// benchExperiment runs one registered experiment per iteration and fails
+// the benchmark if the experiment errors or produces no output.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(int64(42 + i))
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+// E1 — §1: pulling the plug on an arbitrary switch reconfigures the
+// network in < 200 ms with all survivors agreeing on the topology.
+func BenchmarkE1ReconfigurePullPlug(b *testing.B) { benchExperiment(b, "E1") }
+
+// E2 — §3: FIFO input buffering saturates at 58.6% under uniform traffic
+// (Karol et al.); AN2's random-access buffers do not.
+func BenchmarkE2FIFOSaturationThroughput(b *testing.B) { benchExperiment(b, "E2") }
+
+// E3 — §3: PIM reaches a maximal matching in E[iter] ≤ log2(N)+4/3
+// (5.32 for N=16), ≥98% of slots within 4 iterations.
+func BenchmarkE3PIMIterations(b *testing.B) { benchExperiment(b, "E3") }
+
+// E4 — §3: three PIM iterations plus per-VC input buffers perform nearly
+// as well as output queueing with k=16 and unbounded buffers.
+func BenchmarkE4SchedulerComparison(b *testing.B) { benchExperiment(b, "E4") }
+
+// E5 — §3: deterministic maximum matching starves the paper's adversarial
+// pattern; PIM's randomization serves every pair.
+func BenchmarkE5StarvationScenario(b *testing.B) { benchExperiment(b, "E5") }
+
+// E6 — §4, Figures 2 and 3: the worked Slepian–Duguid insertion, exactly.
+func BenchmarkE6Figure2And3(b *testing.B) { benchExperiment(b, "E6") }
+
+// E7 — §4: any non-overcommitting reservation set is schedulable; adding
+// a cell costs ≤ N steps, independent of frame size.
+func BenchmarkE7SlepianDuguidInsert(b *testing.B) { benchExperiment(b, "E7") }
+
+// E8 — §4: guaranteed traffic needs 2 frames of buffering when switches
+// are synchronized, 4 frames in an asynchronous LAN.
+func BenchmarkE8GuaranteedOccupancy(b *testing.B) { benchExperiment(b, "E8") }
+
+// E9 — §4: guaranteed latency ≤ p×(2f+l); best-effort latency collapses
+// to propagation when idle and grows without bound under load.
+func BenchmarkE9LatencyByClass(b *testing.B) { benchExperiment(b, "E9") }
+
+// E10 — §5: credit flow control never drops; a lost credit only costs
+// throughput, and resynchronization restores it.
+func BenchmarkE10CreditFlowControl(b *testing.B) { benchExperiment(b, "E10") }
+
+// E11 — §5: a circuit needs a round-trip's worth of credits to run at
+// full link rate — the throughput knee sits at RTT.
+func BenchmarkE11CreditsVsThroughput(b *testing.B) { benchExperiment(b, "E11") }
+
+// E12 — §5: up*/down* routing keeps the buffer-wait graph acyclic at the
+// cost of path inflation; per-VC buffers need no restriction.
+func BenchmarkE12UpDownDeadlockAndInflation(b *testing.B) { benchExperiment(b, "E12") }
+
+// E13 — §2: the propagation-order spanning tree is usually close to
+// breadth-first, so reconfiguration parallelizes well.
+func BenchmarkE13TreeDepthVsBFS(b *testing.B) { benchExperiment(b, "E13") }
+
+// E14 — §2: overlapping reconfigurations converge to the configuration
+// with the largest epoch tag.
+func BenchmarkE14OverlappingReconfigurations(b *testing.B) { benchExperiment(b, "E14") }
+
+// E15 — §2: the skeptic's escalating proving periods damp the
+// reconfiguration storm a flapping link would otherwise cause.
+func BenchmarkE15SkepticReconfigRate(b *testing.B) { benchExperiment(b, "E15") }
+
+// E16 — §2: data cells racing their circuit's setup cell are buffered
+// until the routing entry exists — never dropped, never reordered.
+func BenchmarkE16VCSetupRace(b *testing.B) { benchExperiment(b, "E16") }
+
+// E17 — §2: idle circuits page out (reclaiming buffers) and page back in
+// transparently when traffic resumes.
+func BenchmarkE17VCPageOutPageIn(b *testing.B) { benchExperiment(b, "E17") }
+
+// E18 — §4 (proposed extension): packing reserved slots and spreading the
+// free ones improves best-effort service under a guaranteed load.
+func BenchmarkE18FrameLayoutPolicy(b *testing.B) { benchExperiment(b, "E18") }
+
+// E19 — §2 (proposed extension, implemented here): restricting a
+// reconfiguration to the failure's neighborhood cuts control traffic
+// while producing the identical topology view after merging.
+func BenchmarkE19ScopedReconfiguration(b *testing.B) { benchExperiment(b, "E19") }
+
+// E20 — §5 (proposed extension, implemented here): demand-driven buffer
+// allocation serves more circuits from the same downstream memory.
+func BenchmarkE20AdaptiveBufferAllocation(b *testing.B) { benchExperiment(b, "E20") }
+
+// E21 — §2 (proposed extension, implemented here): greedily rerouting
+// circuits off the hottest link halves the bottleneck load.
+func BenchmarkE21LoadBalancingReroute(b *testing.B) { benchExperiment(b, "E21") }
+
+// E22 — §2 (composite): the full fault-management loop — ping monitoring
+// feeds the skeptic, believed transitions trigger reconfigurations — over
+// 30 seconds of simulated link life with a cut and a flapper.
+func BenchmarkE22FaultManagementLoop(b *testing.B) { benchExperiment(b, "E22") }
+
+// E23 — §1 (design rationale): the crossbar AN2 chose vs the banyan it
+// rejected — half the crosspoint cost, but internal blocking collapses the
+// banyan's throughput.
+func BenchmarkE23CrossbarVsBanyan(b *testing.B) { benchExperiment(b, "E23") }
+
+// E24 — §3 (network-level composite): AN1's FIFO data path vs AN2's
+// per-VC + PIM data path on the same network and traffic.
+func BenchmarkE24AN1VsAN2EndToEnd(b *testing.B) { benchExperiment(b, "E24") }

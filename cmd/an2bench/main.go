@@ -1,0 +1,82 @@
+// Command an2bench regenerates every experiment in the AN2 reproduction
+// (DESIGN.md E1–E18): the paper's figures, worked examples, and
+// quantitative claims, printed as tables.
+//
+// Usage:
+//
+//	an2bench                 # run everything
+//	an2bench -quick          # only the sub-second experiments
+//	an2bench -run E2,E4      # selected experiments
+//	an2bench -seed 7         # change the seed
+//	an2bench -list           # list experiments and claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "an2bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("an2bench", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "run only the fast experiments")
+		list  = fs.Bool("list", false, "list experiments without running")
+		only  = fs.String("run", "", "comma-separated experiment ids (e.g. E2,E4)")
+		seed  = fs.Int64("seed", 42, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	ran := 0
+	for _, e := range exp.All() {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		if *quick && !e.Quick && len(selected) == 0 {
+			continue
+		}
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("    paper: %s\n\n", e.Claim)
+		start := time.Now()
+		tables, err := e.Run(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched (have %d registered; try -list)", len(exp.All()))
+	}
+	return nil
+}

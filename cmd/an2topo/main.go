@@ -1,0 +1,145 @@
+// Command an2topo generates and inspects AN2 topologies: it prints the
+// structural facts the control plane cares about (connectivity,
+// articulation switches, diameter), the reconfiguration spanning tree, and
+// the up*/down* link orientation, and can emit DOT or JSON.
+//
+// Usage:
+//
+//	an2topo -family src -switches 12 -hosts 8
+//	an2topo -family torus -switches 16 -dot
+//	an2topo -family random -switches 20 -json > lan.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "an2topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("an2topo", flag.ContinueOnError)
+	var (
+		family   = fs.String("family", "src", "src, torus, ring, line, tree, random")
+		switches = fs.Int("switches", 12, "switch count")
+		hosts    = fs.Int("hosts", 8, "host count")
+		seed     = fs.Int64("seed", 1, "random seed")
+		root     = fs.Int("root", 0, "orientation root switch")
+		dot      = fs.Bool("dot", false, "emit Graphviz DOT and exit")
+		jsonOut  = fs.Bool("json", false, "emit topology JSON and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := build(rng, *family, *switches, *hosts)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(g.DOT())
+		return nil
+	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+
+	fmt.Printf("topology: %d switches, %d hosts, %d links\n",
+		len(g.Switches()), len(g.Hosts()), g.NumLinks())
+	fmt.Printf("connected: %v, diameter: %d\n", g.Connected(nil), g.Diameter())
+	cuts := g.ArticulationSwitches()
+	if len(cuts) == 0 {
+		fmt.Println("fault tolerance: no single switch failure partitions the network")
+	} else {
+		fmt.Printf("WARNING: articulation switches (single points of failure): %v\n", cuts)
+	}
+
+	r, err := routing.NewRouter(g, topology.NodeID(*root), nil)
+	if err != nil {
+		return err
+	}
+	tree := r.Tree()
+	t := metrics.NewTable("spanning tree (orientation for up*/down*)",
+		"switch", "level", "parent")
+	for _, s := range g.Switches() {
+		node, _ := g.Node(s)
+		parent := "-"
+		if p, ok := tree.Parent[s]; ok && p != topology.None {
+			pn, _ := g.Node(p)
+			parent = pn.Name
+		}
+		t.AddRow(node.Name, tree.Level[s], parent)
+	}
+	fmt.Println(t.String())
+
+	// Route-restriction impact summary.
+	var legalHops, freeHops, pairs int
+	for _, src := range g.Switches() {
+		for _, dst := range g.Switches() {
+			if src == dst {
+				continue
+			}
+			lp, err := r.ShortestLegal(src, dst)
+			if err != nil {
+				return err
+			}
+			fp, err := r.ShortestUnrestricted(src, dst)
+			if err != nil {
+				return err
+			}
+			legalHops += len(lp) - 1
+			freeHops += len(fp) - 1
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		fmt.Printf("up*/down* inflation: avg legal %.2f hops vs shortest %.2f hops (%.1f%%)\n",
+			float64(legalHops)/float64(pairs), float64(freeHops)/float64(pairs),
+			100*(float64(legalHops)/float64(freeHops)-1))
+	}
+	return nil
+}
+
+func build(rng *rand.Rand, family string, switches, hosts int) (*topology.Graph, error) {
+	switch family {
+	case "src":
+		core := switches / 3
+		if core < 2 {
+			core = 2
+		}
+		return topology.SRCLike(rng, core, switches-core, hosts, 1)
+	case "torus":
+		side := 3
+		for side*side < switches {
+			side++
+		}
+		return topology.Torus(side, side, 1)
+	case "ring":
+		return topology.Ring(switches, 1)
+	case "line":
+		return topology.Line(switches, 1)
+	case "tree":
+		return topology.Tree(3, 3, 1)
+	case "random":
+		return topology.RandomConnected(rng, switches, switches, 1)
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFamilies(t *testing.T) {
+	for _, fam := range []string{"src", "torus", "ring", "line", "tree", "random"} {
+		if err := run([]string{"-family", fam, "-switches", "9", "-hosts", "4"}); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+	}
+}
+
+func TestDOTAndJSON(t *testing.T) {
+	if err := run([]string{"-family", "ring", "-switches", "4", "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "ring", "-switches", "4", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFamily(t *testing.T) {
+	if err := run([]string{"-family", "hypercube9000"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := build(rng, "nope", 4, 4); err == nil {
+		t.Fatal("build accepted unknown family")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-zap"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a full Go reproduction of "A Perspective on AN2: Local
+// Area Network as Distributed System" (Susan S. Owicki, PODC 1993).
+//
+// The library lives under internal/ (see README.md for the architecture
+// map); this root package carries the module documentation plus the
+// end-to-end integration tests and the benchmark harness that regenerates
+// every experiment in DESIGN.md (E1–E23):
+//
+//	go run ./cmd/an2bench          # every experiment, as tables
+//	go test -bench=. -benchmem     # the same experiments as benchmarks
+//	go run ./examples/pullplug     # the paper's favorite demo
+package repro

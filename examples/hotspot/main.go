@@ -1,0 +1,83 @@
+// Hotspot: why AN2 replaced FIFO input queues with per-circuit
+// random-access buffers and parallel iterative matching (§3 of the paper).
+//
+// A single 16×16 switch is saturated with uniform traffic under three
+// schedulers — AN1-style FIFO input queues, AN2's PIM with 1 and 3
+// iterations, and the impractical output-queueing oracle — then again
+// under a hotspot pattern where a quarter of all traffic targets one
+// output. Throughput and latency land where the paper says they do:
+// FIFO at ~58.6%, PIM-3 within a whisker of the oracle.
+//
+//	go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/switchnode"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		n     = 16
+		warm  = 2_000
+		slots = 30_000
+		seed  = 11
+	)
+	patterns := []workload.Pattern{
+		workload.NewUniform(n, 1.0, seed),
+		workload.NewHotspot(n, 0.7, 0.25, 0, seed),
+		workload.NewBursty(n, 0.85, 16, seed),
+	}
+	for _, p := range patterns {
+		// Fresh pattern per scheduler (identical seeds → identical
+		// arrivals).
+		t := metrics.NewTable(fmt.Sprintf("16×16 switch under %s", p.Name()),
+			"scheduler", "throughput", "mean-latency", "p99-latency")
+		type cfg struct {
+			label string
+			disc  switchnode.Discipline
+			iters int
+		}
+		for _, c := range []cfg{
+			{"FIFO (AN1)", switchnode.DisciplineFIFO, 3},
+			{"PIM-1", switchnode.DisciplinePerVC, 1},
+			{"PIM-3 (AN2)", switchnode.DisciplinePerVC, 3},
+		} {
+			sw, err := switchnode.New(switchnode.Config{
+				N: n, Discipline: c.disc, PIMIterations: c.iters, Seed: seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			res := workload.DriveBestEffort(sw, clone(p, seed), warm, slots)
+			t.AddRow(c.label, res.Throughput, res.Latency.Mean, res.Latency.P99)
+		}
+		oracle := switchnode.NewOracle(n, n, seed)
+		res := workload.DriveOracle(oracle, clone(p, seed), warm, slots)
+		t.AddRow("output-queue k=16 (oracle)", res.Throughput, res.Latency.Mean, res.Latency.P99)
+		fmt.Println(t.String())
+	}
+	fmt.Printf("Karol et al. FIFO limit under uniform arrivals: %.4f\n", 2-math.Sqrt2)
+	fmt.Println("AN2's budget of three PIM iterations buys near-oracle switching.")
+}
+
+// clone rebuilds a pattern with the same parameters and seed so every
+// scheduler sees an identical arrival process.
+func clone(p workload.Pattern, seed int64) workload.Pattern {
+	const n = 16
+	switch v := p.(type) {
+	case *workload.Uniform:
+		_ = v
+		return workload.NewUniform(n, 1.0, seed)
+	case *workload.Hotspot:
+		return workload.NewHotspot(n, 0.7, 0.25, 0, seed)
+	case *workload.Bursty:
+		return workload.NewBursty(n, 0.85, 16, seed)
+	default:
+		return p
+	}
+}

@@ -1,0 +1,94 @@
+// Pull the plug — the paper's favorite AN1/AN2 demo (§1):
+//
+//	"A favorite AN1 demo is pulling the plug on an arbitrary switch in
+//	 SRC's main LAN. The network reconfigures in less than 200
+//	 milliseconds, and users see no service interruption."
+//
+// This example streams packets between two hosts, kills a switch on the
+// circuit's path mid-stream, and shows the reconfiguration time, the
+// reroute, and that the stream continues.
+//
+//	go run ./examples/pullplug
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	g, err := topology.SRCLike(rng, 4, 8, 12, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lan, err := core.New(core.Config{Topology: g, FrameSlots: 128, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hosts := g.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	vc, err := lan.OpenBestEffort(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path, _ := lan.CircuitPath(vc)
+	fmt.Printf("streaming on circuit %d over %v\n", vc, path)
+
+	send := func(n int, tag byte) {
+		for i := 0; i < n; i++ {
+			pkt := make([]byte, 400)
+			pkt[0] = tag
+			if err := lan.SendPacket(vc, pkt); err != nil {
+				log.Fatal(err)
+			}
+			lan.Run(32)
+		}
+	}
+
+	// Stream a while...
+	send(40, 'a')
+	stats, _ := lan.HostStats(dst)
+	beforeCells := stats.CellsReceived
+	fmt.Printf("before the plug: %d cells delivered, %d lost\n",
+		beforeCells, lan.NetStats().DroppedInFlight)
+
+	// ...then pull the plug on a switch in the middle of the path.
+	victim := path[1+len(path[1:len(path)-1])/2]
+	node, _ := g.Node(victim)
+	fmt.Printf("\n*** pulling the plug on switch %q ***\n\n", node.Name)
+	report, err := lan.PullPlug(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconfiguration converged in %d µs (budget: 200,000 µs)\n", report.ReconfigTimeUS)
+	fmt.Printf("circuits rerouted: %d, unroutable: %d\n", report.Rerouted, report.Unroutable)
+	newPath, _ := lan.CircuitPath(vc)
+	fmt.Printf("new route: %v\n", newPath)
+
+	// The stream continues without interruption.
+	send(40, 'b')
+	lan.Run(4_000)
+	ns := lan.NetStats()
+	fmt.Printf("\nafter the plug: %d cells delivered (+%d), %d cells died with the switch\n",
+		stats.CellsReceived, stats.CellsReceived-beforeCells, ns.DroppedInFlight)
+	pkts := lan.Packets(dst)
+	var a, b int
+	for _, p := range pkts {
+		switch p[0] {
+		case 'a':
+			a++
+		case 'b':
+			b++
+		}
+	}
+	fmt.Printf("packets reassembled: %d before-tag + %d after-tag\n", a, b)
+	if report.ReconfigTimeUS < 200_000 && b > 0 {
+		fmt.Println("\ndemo verdict: service survived the plug — as the paper promises.")
+	}
+}

@@ -1,0 +1,76 @@
+// Skeptic: fault monitoring on a flaky link (§2 of the paper).
+//
+// Switch software pings each neighbor; too many failed pings kill the
+// link, and every working↔dead transition triggers a network-wide
+// reconfiguration. An intermittent ("flapping") link could therefore keep
+// the whole LAN busy reconfiguring. The skeptic module damps this: each
+// recurrence of failure escalates the error-free proving period the link
+// must serve before it is believed again.
+//
+// This example subjects a naive monitor and the skeptic to the same
+// flapping link and counts the reconfigurations each inflicts, then shows
+// the skeptic forgiving the link once it is genuinely repaired.
+//
+//	go run ./examples/skeptic
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+)
+
+func main() {
+	const (
+		pingEveryUS = 1_000      // 1 ms ping cadence
+		durationUS  = 60_000_000 // one minute of link life
+	)
+	// The link is up 300 ms, down 50 ms, forever.
+	flap := monitor.Flapping(300_000, 50_000)
+
+	t := metrics.NewTable("one minute with a flapping link (300 ms up / 50 ms down)",
+		"monitor policy", "reconfigurations", "final state", "skepticism level")
+	for _, cfg := range []struct {
+		name      string
+		skeptical bool
+	}{
+		{"naive (fixed 10 ms proving period)", false},
+		{"skeptic (escalating proving period)", true},
+	} {
+		s := monitor.New(monitor.Config{
+			FailThreshold: 3,
+			BaseWaitUS:    10_000,
+			DecayUS:       600_000_000,
+			Skeptical:     cfg.skeptical,
+		})
+		res := monitor.Drive(s, flap, pingEveryUS, durationUS)
+		t.AddRow(cfg.name, res.Reconfigurations, res.FinalState.String(), res.FinalLevel)
+	}
+	fmt.Println(t.String())
+	fmt.Println("each reconfiguration stops the whole network for a few hundred µs —")
+	fmt.Println("the naive policy turns one bad link into a LAN-wide outage generator.")
+
+	// Repair the link and watch the skeptic forgive it.
+	s := monitor.New(monitor.Config{
+		FailThreshold: 3,
+		BaseWaitUS:    10_000,
+		MaxWaitUS:     2_000_000,
+		DecayUS:       600_000_000,
+		Skeptical:     true,
+	})
+	monitor.Drive(s, flap, pingEveryUS, 10_000_000) // 10 s of flapping
+	level := s.Level()
+	fmt.Printf("\nafter 10 s of flapping: skepticism level %d, required proving period %.1f ms\n",
+		level, float64(s.RequiredWaitUS())/1000)
+
+	// The cable is replaced: pure health from here on.
+	now := int64(10_000_001)
+	for s.State() != monitor.Working {
+		s.PingOK(now)
+		now += pingEveryUS
+	}
+	fmt.Printf("link repaired at t=10 s; believed working again after %.1f ms of proof\n",
+		float64(now-10_000_001)/1000)
+	fmt.Println("the skeptic is cautious, not unforgiving.")
+}

@@ -1,0 +1,179 @@
+package banyan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, n int) *Banyan {
+	t.Helper()
+	b, err := New(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 15} {
+		if _, err := New(n, 1); err == nil {
+			t.Errorf("size %d accepted", n)
+		}
+	}
+	b := mustNew(t, 16)
+	if b.N() != 16 || b.Stages() != 4 {
+		t.Fatalf("N=%d stages=%d", b.N(), b.Stages())
+	}
+	// Cost scaling: (16/2)*4*4 = 128 crosspoints vs crossbar's 256.
+	if b.Crosspoints() != 128 {
+		t.Fatalf("crosspoints = %d", b.Crosspoints())
+	}
+}
+
+func TestSingleCellAlwaysPasses(t *testing.T) {
+	b := mustNew(t, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			dest := []int{-1, -1, -1, -1, -1, -1, -1, -1}
+			dest[i] = j
+			granted := b.Route(dest)
+			if !granted[i] {
+				t.Fatalf("lone cell %d->%d blocked", i, j)
+			}
+		}
+	}
+	st := b.Stats()
+	if st.Passed != 64 || st.InternalBlocked != 0 || st.OutputBlocked != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// The identity and the bit-reversal permutations route without conflict in
+// a butterfly; many other permutations block internally — the defining
+// difference from a crossbar, which passes every permutation.
+func TestPermutationBlocking(t *testing.T) {
+	b := mustNew(t, 8)
+	identity := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for i, g := range b.Route(identity) {
+		if !g {
+			t.Fatalf("identity blocked at %d", i)
+		}
+	}
+	// Count how many random permutations pass completely: for a butterfly
+	// it is a small fraction (2^(n/2 * log n... far fewer than n!); for a
+	// crossbar it would be all of them.
+	rng := rand.New(rand.NewSource(7))
+	fullPass := 0
+	const trials = 200
+	for k := 0; k < trials; k++ {
+		perm := rng.Perm(8)
+		all := true
+		for _, g := range b.Route(perm) {
+			if !g {
+				all = false
+				break
+			}
+		}
+		if all {
+			fullPass++
+		}
+	}
+	if fullPass == trials {
+		t.Fatal("every permutation passed; internal blocking is not modeled")
+	}
+	if fullPass == 0 {
+		t.Fatal("no permutation passed; wiring is wrong (identity passes, so some must)")
+	}
+}
+
+func TestOutputConflictExactlyOneWins(t *testing.T) {
+	b := mustNew(t, 8)
+	// All inputs to output 3.
+	dest := []int{3, 3, 3, 3, 3, 3, 3, 3}
+	granted := b.Route(dest)
+	winners := 0
+	for _, g := range granted {
+		if g {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d winners for one output", winners)
+	}
+}
+
+func TestUniquePathProperty(t *testing.T) {
+	b := mustNew(t, 16)
+	// Paths to the same output from different inputs share a suffix;
+	// paths from one input to different outputs share a prefix; and the
+	// final wire is determined by the output alone.
+	f := func(rawI, rawJ, rawK uint8) bool {
+		i, j, k := int(rawI%16), int(rawJ%16), int(rawK%16)
+		wi := b.PathWires(i, j)
+		wk := b.PathWires(k, j)
+		if wi[len(wi)-1] != wk[len(wk)-1] {
+			return false // same output must share the final wire
+		}
+		wij := b.PathWires(i, j)
+		wik := b.PathWires(i, k)
+		// First-stage wire depends only on the top bit of the output.
+		if (j >> 3) == (k >> 3) {
+			if wij[0] != wik[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	b := mustNew(t, 16)
+	rng := rand.New(rand.NewSource(3))
+	for s := 0; s < 500; s++ {
+		dest := make([]int, 16)
+		for i := range dest {
+			dest[i] = -1
+			if rng.Float64() < 0.7 {
+				dest[i] = rng.Intn(16)
+			}
+		}
+		b.Route(dest)
+	}
+	st := b.Stats()
+	if st.Passed+st.InternalBlocked+st.OutputBlocked != st.Offered {
+		t.Fatalf("cells unaccounted: %+v", st)
+	}
+	if st.InternalBlocked == 0 {
+		t.Fatal("uniform traffic should block internally sometimes")
+	}
+}
+
+func TestRouteWrongSize(t *testing.T) {
+	b := mustNew(t, 8)
+	granted := b.Route([]int{1, 2})
+	for _, g := range granted {
+		if g {
+			t.Fatal("wrong-size request granted")
+		}
+	}
+}
+
+func BenchmarkRoute16(b *testing.B) {
+	fab, err := New(16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	dest := make([]int, 16)
+	for i := range dest {
+		dest[i] = rng.Intn(16)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fab.Route(dest)
+	}
+}

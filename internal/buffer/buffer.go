@@ -1,0 +1,256 @@
+// Package buffer implements the input-buffer organizations the paper
+// contrasts in §3 and §5:
+//
+//   - FIFO: a single first-in-first-out queue per input (AN1). Only the
+//     head cell is eligible for transmission, causing head-of-line
+//     blocking, which limits throughput to ~58% under uniform traffic.
+//   - PerVC: random-access input buffers (AN2). Cells queue per virtual
+//     circuit; the head cell of *any* queued circuit may be selected, so a
+//     cell is blocked only when its output is busy. Per-VC buffers also
+//     remove the buffer-wait cycles that make FIFO networks deadlock-prone
+//     (§5).
+//
+// Both implement InputBuffer so the switch and the experiments can swap
+// disciplines.
+package buffer
+
+import (
+	"repro/internal/cell"
+)
+
+// InputBuffer is an input-side cell store on a line card.
+type InputBuffer interface {
+	// Push enqueues a cell with its destination output port. It reports
+	// false if the buffer rejected (dropped) the cell for lack of space.
+	Push(c cell.Cell, output int) bool
+	// Eligible returns the set of output ports for which this input has a
+	// cell eligible for transmission this slot. For FIFO that is just the
+	// head cell's output; for per-VC buffers it is every output with a
+	// queued circuit.
+	Eligible() []int
+	// Pop removes and returns an eligible cell destined to the given
+	// output. ok is false if no eligible cell for that output exists.
+	Pop(output int) (c cell.Cell, ok bool)
+	// Len returns the number of buffered cells.
+	Len() int
+}
+
+// queued pairs a cell with its output port.
+type queued struct {
+	c      cell.Cell
+	output int
+}
+
+// FIFO is the AN1-style single queue. The zero value is unusable; create
+// with NewFIFO.
+type FIFO struct {
+	q     []queued
+	head  int
+	limit int
+}
+
+var _ InputBuffer = (*FIFO)(nil)
+
+// NewFIFO creates a FIFO input buffer holding at most limit cells
+// (limit <= 0 means unbounded).
+func NewFIFO(limit int) *FIFO {
+	return &FIFO{limit: limit}
+}
+
+// Push implements InputBuffer.
+func (f *FIFO) Push(c cell.Cell, output int) bool {
+	if f.limit > 0 && f.Len() >= f.limit {
+		return false
+	}
+	f.q = append(f.q, queued{c: c, output: output})
+	return true
+}
+
+// Eligible implements InputBuffer: only the head cell's output.
+func (f *FIFO) Eligible() []int {
+	if f.head >= len(f.q) {
+		return nil
+	}
+	return []int{f.q[f.head].output}
+}
+
+// Pop implements InputBuffer: only the head cell may leave, and only
+// toward its own output.
+func (f *FIFO) Pop(output int) (cell.Cell, bool) {
+	if f.head >= len(f.q) || f.q[f.head].output != output {
+		return cell.Cell{}, false
+	}
+	c := f.q[f.head].c
+	f.head++
+	// Compact occasionally so memory stays bounded.
+	if f.head > 64 && f.head*2 >= len(f.q) {
+		n := copy(f.q, f.q[f.head:])
+		f.q = f.q[:n]
+		f.head = 0
+	}
+	return c, true
+}
+
+// Len implements InputBuffer.
+func (f *FIFO) Len() int { return len(f.q) - f.head }
+
+// PerVC is the AN2-style random-access buffer: one queue per virtual
+// circuit. Create with NewPerVC.
+type PerVC struct {
+	// queues maps VCI to its cell queue.
+	queues map[cell.VCI]*vcQueue
+	// byOutput maps output port to the circuits with queued cells routed
+	// to it, maintained so Eligible is O(outputs).
+	byOutput map[int]map[cell.VCI]struct{}
+	// perVCLimit bounds each circuit's queue (0 = unbounded). The paper
+	// sizes this to a link round-trip (credit allocation, §5).
+	perVCLimit int
+	total      int
+	// rr tracks the last circuit served per output, for round-robin
+	// fairness among circuits sharing an output.
+	rr map[int]cell.VCI
+}
+
+type vcQueue struct {
+	cells  []queued
+	head   int
+	output int
+}
+
+func (q *vcQueue) len() int { return len(q.cells) - q.head }
+
+var _ InputBuffer = (*PerVC)(nil)
+
+// NewPerVC creates a per-virtual-circuit random-access buffer. perVCLimit
+// bounds each circuit's queue; 0 means unbounded.
+func NewPerVC(perVCLimit int) *PerVC {
+	return &PerVC{
+		queues:     make(map[cell.VCI]*vcQueue),
+		byOutput:   make(map[int]map[cell.VCI]struct{}),
+		perVCLimit: perVCLimit,
+		rr:         make(map[int]cell.VCI),
+	}
+}
+
+// Push implements InputBuffer. Cells of one circuit must all use the same
+// output (a circuit has a single route through the switch); Push tracks the
+// output of the most recent cell, which the route tables guarantee is
+// constant between reroutes.
+func (p *PerVC) Push(c cell.Cell, output int) bool {
+	q := p.queues[c.VC]
+	if q == nil {
+		q = &vcQueue{output: output}
+		p.queues[c.VC] = q
+	}
+	if p.perVCLimit > 0 && q.len() >= p.perVCLimit {
+		return false
+	}
+	q.cells = append(q.cells, queued{c: c, output: output})
+	q.output = output
+	p.total++
+	set := p.byOutput[output]
+	if set == nil {
+		set = make(map[cell.VCI]struct{})
+		p.byOutput[output] = set
+	}
+	set[c.VC] = struct{}{}
+	return true
+}
+
+// Eligible implements InputBuffer: every output with at least one queued
+// circuit.
+func (p *PerVC) Eligible() []int {
+	out := make([]int, 0, len(p.byOutput))
+	for o, set := range p.byOutput {
+		if len(set) > 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Pop implements InputBuffer. Among the circuits queued for the output it
+// serves them round-robin, so one busy circuit cannot monopolize the port.
+func (p *PerVC) Pop(output int) (cell.Cell, bool) {
+	set := p.byOutput[output]
+	if len(set) == 0 {
+		return cell.Cell{}, false
+	}
+	vc := p.pickRR(output, set)
+	q := p.queues[vc]
+	item := q.cells[q.head]
+	q.head++
+	p.total--
+	if q.len() == 0 {
+		delete(p.queues, vc)
+		delete(set, vc)
+		if len(set) == 0 {
+			delete(p.byOutput, output)
+		}
+	} else if q.head > 64 && q.head*2 >= len(q.cells) {
+		n := copy(q.cells, q.cells[q.head:])
+		q.cells = q.cells[:n]
+		q.head = 0
+	}
+	p.rr[output] = vc
+	return item.c, true
+}
+
+// pickRR returns the next circuit after the last-served one in ascending
+// VCI order (wrapping), giving round-robin service.
+func (p *PerVC) pickRR(output int, set map[cell.VCI]struct{}) cell.VCI {
+	last, served := p.rr[output]
+	var best, wrap cell.VCI
+	haveBest, haveWrap := false, false
+	for vc := range set {
+		if !haveWrap || vc < wrap {
+			wrap = vc
+			haveWrap = true
+		}
+		if served && vc <= last {
+			continue
+		}
+		if !haveBest || vc < best {
+			best = vc
+			haveBest = true
+		}
+	}
+	if haveBest {
+		return best
+	}
+	return wrap
+}
+
+// Len implements InputBuffer.
+func (p *PerVC) Len() int { return p.total }
+
+// QueueLen returns the number of cells queued for circuit vc.
+func (p *PerVC) QueueLen(vc cell.VCI) int {
+	q := p.queues[vc]
+	if q == nil {
+		return 0
+	}
+	return q.len()
+}
+
+// Circuits returns the number of circuits with queued cells.
+func (p *PerVC) Circuits() int { return len(p.queues) }
+
+// Drop discards all cells of circuit vc (used on teardown/page-out),
+// returning how many were discarded.
+func (p *PerVC) Drop(vc cell.VCI) int {
+	q := p.queues[vc]
+	if q == nil {
+		return 0
+	}
+	n := q.len()
+	p.total -= n
+	delete(p.queues, vc)
+	if set := p.byOutput[q.output]; set != nil {
+		delete(set, vc)
+		if len(set) == 0 {
+			delete(p.byOutput, q.output)
+		}
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+// Package crossbar models the AN2 switch's internal fabric: a 16×16
+// crossbar that operates synchronously, routing up to 16 cells in parallel
+// during each time slot (paper §1). The crossbar was chosen over
+// multi-stage fabrics for its low latency; its N² cost is acceptable at
+// LAN-scale sizes.
+package crossbar
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/matching"
+)
+
+// DefaultSize is the AN2 crossbar size.
+const DefaultSize = 16
+
+// Crossbar is an N×N space-division fabric. It is configured with a
+// matching each slot and transfers at most one cell per input and per
+// output.
+type Crossbar struct {
+	n int
+	// config[i] is the output input i is connected to this slot, or -1.
+	config []int
+	// outBusy[j] reports whether output j is connected this slot.
+	outBusy []bool
+	// transferred counts cells moved across the fabric over its lifetime.
+	transferred int64
+}
+
+// New creates an n×n crossbar.
+func New(n int) *Crossbar {
+	c := &Crossbar{n: n, config: make([]int, n), outBusy: make([]bool, n)}
+	c.Reset()
+	return c
+}
+
+// N returns the fabric size.
+func (c *Crossbar) N() int { return c.n }
+
+// Transferred returns the lifetime count of cells moved.
+func (c *Crossbar) Transferred() int64 { return c.transferred }
+
+// Reset clears the slot configuration (start of each time slot).
+func (c *Crossbar) Reset() {
+	for i := range c.config {
+		c.config[i] = -1
+		c.outBusy[i] = false
+	}
+}
+
+// Configuration errors.
+var (
+	ErrSizeMismatch = errors.New("crossbar: matching size mismatch")
+	ErrOutputBusy   = errors.New("crossbar: output connected twice")
+	ErrNotConnected = errors.New("crossbar: input not connected to output")
+)
+
+// Configure sets the slot's connection pattern from a matching. It rejects
+// matchings that would connect an output twice — the hardware invariant the
+// grant phase of PIM maintains.
+func (c *Crossbar) Configure(m matching.Matching) error {
+	if len(m) != c.n {
+		return fmt.Errorf("%w: %d for %d×%d fabric", ErrSizeMismatch, len(m), c.n, c.n)
+	}
+	c.Reset()
+	for i, j := range m {
+		if j < 0 {
+			continue
+		}
+		if j >= c.n {
+			return fmt.Errorf("%w: output %d", ErrSizeMismatch, j)
+		}
+		if c.outBusy[j] {
+			return fmt.Errorf("%w: output %d", ErrOutputBusy, j)
+		}
+		c.config[i] = j
+		c.outBusy[j] = true
+	}
+	return nil
+}
+
+// ConnectOne adds a single connection (used for guaranteed slots, where the
+// frame schedule — not a matching — drives the fabric).
+func (c *Crossbar) ConnectOne(input, output int) error {
+	if input < 0 || input >= c.n || output < 0 || output >= c.n {
+		return fmt.Errorf("%w: %d->%d", ErrSizeMismatch, input, output)
+	}
+	if c.config[input] >= 0 {
+		return fmt.Errorf("crossbar: input %d connected twice", input)
+	}
+	if c.outBusy[output] {
+		return fmt.Errorf("%w: output %d", ErrOutputBusy, output)
+	}
+	c.config[input] = output
+	c.outBusy[output] = true
+	return nil
+}
+
+// Connected returns the output input i is connected to this slot (-1 none).
+func (c *Crossbar) Connected(input int) int {
+	if input < 0 || input >= c.n {
+		return -1
+	}
+	return c.config[input]
+}
+
+// OutputBusy reports whether output j is connected this slot.
+func (c *Crossbar) OutputBusy(output int) bool {
+	return output >= 0 && output < c.n && c.outBusy[output]
+}
+
+// InputFree reports whether input i is unconnected this slot.
+func (c *Crossbar) InputFree(input int) bool {
+	return input >= 0 && input < c.n && c.config[input] < 0
+}
+
+// Transfer moves a cell from input to output, which must be connected this
+// slot. It returns the output port the cell left on.
+func (c *Crossbar) Transfer(input int, cl cell.Cell) (int, error) {
+	if input < 0 || input >= c.n || c.config[input] < 0 {
+		return -1, fmt.Errorf("%w: input %d", ErrNotConnected, input)
+	}
+	c.transferred++
+	return c.config[input], nil
+}

@@ -1,0 +1,230 @@
+package eventsim
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	e := New(1)
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		if _, err := e.Schedule(at, func() { got = append(got, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run(100)
+	want := []Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTiesFIFOBySchedulingOrder(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5, func() { got = append(got, i) })
+	}
+	e.Run(5)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order %v, want ascending", got)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	e := New(1)
+	e.After(10, func() {})
+	e.Run(10)
+	if _, err := e.Schedule(5, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("err = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestAfterNegativeDelayClamped(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.After(-3, func() { fired = true })
+	e.Run(0)
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now = %d, want 0", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.After(10, func() { fired = true })
+	ev.Cancel()
+	ev.Cancel() // double cancel is fine
+	e.Run(100)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	var nilEv *Event
+	nilEv.Cancel() // nil-safe
+}
+
+func TestSelfScheduling(t *testing.T) {
+	e := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	e.Run(1000)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("Now = %d, want 1000 (Run advances to until)", e.Now())
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New(1)
+	count := 0
+	stop := e.Every(7, func() { count++ })
+	e.Run(70)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	stop()
+	e.Run(700)
+	if count != 10 {
+		t.Fatalf("count after stop = %d, want 10", count)
+	}
+	// Zero interval is a safe no-op.
+	stop2 := e.Every(0, func() { t.Fatal("zero-interval fired") })
+	stop2()
+	e.Run(800)
+}
+
+func TestEveryStopFromWithinCallback(t *testing.T) {
+	e := New(1)
+	count := 0
+	var stop func()
+	stop = e.Every(5, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	e.Run(500)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := New(1)
+	fired := 0
+	e.After(10, func() { fired++ })
+	e.After(11, func() { fired++ })
+	n := e.Run(10)
+	if n != 1 || fired != 1 {
+		t.Fatalf("Run(10) fired %d (%d), want 1", n, fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(11)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestDrainBudget(t *testing.T) {
+	e := New(1)
+	var tick func()
+	tick = func() { e.After(1, tick) } // runs forever
+	e.After(1, tick)
+	if e.Drain(100) {
+		t.Fatal("Drain should report budget exhaustion for a runaway loop")
+	}
+	e2 := New(1)
+	e2.After(1, func() {})
+	e2.After(2, func() {})
+	if !e2.Drain(100) {
+		t.Fatal("Drain should report completion")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		e := New(42)
+		var got []int64
+		for i := 0; i < 100; i++ {
+			delay := Time(e.Rand().Intn(50))
+			e.After(delay, func() { got = append(got, int64(e.Now())) })
+		}
+		e.Run(100)
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different event counts across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 5; i++ {
+		e.After(Time(i), func() {})
+	}
+	e.Run(100)
+	if e.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5", e.Fired())
+	}
+}
+
+// Property: events fire in nondecreasing time order for arbitrary delays.
+func TestQuickTimeMonotone(t *testing.T) {
+	f := func(delays []uint8) bool {
+		e := New(3)
+		var fireTimes []Time
+		for _, d := range delays {
+			e.After(Time(d), func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run(1000)
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%64), func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/banyan"
+	"repro/internal/metrics"
+	"repro/internal/switchnode"
+	"repro/internal/workload"
+)
+
+// E23: the fabric choice (§1). AN2 chose a crossbar over a banyan for
+// latency and freedom from internal blocking; the banyan's advantage is
+// N log N cost. This experiment quantifies both sides at N=16.
+
+func init() {
+	register(&Experiment{
+		ID:    "E23",
+		Title: "fabric choice: crossbar vs banyan (cost vs blocking)",
+		Claim: "the crossbar has low latency compared to a multi-stage fabric like a banyan... crossbars do not scale well, however: N² vs N log N (§1)",
+		Run:   runE23,
+	})
+}
+
+func runE23(seed int64) ([]*metrics.Table, error) {
+	const (
+		n     = 16
+		warm  = 2000
+		slots = 20000
+	)
+	t := metrics.NewTable("E23 — 16×16 fabric comparison under uniform arrivals",
+		"fabric", "crosspoints", "offered", "throughput", "mean-lat", "internal-blocking")
+
+	// Crossbar + PIM-3 (the AN2 switch).
+	for _, load := range []float64{0.6, 1.0} {
+		sw, err := switchnode.New(switchnode.Config{N: n, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		res := workload.DriveBestEffort(sw, workload.NewUniform(n, load, seed+1), warm, slots)
+		t.AddRow("crossbar+PIM-3", n*n, load, res.Throughput, res.Latency.Mean, "none (by construction)")
+	}
+
+	// Banyan with per-input FIFO queues and retry.
+	for _, load := range []float64{0.6, 1.0} {
+		fab, err := banyan.New(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		pattern := workload.NewUniform(n, load, seed+1)
+		queues := make([][]int64, n) // per input: queued destinations, with arrival slot encoded
+		dests := make([][]int, n)
+		var lat metrics.Histogram
+		var departed int64
+		for s := int64(0); s < warm+slots; s++ {
+			for _, a := range pattern.Slot(s) {
+				queues[a.Input] = append(queues[a.Input], s)
+				dests[a.Input] = append(dests[a.Input], a.Output)
+			}
+			present := make([]int, n)
+			for i := 0; i < n; i++ {
+				present[i] = -1
+				if len(dests[i]) > 0 {
+					present[i] = dests[i][0]
+				}
+			}
+			granted := fab.Route(present)
+			for i := 0; i < n; i++ {
+				if granted[i] {
+					if s >= warm && queues[i][0] >= warm {
+						departed++
+						lat.Observe(s - queues[i][0])
+					}
+					queues[i] = queues[i][1:]
+					dests[i] = dests[i][1:]
+				}
+			}
+		}
+		st := fab.Stats()
+		blockFrac := float64(st.InternalBlocked) / float64(st.Offered)
+		t.AddRow("banyan (unbuffered, retry)", fab.Crosspoints(), load,
+			float64(departed)/float64(slots)/float64(n), lat.Summarize().Mean,
+			fmt.Sprintf("%.1f%% of offered cells", blockFrac*100))
+	}
+	return []*metrics.Table{t}, nil
+}

@@ -1,0 +1,266 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Control-plane experiments: E1 (pull the plug), E12 (deadlock strategies),
+// E13 (propagation tree vs BFS), E14 (overlapping reconfigurations), E15
+// (skeptic vs flapping links).
+
+func init() {
+	register(&Experiment{
+		ID:    "E1",
+		Title: "pull the plug: reconfiguration < 200 ms, no partition",
+		Claim: "pull the plug on an arbitrary switch in SRC's main LAN: the network reconfigures in less than 200 milliseconds and users see no service interruption",
+		Run:   runE1,
+	})
+	register(&Experiment{
+		ID:    "E12",
+		Title: "deadlock: up*/down* restriction vs per-VC buffers",
+		Claim: "up*/down* routing prevents buffer-wait cycles at some routing cost; per-VC buffers prevent deadlock with no route restriction",
+		Run:   runE12,
+		Quick: true,
+	})
+	register(&Experiment{
+		ID:    "E13",
+		Title: "propagation-order spanning trees are near-BFS",
+		Claim: "the first invitation usually comes from a neighbor closest to the root, so the tree is usually very close to a breadth-first tree",
+		Run:   runE13,
+	})
+	register(&Experiment{
+		ID:    "E14",
+		Title: "overlapping reconfigurations converge via epoch tags",
+		Claim: "a switch that sees multiple configurations participates in the one with the largest tag and eventually ignores all others",
+		Run:   runE14,
+	})
+	register(&Experiment{
+		ID:    "E15",
+		Title: "the skeptic damps reconfiguration storms from flapping links",
+		Claim: "if failures recur, the skeptic requires an increasingly long period of correct operation before the link is considered recovered",
+		Run:   runE15,
+		Quick: true,
+	})
+}
+
+// runE1 kills every switch of an SRC-like LAN in turn and reports
+// convergence time and agreement.
+func runE1(seed int64) ([]*metrics.Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := topology.SRCLike(rng, 6, 24, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("E1 — pull the plug (%d switches, %d links; budget 200 ms)",
+			len(g.Switches()), g.NumLinks()),
+		"victim", "converge-us", "messages", "tree-depth", "agreement")
+	worst := int64(0)
+	for _, victim := range g.Switches() {
+		r, err := reconfig.New(reconfig.Config{
+			Topology:  g,
+			DeadNodes: map[topology.NodeID]bool{victim: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		var triggers []reconfig.Trigger
+		for _, nb := range g.SwitchNeighbors(victim) {
+			triggers = append(triggers, reconfig.Trigger{Node: nb})
+		}
+		res, err := r.Run(triggers)
+		if err != nil {
+			return nil, err
+		}
+		agree := "ok"
+		if err := r.Agreement(res); err != nil {
+			agree = err.Error()
+		}
+		if res.MaxCompletionUS > worst {
+			worst = res.MaxCompletionUS
+		}
+		name, _ := g.Node(victim)
+		t.AddRow(name.Name, res.MaxCompletionUS, res.Messages, res.TreeDepth, agree)
+	}
+	sum := metrics.NewTable("E1 — summary", "quantity", "value")
+	sum.AddRow("worst convergence (µs)", worst)
+	sum.AddRow("budget (µs)", 200_000)
+	sum.AddRow("within budget", worst < 200_000)
+	return []*metrics.Table{t, sum}, nil
+}
+
+// runE12 quantifies both halves of the deadlock trade: cycle analysis of
+// the buffer-wait graph and the route-length inflation of up*/down*.
+func runE12(seed int64) ([]*metrics.Table, error) {
+	cyc := metrics.NewTable("E12a — buffer-wait cycles in the dependency graph",
+		"topology", "routing", "cycle")
+	infl := metrics.NewTable("E12b — up*/down* path inflation vs shortest",
+		"topology", "avg-shortest", "avg-legal", "inflation")
+	rng := rand.New(rand.NewSource(seed))
+	tops := []struct {
+		name string
+		g    func() (*topology.Graph, error)
+	}{
+		{"ring-8", func() (*topology.Graph, error) { return topology.Ring(8, 1) }},
+		{"torus-4x4", func() (*topology.Graph, error) { return topology.Torus(4, 4, 1) }},
+		{"random-20", func() (*topology.Graph, error) { return topology.RandomConnected(rng, 20, 20, 1) }},
+	}
+	for _, tc := range tops {
+		g, err := tc.g()
+		if err != nil {
+			return nil, err
+		}
+		r, err := routing.NewRouter(g, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		var legal, free [][]topology.NodeID
+		var legalHops, freeHops int
+		for _, src := range g.Switches() {
+			for _, dst := range g.Switches() {
+				if src == dst {
+					continue
+				}
+				lp, err := r.ShortestLegal(src, dst)
+				if err != nil {
+					return nil, err
+				}
+				fp, err := r.ShortestUnrestricted(src, dst)
+				if err != nil {
+					return nil, err
+				}
+				legal = append(legal, lp)
+				free = append(free, fp)
+				legalHops += len(lp) - 1
+				freeHops += len(fp) - 1
+			}
+		}
+		cycLegal := routing.DependencyCycle(g, legal)
+		cycFree := routing.DependencyCycle(g, free)
+		cyc.AddRow(tc.name, "up*/down*", cycLegal != nil)
+		cyc.AddRow(tc.name, "shortest (unrestricted)", cycFree != nil)
+		n := float64(len(legal))
+		infl.AddRow(tc.name, float64(freeHops)/n, float64(legalHops)/n,
+			float64(legalHops)/float64(freeHops))
+	}
+	// The canonical deadlock witness: all-clockwise routes on a ring.
+	ringG, err := topology.Ring(4, 1)
+	if err != nil {
+		return nil, err
+	}
+	clockwise := [][]topology.NodeID{{0, 1, 2}, {1, 2, 3}, {2, 3, 0}, {3, 0, 1}}
+	cyc.AddRow("ring-4 (forced clockwise)", "unrestricted FIFO", routing.DependencyCycle(ringG, clockwise) != nil)
+	return []*metrics.Table{cyc, infl}, nil
+}
+
+// runE13 compares propagation-tree depth to BFS depth across random
+// topologies.
+func runE13(seed int64) ([]*metrics.Table, error) {
+	t := metrics.NewTable("E13 — propagation tree depth vs BFS depth (random topologies)",
+		"trial", "switches", "bfs-depth", "tree-depth", "ratio")
+	rng := rand.New(rand.NewSource(seed))
+	var sumRatio float64
+	trials := 12
+	counted := 0
+	for trial := 0; trial < trials; trial++ {
+		n := 12 + rng.Intn(24)
+		g, err := topology.RandomConnected(rng, n, n, 1)
+		if err != nil {
+			return nil, err
+		}
+		r, err := reconfig.New(reconfig.Config{Topology: g})
+		if err != nil {
+			return nil, err
+		}
+		initiator := topology.NodeID(rng.Intn(n))
+		res, err := r.Run([]reconfig.Trigger{{Node: initiator}})
+		if err != nil {
+			return nil, err
+		}
+		_, bfs := g.BFS(initiator, g.SwitchOnly, nil)
+		if bfs == 0 {
+			continue
+		}
+		ratio := float64(res.TreeDepth) / float64(bfs)
+		sumRatio += ratio
+		counted++
+		t.AddRow(trial, n, bfs, res.TreeDepth, ratio)
+	}
+	sum := metrics.NewTable("E13 — summary", "quantity", "value")
+	if counted > 0 {
+		sum.AddRow("mean depth ratio", sumRatio/float64(counted))
+	}
+	sum.AddRow("worst case (paper)", "linear chain: depth = N-1")
+	return []*metrics.Table{t, sum}, nil
+}
+
+// runE14 fires concurrent triggers and verifies single-winner convergence.
+func runE14(seed int64) ([]*metrics.Table, error) {
+	t := metrics.NewTable("E14 — overlapping reconfigurations",
+		"trial", "triggers", "winner-tag", "all-agree", "messages")
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 8; trial++ {
+		g, err := topology.RandomConnected(rng, 10+rng.Intn(15), 15, 1)
+		if err != nil {
+			return nil, err
+		}
+		r, err := reconfig.New(reconfig.Config{Topology: g})
+		if err != nil {
+			return nil, err
+		}
+		sw := r.LiveSwitches()
+		k := 2 + rng.Intn(3)
+		var triggers []reconfig.Trigger
+		for i := 0; i < k; i++ {
+			triggers = append(triggers, reconfig.Trigger{
+				Node: sw[rng.Intn(len(sw))],
+				AtUS: int64(rng.Intn(40)),
+			})
+		}
+		res, err := r.Run(triggers)
+		if err != nil {
+			return nil, err
+		}
+		agree := r.Agreement(res) == nil
+		var winner reconfig.Tag
+		for _, v := range res.Views {
+			if winner.Less(v.Tag) {
+				winner = v.Tag
+			}
+		}
+		t.AddRow(trial, len(triggers), winner.String(), agree, res.Messages)
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// runE15 counts reconfigurations caused by a flapping link with and
+// without the skeptic's escalation.
+func runE15(int64) ([]*metrics.Table, error) {
+	t := metrics.NewTable("E15 — reconfigurations caused by a flapping link over 60 s",
+		"policy", "reconfigurations", "final-state", "final-level")
+	flap := monitor.Flapping(300_000, 50_000) // 300 ms up / 50 ms down
+	for _, cse := range []struct {
+		name      string
+		skeptical bool
+	}{
+		{"fixed proving period", false},
+		{"skeptic (escalating)", true},
+	} {
+		s := monitor.New(monitor.Config{
+			FailThreshold: 3,
+			BaseWaitUS:    10_000,
+			DecayUS:       600_000_000,
+			Skeptical:     cse.skeptical,
+		})
+		res := monitor.Drive(s, flap, 1_000, 60_000_000)
+		t.AddRow(cse.name, res.Reconfigurations, res.FinalState.String(), res.FinalLevel)
+	}
+	return []*metrics.Table{t}, nil
+}

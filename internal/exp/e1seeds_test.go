@@ -1,0 +1,12 @@
+package exp
+
+import "testing"
+
+func TestE1ManySeeds(t *testing.T) {
+	e, _ := Lookup("E1")
+	for seed := int64(42); seed < 57; seed++ {
+		if _, err := e.Run(seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package exp implements the paper-reproduction experiments (E1–E18 in
+// DESIGN.md): each function regenerates one of the paper's figures, worked
+// examples, or quantitative claims as a metrics.Table, so the experiment
+// output reads like the rows a paper's evaluation section reports.
+//
+// The same functions back cmd/an2bench (human-facing) and the repository's
+// testing.B benchmarks.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	// ID is the DESIGN.md experiment id, e.g. "E2".
+	ID string
+	// Title says what is reproduced.
+	Title string
+	// Claim is the paper's quantitative claim, quoted or paraphrased.
+	Claim string
+	// Run executes the experiment (with the given seed where
+	// randomness is involved) and renders its table(s).
+	Run func(seed int64) ([]*metrics.Table, error)
+	// Quick, when true, means the experiment runs in well under a
+	// second; heavier experiments are skipped by an2bench -quick.
+	Quick bool
+}
+
+// registry holds all experiments, keyed by ID.
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns the experiments sorted by ID (E1, E2, ... E18).
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return idOrder(out[i].ID) < idOrder(out[j].ID)
+	})
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (*Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// idOrder sorts E2 before E10.
+func idOrder(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+		"E19", "E20", "E21", "E22", "E23", "E24"}
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("position %d: %s, want %s (sorted order broken)", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Claim == "" || all[i].Run == nil {
+			t.Fatalf("%s incompletely registered", id)
+		}
+	}
+	if _, ok := Lookup("E7"); !ok {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("phantom experiment")
+	}
+}
+
+// Every experiment must run to completion and produce non-empty tables.
+// The assertions on the *values* live in the per-package tests; this is
+// the harness-level smoke check that an2bench depends on.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(42)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				out := tb.String()
+				if !strings.Contains(out, e.ID) {
+					t.Errorf("%s: table title %q does not carry the experiment id", e.ID, out[:40])
+				}
+				if strings.Count(out, "\n") < 3 {
+					t.Errorf("%s: table suspiciously empty:\n%s", e.ID, out)
+				}
+			}
+		})
+	}
+}
+
+// Experiments are deterministic under a fixed seed (modulo the
+// goroutine-timed reconfiguration experiments, which may vary in tree
+// shape but must succeed identically).
+func TestQuickExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"E3", "E5", "E6", "E7", "E10", "E11", "E16", "E17", "E20", "E21"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		a, err := e.Run(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: table counts differ", id)
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Errorf("%s: table %d differs across identical seeds", id, i)
+			}
+		}
+	}
+}

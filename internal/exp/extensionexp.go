@@ -1,0 +1,249 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bwcentral"
+	"repro/internal/cell"
+	"repro/internal/flowcontrol"
+	"repro/internal/metrics"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Extension experiments: the paper's proposed future work, implemented and
+// measured. E19 (scoped reconfiguration, §2), E20 (dynamic buffer
+// allocation, §5), E21 (load-balancing reroute, §2).
+
+func init() {
+	register(&Experiment{
+		ID:    "E19",
+		Title: "scoped reconfiguration: restrict participation to the failure's neighborhood",
+		Claim: "it should often be possible to restrict participation to switches near the failing component (proposed extension, §2)",
+		Run:   runE19,
+	})
+	register(&Experiment{
+		ID:    "E20",
+		Title: "dynamic buffer allocation serves more circuits from the same memory",
+		Claim: "dynamically altering buffer allocation based on use could allow the link to support more virtual circuits without adversely affecting performance (proposed extension, §5)",
+		Run:   runE20,
+		Quick: true,
+	})
+	register(&Experiment{
+		ID:    "E21",
+		Title: "rerouting circuits to balance load",
+		Claim: "a more speculative option is to reroute circuits to balance the load on the network... algorithms to determine when and where circuits should be moved have yet to be considered (proposed extension, §2)",
+		Run:   runE21,
+		Quick: true,
+	})
+}
+
+// runE19 compares full vs scoped reconfiguration cost as the network
+// grows, for a single link failure.
+func runE19(seed int64) ([]*metrics.Table, error) {
+	t := metrics.NewTable("E19 — full vs scoped (radius-2) reconfiguration of one link failure",
+		"switches", "full-msgs", "full-bytes", "full-us", "scoped-participants", "scoped-msgs", "scoped-bytes", "scoped-us", "view-match")
+	rng := rand.New(rand.NewSource(seed))
+	for _, n := range []int{16, 32, 64, 128} {
+		g, err := topology.RandomConnected(rng, n, n, 1)
+		if err != nil {
+			return nil, err
+		}
+		// Pick a link whose loss keeps the network connected.
+		var victim topology.Link
+		found := false
+		for _, l := range g.Links() {
+			filt := func(x topology.Link) bool { return x.ID != l.ID }
+			if g.Connected(filt) {
+				victim = l
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		dead := map[topology.LinkID]bool{victim.ID: true}
+		mk := func() (*reconfig.Runner, error) {
+			return reconfig.New(reconfig.Config{Topology: g, DeadLinks: dead})
+		}
+		triggers := []reconfig.Trigger{{Node: victim.A}}
+
+		rFull, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		full, err := rFull.Run(triggers)
+		if err != nil {
+			return nil, err
+		}
+		rScoped, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		region := rScoped.RegionOf(triggers, 2)
+		scoped, err := rScoped.RunScoped(triggers, region)
+		if err != nil {
+			return nil, err
+		}
+		// Verify the merged view equals the full view.
+		truth := full.Views[victim.A].Links
+		// Stale view = pre-failure topology: run a boot reconfig.
+		rBoot, err := reconfig.New(reconfig.Config{Topology: g})
+		if err != nil {
+			return nil, err
+		}
+		boot, err := rBoot.Run([]reconfig.Trigger{{Node: victim.A}})
+		if err != nil {
+			return nil, err
+		}
+		merged := reconfig.MergePatch(boot.Views[victim.A].Links, region, scoped.Views[victim.A].Links)
+		match := equalLinkRecs(merged, truth)
+		t.AddRow(n, full.Messages, full.Bytes, full.MaxCompletionUS,
+			len(region), scoped.Messages, scoped.Bytes, scoped.MaxCompletionUS, match)
+	}
+	return []*metrics.Table{t}, nil
+}
+
+func equalLinkRecs(a, b []reconfig.LinkRec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runE20 compares a static even split of downstream buffer memory against
+// the adaptive allocator, for 8 circuits of which only 2 are hot.
+func runE20(int64) ([]*metrics.Table, error) {
+	const latency = 5
+	t := metrics.NewTable("E20 — static vs adaptive buffer allocation (8 circuits, 2 hot, pool = 2·RTT+6)",
+		"policy", "aggregate-throughput", "hot-capacity", "idle-capacity")
+	run := func(adaptive bool) (float64, int, int, error) {
+		l, err := flowcontrol.NewLink(latency)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		rtt := int(l.RoundTripSlots())
+		pool := 2*rtt + 6
+		for vcid := cell.VCI(1); vcid <= 8; vcid++ {
+			if err := l.OpenCircuit(vcid, pool/8); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		var a *flowcontrol.Allocator
+		if adaptive {
+			a, err = flowcontrol.NewAllocator(l, pool, 1, rtt)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		delivered := 0
+		const slots = 4000
+		for s := 0; s < slots; s++ {
+			for _, hot := range []cell.VCI{1, 2} {
+				if l.PendingAtSource(hot) < 4 {
+					if err := l.Inject(hot, cell.Cell{}); err != nil {
+						return 0, 0, 0, err
+					}
+				}
+			}
+			delivered += len(l.Step())
+			if a != nil && s%(4*rtt) == 0 {
+				a.Rebalance()
+			}
+		}
+		return float64(delivered) / slots, l.Capacity(1), l.Capacity(5), nil
+	}
+	for _, mode := range []struct {
+		name     string
+		adaptive bool
+	}{{"static even split", false}, {"adaptive (demand-driven)", true}} {
+		tput, hotCap, idleCap, err := run(mode.adaptive)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mode.name, tput, hotCap, idleCap)
+	}
+	return []*metrics.Table{t}, nil
+}
+
+// runE21 loads one side of a redundant topology via min-hop admission and
+// measures the bottleneck before/after greedy rebalancing.
+func runE21(seed int64) ([]*metrics.Table, error) {
+	t := metrics.NewTable("E21 — load-balancing reroute on a loaded diamond + torus",
+		"topology", "circuits", "max-load-before", "max-load-after", "moves")
+	// Diamond.
+	diamond := topology.New()
+	a := diamond.AddSwitch("a")
+	b := diamond.AddSwitch("b")
+	cc := diamond.AddSwitch("c")
+	d := diamond.AddSwitch("d")
+	for _, pr := range [][2]topology.NodeID{{a, b}, {a, cc}, {b, d}, {cc, d}} {
+		if _, err := diamond.Connect(pr[0], pr[1], 1); err != nil {
+			return nil, err
+		}
+	}
+	if err := runE21On(t, "diamond", diamond, a, d, 4, 20, 100); err != nil {
+		return nil, err
+	}
+	// Torus with random circuit endpoints.
+	torus, err := topology.Torus(4, 4, 1)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	router, err := routing.NewRouter(torus, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	central, err := bwcentral.New(bwcentral.Config{
+		Topology: torus, Router: router, LinkCapacity: 100, Policy: bwcentral.MinHop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	placed := 0
+	for k := 0; k < 24; k++ {
+		src := topology.NodeID(rng.Intn(16))
+		dst := topology.NodeID(rng.Intn(16))
+		if src == dst {
+			continue
+		}
+		if _, err := central.Request(src, dst, 10); err == nil {
+			placed++
+		}
+	}
+	before := central.MaxLoad()
+	moves := central.Rebalance(50)
+	t.AddRow("torus-4x4", placed, before, central.MaxLoad(), len(moves))
+	return []*metrics.Table{t}, nil
+}
+
+func runE21On(t *metrics.Table, name string, g *topology.Graph, src, dst topology.NodeID, circuits, rate, capacity int) error {
+	router, err := routing.NewRouter(g, 0, nil)
+	if err != nil {
+		return err
+	}
+	central, err := bwcentral.New(bwcentral.Config{
+		Topology: g, Router: router, LinkCapacity: capacity, Policy: bwcentral.MinHop,
+	})
+	if err != nil {
+		return err
+	}
+	for k := 0; k < circuits; k++ {
+		if _, err := central.Request(src, dst, rate); err != nil {
+			return fmt.Errorf("request %d: %w", k, err)
+		}
+	}
+	before := central.MaxLoad()
+	moves := central.Rebalance(20)
+	t.AddRow(name, circuits, before, central.MaxLoad(), len(moves))
+	return nil
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"repro/internal/faultsim"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/topology"
+)
+
+// E22: the end-to-end fault-management loop (§2): ping-based monitoring
+// feeds the skeptic, believed transitions trigger distributed
+// reconfigurations, and the network's view tracks the hardware truth.
+
+func init() {
+	register(&Experiment{
+		ID:    "E22",
+		Title: "the fault-management loop: monitor → skeptic → reconfigure",
+		Claim: "switch software monitors the links by regularly pinging each neighbor... if this test fails too frequently, a working link is changed to the dead state; each transition triggers a reconfiguration (§2, composite)",
+		Run:   runE22,
+	})
+}
+
+func runE22(seed int64) ([]*metrics.Table, error) {
+	g, err := topology.Ring(8, 1)
+	if err != nil {
+		return nil, err
+	}
+	// A 30-second link life: a clean cut on link 0 at t=2 s (repaired at
+	// t=20 s), and link 3 flapping from t=5 s to t=15 s then healthy.
+	var faults []faultsim.FaultEvent
+	faults = append(faults,
+		faultsim.FaultEvent{Link: 0, AtUS: 2_000_000, Up: false},
+		faultsim.FaultEvent{Link: 0, AtUS: 20_000_000, Up: true},
+	)
+	for at := int64(5_000_000); at < 15_000_000; at += 350_000 {
+		faults = append(faults,
+			faultsim.FaultEvent{Link: 3, AtUS: at, Up: false},
+			faultsim.FaultEvent{Link: 3, AtUS: at + 50_000, Up: true},
+		)
+	}
+	t := metrics.NewTable("E22 — 30 s of link life on an 8-switch ring (one cut + one flapper)",
+		"monitor policy", "reconfigs", "total-reconfig-us", "view-currency", "detect-lag-us", "note")
+	// View currency compares the believed state with the instantaneous
+	// hardware state. The skeptic scores LOWER on it by design: during
+	// the flapping window it holds the link dead through its brief good
+	// moments — that divergence is the feature, not a defect, because
+	// each "currency-improving" flip would cost a network-wide
+	// reconfiguration.
+	notes := map[bool]string{
+		false: "chases every flap",
+		true:  "holds flaky link down (intended)",
+	}
+	for _, cse := range []struct {
+		name      string
+		skeptical bool
+	}{
+		{"naive (fixed proving)", false},
+		{"skeptic (escalating)", true},
+	} {
+		sim, err := faultsim.New(faultsim.Config{
+			Topology:       g,
+			PingIntervalUS: 1000,
+			Skeptic: monitor.Config{
+				FailThreshold: 3,
+				BaseWaitUS:    10_000,
+				DecayUS:       600_000_000,
+				Skeptical:     cse.skeptical,
+			},
+			Faults:     faults,
+			DurationUS: 30_000_000,
+			Seed:       seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(cse.name, res.Reconfigurations, res.ConvergenceTotalUS,
+			res.ViewCurrency, res.DetectionLagUS, notes[cse.skeptical])
+	}
+	return []*metrics.Table{t}, nil
+}

@@ -1,0 +1,262 @@
+// Package faultsim closes the fault-management loop of paper §2: link
+// hardware fails and recovers on a schedule; switch software pings its
+// neighbors and feeds a skeptic per link; skeptic transitions flip links
+// between working and dead; and every transition triggers a distributed
+// reconfiguration over the surviving topology.
+//
+// The simulation is driven by the discrete-event engine, so long fault
+// histories (minutes of link life) run in milliseconds while preserving
+// the timing relationships between ping cadence, proving periods, and
+// reconfiguration convergence. Its headline outputs are the number of
+// reconfigurations a fault history inflicts and the network's *view
+// currency* — the fraction of time the believed topology matches the
+// hardware truth.
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/eventsim"
+	"repro/internal/monitor"
+	"repro/internal/reconfig"
+	"repro/internal/topology"
+)
+
+// FaultEvent is one hardware state change: at AtUS, the link becomes Up
+// (true) or down (false).
+type FaultEvent struct {
+	Link topology.LinkID
+	AtUS int64
+	Up   bool
+}
+
+// Config configures a fault-lifetime simulation.
+type Config struct {
+	// Topology is the network. Only inter-switch links are monitored.
+	Topology *topology.Graph
+	// PingIntervalUS is the monitoring cadence (default 1000 µs).
+	PingIntervalUS int64
+	// Skeptic configures each link's monitor.
+	Skeptic monitor.Config
+	// Faults is the hardware fault schedule.
+	Faults []FaultEvent
+	// DurationUS is the simulated horizon (must cover the schedule).
+	DurationUS int64
+	// Seed staggers per-link ping phases deterministically.
+	Seed int64
+}
+
+// TimelineEvent records one believed-state transition and the
+// reconfiguration it triggered.
+type TimelineEvent struct {
+	AtUS          int64
+	Link          topology.LinkID
+	Up            bool
+	ConvergenceUS int64
+	Messages      int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Reconfigurations counts triggered reconfigurations (one per
+	// believed transition).
+	Reconfigurations int
+	// ConvergenceTotalUS sums the convergence time of every
+	// reconfiguration — the total time the network spent reconfiguring.
+	ConvergenceTotalUS int64
+	// ViewCurrency is the fraction of simulated time during which the
+	// believed link states matched the hardware truth.
+	ViewCurrency float64
+	// DetectionLagUS is the mean lag from a hardware transition to the
+	// corresponding believed transition (only for transitions that were
+	// eventually believed).
+	DetectionLagUS float64
+	// Timeline lists the believed transitions in order.
+	Timeline []TimelineEvent
+}
+
+// Sim is a fault-lifetime simulation. Create with New, run with Run.
+type Sim struct {
+	cfg Config
+	eng *eventsim.Engine
+	g   *topology.Graph
+
+	monitored []topology.Link
+	skeptics  map[topology.LinkID]*monitor.Skeptic
+	hwDead    map[topology.LinkID]bool
+	believed  map[topology.LinkID]bool
+
+	epoch uint64
+
+	// view-currency accounting.
+	lastAccountUS int64
+	currentUS     int64
+	// detection-lag accounting: hardware change time per link awaiting
+	// a matching believed change.
+	pendingHWChange map[topology.LinkID]int64
+	lagSumUS        int64
+	lagCount        int64
+
+	res Result
+}
+
+// New validates the configuration and builds the simulation.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("faultsim: nil topology")
+	}
+	if cfg.PingIntervalUS <= 0 {
+		cfg.PingIntervalUS = 1000
+	}
+	if cfg.DurationUS <= 0 {
+		return nil, errors.New("faultsim: duration must be positive")
+	}
+	s := &Sim{
+		cfg:             cfg,
+		eng:             eventsim.New(cfg.Seed),
+		g:               cfg.Topology,
+		skeptics:        make(map[topology.LinkID]*monitor.Skeptic),
+		hwDead:          make(map[topology.LinkID]bool),
+		believed:        make(map[topology.LinkID]bool),
+		pendingHWChange: make(map[topology.LinkID]int64),
+	}
+	for _, l := range cfg.Topology.Links() {
+		if !cfg.Topology.SwitchOnly(l) {
+			continue
+		}
+		s.monitored = append(s.monitored, l)
+		s.skeptics[l.ID] = monitor.New(cfg.Skeptic)
+	}
+	if len(s.monitored) == 0 {
+		return nil, errors.New("faultsim: no inter-switch links to monitor")
+	}
+	return s, nil
+}
+
+// Run executes the schedule and returns the result.
+func (s *Sim) Run() (*Result, error) {
+	// Schedule hardware faults.
+	faults := append([]FaultEvent(nil), s.cfg.Faults...)
+	sort.Slice(faults, func(i, j int) bool { return faults[i].AtUS < faults[j].AtUS })
+	for _, f := range faults {
+		f := f
+		if _, ok := s.skeptics[f.Link]; !ok {
+			return nil, fmt.Errorf("faultsim: fault on unmonitored link %d", f.Link)
+		}
+		if _, err := s.eng.Schedule(eventsim.Time(f.AtUS), func() { s.applyHW(f) }); err != nil {
+			return nil, fmt.Errorf("faultsim: schedule fault: %w", err)
+		}
+	}
+	// Schedule pings, staggered per link.
+	for _, l := range s.monitored {
+		link := l
+		offset := eventsim.Time(s.eng.Rand().Int63n(s.cfg.PingIntervalUS))
+		s.eng.After(offset, func() { s.ping(link) })
+	}
+	s.eng.Run(eventsim.Time(s.cfg.DurationUS))
+	s.accountCurrency(s.cfg.DurationUS)
+	s.res.ViewCurrency = float64(s.currentUS) / float64(s.cfg.DurationUS)
+	if s.lagCount > 0 {
+		s.res.DetectionLagUS = float64(s.lagSumUS) / float64(s.lagCount)
+	}
+	return &s.res, nil
+}
+
+// applyHW flips the hardware truth of a link.
+func (s *Sim) applyHW(f FaultEvent) {
+	now := int64(s.eng.Now())
+	s.accountCurrency(now)
+	wasDead := s.hwDead[f.Link]
+	if wasDead == !f.Up {
+		return // no-op transition
+	}
+	s.hwDead[f.Link] = !f.Up
+	// The view is now stale until the skeptic catches up.
+	s.pendingHWChange[f.Link] = now
+}
+
+// ping runs one monitoring round for a link and reschedules itself.
+func (s *Sim) ping(l topology.Link) {
+	now := int64(s.eng.Now())
+	sk := s.skeptics[l.ID]
+	before := sk.Transitions()
+	if s.hwDead[l.ID] {
+		sk.PingFail(now)
+	} else {
+		sk.PingOK(now)
+	}
+	if sk.Transitions() != before {
+		events := sk.Events()
+		ev := events[len(events)-1]
+		s.onBelievedTransition(l, ev.Up, now)
+	}
+	s.eng.After(eventsim.Time(s.cfg.PingIntervalUS), func() { s.ping(l) })
+}
+
+// onBelievedTransition flips the believed state and triggers the
+// distributed reconfiguration, as the paper's switch software does.
+func (s *Sim) onBelievedTransition(l topology.Link, up bool, nowUS int64) {
+	s.accountCurrency(nowUS)
+	s.believed[l.ID] = !up
+	if hwAt, ok := s.pendingHWChange[l.ID]; ok && (s.believed[l.ID] == s.hwDead[l.ID]) {
+		s.lagSumUS += nowUS - hwAt
+		s.lagCount++
+		delete(s.pendingHWChange, l.ID)
+	}
+	dead := make(map[topology.LinkID]bool, len(s.believed))
+	for id, d := range s.believed {
+		if d {
+			dead[id] = true
+		}
+	}
+	runner, err := reconfig.New(reconfig.Config{
+		Topology:  s.g,
+		DeadLinks: dead,
+		BaseEpoch: s.epoch,
+	})
+	if err != nil {
+		return
+	}
+	res, err := runner.Run([]reconfig.Trigger{{Node: l.A}, {Node: l.B}})
+	if err != nil {
+		return
+	}
+	for _, v := range res.Views {
+		if v.Tag.Epoch > s.epoch {
+			s.epoch = v.Tag.Epoch
+		}
+	}
+	s.res.Reconfigurations++
+	s.res.ConvergenceTotalUS += res.MaxCompletionUS
+	s.res.Timeline = append(s.res.Timeline, TimelineEvent{
+		AtUS:          nowUS,
+		Link:          l.ID,
+		Up:            up,
+		ConvergenceUS: res.MaxCompletionUS,
+		Messages:      res.Messages,
+	})
+}
+
+// accountCurrency integrates view-currency up to nowUS.
+func (s *Sim) accountCurrency(nowUS int64) {
+	if nowUS <= s.lastAccountUS {
+		return
+	}
+	if s.viewCurrent() {
+		s.currentUS += nowUS - s.lastAccountUS
+	}
+	s.lastAccountUS = nowUS
+}
+
+// viewCurrent reports whether believed state matches hardware truth on
+// every monitored link.
+func (s *Sim) viewCurrent() bool {
+	for _, l := range s.monitored {
+		if s.believed[l.ID] != s.hwDead[l.ID] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/topology"
+)
+
+func ringCfg(t *testing.T, faults []FaultEvent, skeptical bool) Config {
+	t.Helper()
+	g, err := topology.Ring(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Topology:       g,
+		PingIntervalUS: 1000,
+		Skeptic: monitor.Config{
+			FailThreshold: 3,
+			BaseWaitUS:    10_000,
+			DecayUS:       600_000_000,
+			Skeptical:     skeptical,
+		},
+		Faults:     faults,
+		DurationUS: 10_000_000,
+		Seed:       1,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	g, err := topology.Ring(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Topology: g}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	// Host-only links: nothing to monitor.
+	g2 := topology.New()
+	s1 := g2.AddSwitch("s")
+	h := g2.AddHost("h")
+	if _, err := g2.Connect(s1, h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Topology: g2, DurationUS: 1000}); err == nil {
+		t.Fatal("switchless link set accepted")
+	}
+	// Fault on unmonitored link.
+	sim, err := New(ringCfg(t, []FaultEvent{{Link: 99, AtUS: 10, Up: false}}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("fault on unknown link accepted")
+	}
+}
+
+func TestHealthyNetworkNeverReconfigures(t *testing.T) {
+	sim, err := New(ringCfg(t, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconfigurations != 0 {
+		t.Fatalf("healthy network reconfigured %d times", res.Reconfigurations)
+	}
+	if res.ViewCurrency != 1.0 {
+		t.Fatalf("view currency %.3f, want 1.0", res.ViewCurrency)
+	}
+}
+
+func TestCleanCutDetectedOnce(t *testing.T) {
+	// One link dies at t=1s and stays dead.
+	sim, err := New(ringCfg(t, []FaultEvent{{Link: 0, AtUS: 1_000_000, Up: false}}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconfigurations != 1 {
+		t.Fatalf("clean cut caused %d reconfigurations, want 1", res.Reconfigurations)
+	}
+	ev := res.Timeline[0]
+	if ev.Up || ev.Link != 0 {
+		t.Fatalf("timeline event %+v", ev)
+	}
+	// Detection lag ≈ FailThreshold pings.
+	if res.DetectionLagUS < 2_000 || res.DetectionLagUS > 10_000 {
+		t.Fatalf("detection lag %.0f µs, want a few ping intervals", res.DetectionLagUS)
+	}
+	// View current except during the ~3 ms detection window: > 99.9%.
+	if res.ViewCurrency < 0.999 {
+		t.Fatalf("view currency %.4f", res.ViewCurrency)
+	}
+}
+
+func TestCutAndRecoveryRoundTrip(t *testing.T) {
+	faults := []FaultEvent{
+		{Link: 2, AtUS: 1_000_000, Up: false},
+		{Link: 2, AtUS: 3_000_000, Up: true},
+	}
+	sim, err := New(ringCfg(t, faults, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconfigurations != 2 {
+		t.Fatalf("reconfigurations = %d, want 2 (down, up)", res.Reconfigurations)
+	}
+	if res.Timeline[0].Up || !res.Timeline[1].Up {
+		t.Fatalf("timeline = %+v", res.Timeline)
+	}
+	// Recovery lag includes the proving period (10 ms).
+	upLag := res.Timeline[1].AtUS - 3_000_000
+	if upLag < 10_000 {
+		t.Fatalf("recovery believed after %d µs; proving period is 10 ms", upLag)
+	}
+	// Epochs advance across reconfigurations.
+	if sim.epoch < 2 {
+		t.Fatalf("epoch = %d, want >= 2", sim.epoch)
+	}
+}
+
+// The headline comparison: a flapping link inflicts far fewer
+// reconfigurations with the skeptic than without, and total time spent
+// reconfiguring shrinks accordingly.
+func TestSkepticReducesReconfigurationLoad(t *testing.T) {
+	var faults []FaultEvent
+	// Flap link 1: 300 ms up, 50 ms down for the whole run.
+	for at := int64(500_000); at < 9_500_000; at += 350_000 {
+		faults = append(faults,
+			FaultEvent{Link: 1, AtUS: at, Up: false},
+			FaultEvent{Link: 1, AtUS: at + 50_000, Up: true},
+		)
+	}
+	run := func(skeptical bool) *Result {
+		sim, err := New(ringCfg(t, faults, skeptical))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	naive := run(false)
+	skeptic := run(true)
+	if naive.Reconfigurations < 3*skeptic.Reconfigurations {
+		t.Fatalf("skeptic did not help: naive %d vs skeptic %d",
+			naive.Reconfigurations, skeptic.Reconfigurations)
+	}
+	if skeptic.Reconfigurations == 0 {
+		t.Fatal("skeptic must still report the first failure")
+	}
+	if naive.ConvergenceTotalUS <= skeptic.ConvergenceTotalUS {
+		t.Fatalf("total reconfiguration time: naive %d <= skeptic %d",
+			naive.ConvergenceTotalUS, skeptic.ConvergenceTotalUS)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	faults := []FaultEvent{{Link: 0, AtUS: 2_000_000, Up: false}}
+	run := func() *Result {
+		sim, err := New(ringCfg(t, faults, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Reconfigurations != b.Reconfigurations || len(a.Timeline) != len(b.Timeline) {
+		t.Fatal("runs differ under identical seeds")
+	}
+	for i := range a.Timeline {
+		if a.Timeline[i].AtUS != b.Timeline[i].AtUS || a.Timeline[i].Link != b.Timeline[i].Link {
+			t.Fatalf("timelines diverge at %d", i)
+		}
+	}
+}
+
+func TestManyLinksIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := topology.RandomConnected(rng, 12, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := g.Links()
+	faults := []FaultEvent{
+		{Link: links[0].ID, AtUS: 1_000_000, Up: false},
+		{Link: links[3].ID, AtUS: 2_000_000, Up: false},
+		{Link: links[0].ID, AtUS: 5_000_000, Up: true},
+	}
+	sim, err := New(Config{
+		Topology:       g,
+		PingIntervalUS: 1000,
+		Skeptic: monitor.Config{
+			FailThreshold: 3, BaseWaitUS: 10_000, DecayUS: 600_000_000, Skeptical: true,
+		},
+		Faults:     faults,
+		DurationUS: 8_000_000,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconfigurations != 3 {
+		t.Fatalf("reconfigurations = %d, want 3", res.Reconfigurations)
+	}
+}

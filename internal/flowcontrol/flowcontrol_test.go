@@ -1,0 +1,357 @@
+package flowcontrol
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func mustLink(t *testing.T, latency int64) *Link {
+	t.Helper()
+	l, err := NewLink(latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func open(t *testing.T, l *Link, vc cell.VCI, cap_ int) {
+	t.Helper()
+	if err := l.OpenCircuit(vc, cap_); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func injectN(t *testing.T, l *Link, vc cell.VCI, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := l.Inject(vc, cell.Cell{Stamp: cell.Stamp{Seq: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewLink(0); err == nil {
+		t.Error("latency 0 accepted")
+	}
+	l := mustLink(t, 2)
+	if err := l.OpenCircuit(1, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	open(t, l, 1, 4)
+	if err := l.OpenCircuit(1, 4); err == nil {
+		t.Error("duplicate circuit accepted")
+	}
+	if err := l.Inject(9, cell.Cell{}); err == nil {
+		t.Error("inject on closed circuit accepted")
+	}
+	if err := l.Resync(9); err == nil {
+		t.Error("resync on closed circuit accepted")
+	}
+	if _, err := l.CheckInvariant(9); err == nil {
+		t.Error("invariant on closed circuit accepted")
+	}
+}
+
+// Full-rate transmission with round-trip worth of credits (paper §5: "it
+// must start with enough credits to cover a round trip on the link").
+func TestFullRateWithRTTCredits(t *testing.T) {
+	l := mustLink(t, 5)
+	rtt := int(l.RoundTripSlots()) // 11
+	open(t, l, 1, rtt)
+	const n = 200
+	injectN(t, l, 1, n)
+	delivered := 0
+	for s := 0; s < n+3*rtt; s++ {
+		delivered += len(l.Step())
+	}
+	if delivered != n {
+		t.Fatalf("delivered %d of %d", delivered, n)
+	}
+	// Full link rate: total time ≈ n + pipeline fill; the source must
+	// never stall, so sending finishes by slot n.
+	if got := l.Stats().CellsSent; got != n {
+		t.Fatalf("sent %d", got)
+	}
+	// Throughput knee check is in the benchmark; here assert no stall:
+	// with RTT credits the first n slots each transmit one cell.
+	if l.PendingAtSource(1) != 0 {
+		t.Fatal("source still pending")
+	}
+}
+
+// With fewer than RTT credits the circuit stalls periodically:
+// throughput ≈ cap/RTT (experiment E11's knee).
+func TestThroughputLimitedByCredits(t *testing.T) {
+	l := mustLink(t, 5)
+	rtt := float64(l.RoundTripSlots())
+	open(t, l, 1, 3)
+	const slots = 2000
+	injectN(t, l, 1, slots) // saturate
+	delivered := 0
+	for s := 0; s < slots; s++ {
+		delivered += len(l.Step())
+	}
+	got := float64(delivered) / slots
+	want := 3.0 / rtt
+	if got < want*0.85 || got > want*1.15 {
+		t.Fatalf("throughput %.3f, want ≈ cap/RTT = %.3f", got, want)
+	}
+}
+
+// E10a: losslessness. However bursty the source and small the buffers, the
+// downstream buffer never exceeds its allocation and no cell is lost.
+func TestCreditLosslessness(t *testing.T) {
+	l := mustLink(t, 4)
+	open(t, l, 1, 2)
+	open(t, l, 2, 3)
+	injectN(t, l, 1, 500)
+	injectN(t, l, 2, 500)
+	// Congest circuit 1's output for a while.
+	l.Block(1)
+	total := 0
+	for s := 0; s < 300; s++ {
+		total += len(l.Step())
+	}
+	l.Unblock(1)
+	for s := 0; s < 3000; s++ {
+		total += len(l.Step())
+	}
+	if total != 1000 {
+		t.Fatalf("delivered %d of 1000", total)
+	}
+	st := l.Stats()
+	if st.MaxOccupancy[1] > 2 || st.MaxOccupancy[2] > 3 {
+		t.Fatalf("buffer overflow: occupancies %v exceed allocations", st.MaxOccupancy)
+	}
+}
+
+// Per-VC independence (paper §5): a blocked circuit does not affect other
+// circuits sharing the link.
+func TestBlockedCircuitDoesNotAffectOthers(t *testing.T) {
+	l := mustLink(t, 2)
+	open(t, l, 1, 5)
+	open(t, l, 2, 5)
+	l.Block(1)
+	injectN(t, l, 1, 100)
+	injectN(t, l, 2, 100)
+	delivered2 := 0
+	for s := 0; s < 150; s++ {
+		for _, c := range l.Step() {
+			if c.VC == 2 {
+				delivered2++
+			} else {
+				t.Fatal("blocked circuit delivered a cell")
+			}
+		}
+	}
+	// Circuit 2 should proceed at nearly full rate despite circuit 1
+	// being wedged (it shares only the link, not buffers).
+	if delivered2 < 100 {
+		t.Fatalf("unblocked circuit delivered %d of 100", delivered2)
+	}
+}
+
+// E10b: a lost credit only reduces performance. The circuit keeps running
+// (at reduced window) and resync restores full speed; nothing is dropped.
+func TestCreditLossThenResync(t *testing.T) {
+	l := mustLink(t, 3)
+	rtt := int(l.RoundTripSlots())
+	open(t, l, 1, rtt)
+	injectN(t, l, 1, 2000)
+
+	// Lose 4 credits early on.
+	for k := 0; k < 4; k++ {
+		l.LoseNextCredit()
+		for s := 0; s < rtt; s++ {
+			l.Step()
+		}
+	}
+	st := l.Stats()
+	if st.CreditsLost != 4 {
+		t.Fatalf("lost %d credits, want 4", st.CreditsLost)
+	}
+	// Steady state: balance oscillates but the effective window shrank by
+	// 4. Drain in-flight, then measure.
+	for s := 0; s < 3*rtt; s++ {
+		l.Step()
+	}
+	measure := func(slots int) float64 {
+		start := l.Stats().CellsDelivered
+		for s := 0; s < slots; s++ {
+			l.Step()
+		}
+		return float64(l.Stats().CellsDelivered-start) / float64(slots)
+	}
+	degraded := measure(30 * rtt)
+	want := float64(rtt-4) / float64(rtt)
+	if degraded > want+0.1 {
+		t.Fatalf("after 4 lost credits throughput = %.3f, want ≈ %.3f (degraded)", degraded, want)
+	}
+
+	// Resync restores the window.
+	if err := l.Resync(1); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3*rtt; s++ {
+		l.Step()
+	}
+	restored := measure(30 * rtt)
+	if restored < 0.95 {
+		t.Fatalf("after resync throughput = %.3f, want ≈ 1.0", restored)
+	}
+	// Correctness throughout: nothing dropped, occupancy bounded.
+	if occ := l.Stats().MaxOccupancy[1]; occ > rtt {
+		t.Fatalf("occupancy %d exceeded capacity %d", occ, rtt)
+	}
+}
+
+// Credit conservation invariant: without loss the sum of balance,
+// in-flight cells, buffered cells, and in-flight credits equals capacity
+// at every slot; with loss it only shrinks.
+func TestConservationInvariant(t *testing.T) {
+	l := mustLink(t, 3)
+	open(t, l, 7, 9)
+	injectN(t, l, 7, 5000) // enough to keep the source busy throughout
+	for s := 0; s < 600; s++ {
+		l.Step()
+		total, err := l.CheckInvariant(7)
+		if err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+		if total != 9 {
+			t.Fatalf("slot %d: conservation sum %d, want 9", s, total)
+		}
+	}
+	// Now lose a credit: the sum drops to 8 and stays there.
+	l.LoseNextCredit()
+	for s := 0; s < 100; s++ {
+		l.Step()
+	}
+	total, err := l.CheckInvariant(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 8 {
+		t.Fatalf("after loss sum = %d, want 8", total)
+	}
+	// Resync restores 9.
+	if err := l.Resync(7); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 100; s++ {
+		l.Step()
+	}
+	if total, _ = l.CheckInvariant(7); total != 9 {
+		t.Fatalf("after resync sum = %d, want 9", total)
+	}
+}
+
+// A resync on a healthy link must not double-count: credits in flight when
+// the marker passes were already counted as "forwarded" in the reply, and
+// the reply overwrites (not increments) the balance — so the balance never
+// exceeds capacity and nothing is lost or duplicated.
+func TestResyncNoDoubleCounting(t *testing.T) {
+	l := mustLink(t, 10)
+	open(t, l, 1, 25)
+	injectN(t, l, 1, 200)
+	// Get credits in flight, then resync while they travel.
+	for s := 0; s < 30; s++ {
+		l.Step()
+	}
+	if err := l.Resync(1); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 500; s++ {
+		l.Step()
+		bal := l.Balance(1)
+		if bal > 25 {
+			t.Fatalf("slot %d: balance %d exceeds capacity", s, bal)
+		}
+	}
+	// The system still delivers everything, exactly once.
+	for s := 0; s < 1000; s++ {
+		l.Step()
+	}
+	if got := l.Stats().CellsDelivered; got != 200 {
+		t.Fatalf("delivered %d of 200", got)
+	}
+	// Conservation is fully restored after quiescence.
+	if total, err := l.CheckInvariant(1); err != nil || total != 25 {
+		t.Fatalf("invariant after resync: %d, %v", total, err)
+	}
+	// Repeated resyncs are harmless.
+	if err := l.Resync(1); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 100; s++ {
+		l.Step()
+	}
+	if total, _ := l.CheckInvariant(1); total != 25 {
+		t.Fatalf("invariant after second resync: %d", total)
+	}
+}
+
+func TestCloseCircuitReleasesState(t *testing.T) {
+	l := mustLink(t, 2)
+	open(t, l, 1, 4)
+	injectN(t, l, 1, 10)
+	for s := 0; s < 5; s++ {
+		l.Step()
+	}
+	l.CloseCircuit(1)
+	if l.Balance(1) != 0 || l.Buffered(1) != 0 || l.PendingAtSource(1) != 0 {
+		t.Fatal("close left state behind")
+	}
+	// Closing again or an unknown circuit is a no-op.
+	l.CloseCircuit(1)
+	l.CloseCircuit(99)
+	// Reopening works.
+	open(t, l, 1, 4)
+	if l.Balance(1) != 4 {
+		t.Fatal("reopen wrong balance")
+	}
+}
+
+func TestFairnessAcrossCircuits(t *testing.T) {
+	l := mustLink(t, 2)
+	rtt := int(l.RoundTripSlots())
+	for vc := cell.VCI(1); vc <= 4; vc++ {
+		open(t, l, vc, rtt)
+		injectN(t, l, vc, 1000)
+	}
+	counts := map[cell.VCI]int{}
+	for s := 0; s < 2000; s++ {
+		for _, c := range l.Step() {
+			counts[c.VC]++
+		}
+	}
+	for vc := cell.VCI(1); vc <= 4; vc++ {
+		if counts[vc] < 400 || counts[vc] > 600 {
+			t.Fatalf("unfair service: %v", counts)
+		}
+	}
+}
+
+func BenchmarkCreditFlowControlStep(b *testing.B) {
+	l, err := NewLink(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for vc := cell.VCI(1); vc <= 8; vc++ {
+		if err := l.OpenCircuit(vc, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vc := cell.VCI(i%8) + 1
+		if l.PendingAtSource(vc) < 4 {
+			if err := l.Inject(vc, cell.Cell{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		l.Step()
+	}
+}

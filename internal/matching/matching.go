@@ -1,0 +1,245 @@
+// Package matching provides bipartite matching machinery for crossbar
+// scheduling experiments: a request-graph representation, matching
+// legality/maximality verification, greedy maximal matching, and
+// Hopcroft–Karp maximum matching.
+//
+// The paper (§3) contrasts AN2's randomized parallel iterative matching
+// (package pim) with maximum matching, which "can lead to starvation" and
+// for which no fast enough algorithm was known. Hopcroft–Karp here is the
+// baseline that exhibits exactly that starvation in experiment E5.
+package matching
+
+import (
+	"fmt"
+)
+
+// Requests is a bipartite request graph between n inputs and n outputs.
+// req[i] holds the set of outputs input i has buffered cells for.
+type Requests struct {
+	n   int
+	req [][]bool
+}
+
+// NewRequests creates an empty request graph for an n×n switch.
+func NewRequests(n int) *Requests {
+	r := &Requests{n: n, req: make([][]bool, n)}
+	for i := range r.req {
+		r.req[i] = make([]bool, n)
+	}
+	return r
+}
+
+// N returns the switch size.
+func (r *Requests) N() int { return r.n }
+
+// Set marks that input i has at least one cell destined to output j.
+func (r *Requests) Set(i, j int) {
+	if i >= 0 && i < r.n && j >= 0 && j < r.n {
+		r.req[i][j] = true
+	}
+}
+
+// Clear removes the request from input i to output j.
+func (r *Requests) Clear(i, j int) {
+	if i >= 0 && i < r.n && j >= 0 && j < r.n {
+		r.req[i][j] = false
+	}
+}
+
+// Has reports whether input i requests output j.
+func (r *Requests) Has(i, j int) bool {
+	return i >= 0 && i < r.n && j >= 0 && j < r.n && r.req[i][j]
+}
+
+// Outputs returns the outputs requested by input i, ascending.
+func (r *Requests) Outputs(i int) []int {
+	var out []int
+	for j, ok := range r.req[i] {
+		if ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Count returns the total number of (input, output) request pairs.
+func (r *Requests) Count() int {
+	c := 0
+	for i := range r.req {
+		for _, ok := range r.req[i] {
+			if ok {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (r *Requests) Clone() *Requests {
+	c := NewRequests(r.n)
+	for i := range r.req {
+		copy(c.req[i], r.req[i])
+	}
+	return c
+}
+
+// Matching pairs inputs with outputs: m[i] is the output matched to input
+// i, or -1. A Matching of size n is allocated with NewMatching.
+type Matching []int
+
+// NewMatching returns an empty matching for an n×n switch.
+func NewMatching(n int) Matching {
+	m := make(Matching, n)
+	for i := range m {
+		m[i] = -1
+	}
+	return m
+}
+
+// Size returns the number of matched pairs.
+func (m Matching) Size() int {
+	c := 0
+	for _, j := range m {
+		if j >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Legal reports whether m is a legal matching for r: each matched pair is a
+// real request, and no output is used twice (input uniqueness is structural).
+func (m Matching) Legal(r *Requests) error {
+	if len(m) != r.n {
+		return fmt.Errorf("matching: size %d for %d×%d switch", len(m), r.n, r.n)
+	}
+	usedOut := make([]bool, r.n)
+	for i, j := range m {
+		if j < 0 {
+			continue
+		}
+		if j >= r.n {
+			return fmt.Errorf("matching: input %d matched to out-of-range output %d", i, j)
+		}
+		if !r.Has(i, j) {
+			return fmt.Errorf("matching: input %d matched to output %d without a request", i, j)
+		}
+		if usedOut[j] {
+			return fmt.Errorf("matching: output %d matched twice", j)
+		}
+		usedOut[j] = true
+	}
+	return nil
+}
+
+// Maximal reports whether m is maximal for r: no unmatched input requests
+// an unmatched output. Parallel iterative matching iterated to quiescence
+// produces a maximal matching (paper §3).
+func (m Matching) Maximal(r *Requests) bool {
+	usedOut := make([]bool, r.n)
+	for _, j := range m {
+		if j >= 0 {
+			usedOut[j] = true
+		}
+	}
+	for i, j := range m {
+		if j >= 0 {
+			continue
+		}
+		for _, o := range r.Outputs(i) {
+			if !usedOut[o] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GreedyMaximal computes a maximal matching by scanning inputs in order and
+// taking the first free requested output. It is the simplest deterministic
+// baseline; its fixed scan order is what randomized PIM avoids.
+func GreedyMaximal(r *Requests) Matching {
+	m := NewMatching(r.n)
+	usedOut := make([]bool, r.n)
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if r.Has(i, j) && !usedOut[j] {
+				m[i] = j
+				usedOut[j] = true
+				break
+			}
+		}
+	}
+	return m
+}
+
+// HopcroftKarp computes a maximum matching of the request graph in
+// O(E·sqrt(V)). It is deterministic: ties are resolved in ascending index
+// order, which is precisely why it can starve flows (experiment E5).
+func HopcroftKarp(r *Requests) Matching {
+	n := r.n
+	const inf = int(^uint(0) >> 1)
+	matchIn := NewMatching(n) // input -> output
+	matchOut := make([]int, n)
+	for i := range matchOut {
+		matchOut[i] = -1
+	}
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			if matchIn[i] < 0 {
+				dist[i] = 0
+				queue = append(queue, i)
+			} else {
+				dist[i] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			i := queue[qi]
+			for j := 0; j < n; j++ {
+				if !r.req[i][j] {
+					continue
+				}
+				k := matchOut[j]
+				if k < 0 {
+					found = true
+				} else if dist[k] == inf {
+					dist[k] = dist[i] + 1
+					queue = append(queue, k)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		for j := 0; j < n; j++ {
+			if !r.req[i][j] {
+				continue
+			}
+			k := matchOut[j]
+			if k < 0 || (dist[k] == dist[i]+1 && dfs(k)) {
+				matchIn[i] = j
+				matchOut[j] = i
+				return true
+			}
+		}
+		dist[i] = inf
+		return false
+	}
+
+	for bfs() {
+		for i := 0; i < n; i++ {
+			if matchIn[i] < 0 {
+				dfs(i)
+			}
+		}
+	}
+	return matchIn
+}

@@ -1,0 +1,212 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomRequests(rng *rand.Rand, n int, p float64) *Requests {
+	r := NewRequests(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				r.Set(i, j)
+			}
+		}
+	}
+	return r
+}
+
+func TestRequestsBasics(t *testing.T) {
+	r := NewRequests(4)
+	if r.N() != 4 || r.Count() != 0 {
+		t.Fatal("fresh requests not empty")
+	}
+	r.Set(0, 1)
+	r.Set(0, 3)
+	r.Set(2, 1)
+	r.Set(-1, 0) // ignored
+	r.Set(0, 9)  // ignored
+	if !r.Has(0, 1) || !r.Has(2, 1) || r.Has(1, 1) {
+		t.Fatal("Has wrong")
+	}
+	if got := r.Outputs(0); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Outputs(0) = %v", got)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", r.Count())
+	}
+	r.Clear(0, 1)
+	if r.Has(0, 1) || r.Count() != 2 {
+		t.Fatal("Clear failed")
+	}
+	c := r.Clone()
+	c.Set(3, 3)
+	if r.Has(3, 3) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMatchingLegal(t *testing.T) {
+	r := NewRequests(3)
+	r.Set(0, 1)
+	r.Set(1, 1)
+	r.Set(2, 0)
+
+	m := NewMatching(3)
+	if err := m.Legal(r); err != nil {
+		t.Fatalf("empty matching should be legal: %v", err)
+	}
+	m[0] = 1
+	m[2] = 0
+	if err := m.Legal(r); err != nil {
+		t.Fatalf("legal matching rejected: %v", err)
+	}
+	if m.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", m.Size())
+	}
+
+	bad := NewMatching(3)
+	bad[0] = 0 // no request 0->0
+	if err := bad.Legal(r); err == nil {
+		t.Error("matched without request accepted")
+	}
+	dup := NewMatching(3)
+	dup[0] = 1
+	dup[1] = 1 // output 1 used twice
+	if err := dup.Legal(r); err == nil {
+		t.Error("duplicate output accepted")
+	}
+	short := Matching{0}
+	if err := short.Legal(r); err == nil {
+		t.Error("wrong-size matching accepted")
+	}
+	oob := NewMatching(3)
+	oob[0] = 7
+	if err := oob.Legal(r); err == nil {
+		t.Error("out-of-range output accepted")
+	}
+}
+
+func TestMaximalDetection(t *testing.T) {
+	r := NewRequests(2)
+	r.Set(0, 0)
+	r.Set(1, 1)
+	empty := NewMatching(2)
+	if empty.Maximal(r) {
+		t.Error("empty matching called maximal despite free pairs")
+	}
+	full := Matching{0, 1}
+	if !full.Maximal(r) {
+		t.Error("perfect matching not maximal")
+	}
+}
+
+func TestGreedyMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		r := randomRequests(rng, 8, 0.3)
+		m := GreedyMaximal(r)
+		if err := m.Legal(r); err != nil {
+			t.Fatalf("greedy illegal: %v", err)
+		}
+		if !m.Maximal(r) {
+			t.Fatal("greedy not maximal")
+		}
+	}
+}
+
+func TestHopcroftKarpKnownCases(t *testing.T) {
+	// Perfect matching exists on the identity.
+	r := NewRequests(4)
+	for i := 0; i < 4; i++ {
+		r.Set(i, i)
+	}
+	if got := HopcroftKarp(r).Size(); got != 4 {
+		t.Fatalf("identity: size %d, want 4", got)
+	}
+
+	// The paper's starvation pattern: input 0 -> {1,2}, input 3 -> {2}.
+	// Maximum matching has size 2 (0->1, 3->2).
+	r2 := NewRequests(4)
+	r2.Set(0, 1)
+	r2.Set(0, 2)
+	r2.Set(3, 2)
+	m2 := HopcroftKarp(r2)
+	if m2.Size() != 2 {
+		t.Fatalf("paper pattern: size %d, want 2", m2.Size())
+	}
+	if m2[0] != 1 || m2[3] != 2 {
+		t.Fatalf("paper pattern: got %v, want 0->1, 3->2", m2)
+	}
+
+	// A case where greedy is strictly worse than maximum:
+	// 0->{0,1}, 1->{0}. Greedy takes 0->0 and leaves 1 unmatched.
+	r3 := NewRequests(2)
+	r3.Set(0, 0)
+	r3.Set(0, 1)
+	r3.Set(1, 0)
+	if g := GreedyMaximal(r3).Size(); g != 1 {
+		t.Fatalf("greedy trap size = %d, want 1", g)
+	}
+	if mk := HopcroftKarp(r3).Size(); mk != 2 {
+		t.Fatalf("HK trap size = %d, want 2", mk)
+	}
+}
+
+func TestHopcroftKarpEmptyAndFull(t *testing.T) {
+	r := NewRequests(5)
+	if got := HopcroftKarp(r).Size(); got != 0 {
+		t.Fatalf("empty: %d", got)
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			r.Set(i, j)
+		}
+	}
+	if got := HopcroftKarp(r).Size(); got != 5 {
+		t.Fatalf("complete: %d, want 5", got)
+	}
+}
+
+// Property: Hopcroft–Karp output is legal, maximal, and at least as large
+// as greedy; greedy is at least half the maximum (classic 2-approximation).
+func TestQuickHopcroftKarpDominatesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64, rawN, rawP uint8) bool {
+		n := int(rawN%12) + 1
+		p := float64(rawP%90)/100 + 0.05
+		r := randomRequests(rand.New(rand.NewSource(seed)), n, p)
+		hk := HopcroftKarp(r)
+		if err := hk.Legal(r); err != nil {
+			return false
+		}
+		if !hk.Maximal(r) {
+			return false
+		}
+		g := GreedyMaximal(r)
+		return hk.Size() >= g.Size() && 2*g.Size() >= hk.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHopcroftKarp16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := randomRequests(rng, 16, 0.4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HopcroftKarp(r)
+	}
+}
+
+func BenchmarkGreedyMaximal16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := randomRequests(rng, 16, 0.4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GreedyMaximal(r)
+	}
+}

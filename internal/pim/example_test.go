@@ -1,0 +1,30 @@
+package pim_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/matching"
+	"repro/internal/pim"
+)
+
+// One slot of parallel iterative matching on the paper's starvation
+// pattern: input 1 wants outputs 2 and 3; input 4 wants output 3
+// (1-indexed). PIM always produces a legal matching, and the random grant
+// keeps every pair alive over time.
+func ExampleSequential_Match() {
+	r := matching.NewRequests(4)
+	r.Set(0, 1) // input 1 -> output 2 (paper indexing)
+	r.Set(0, 2) // input 1 -> output 3
+	r.Set(3, 2) // input 4 -> output 3
+
+	seq := pim.NewSequential(rand.New(rand.NewSource(1)))
+	res := seq.Match(r, pim.DefaultIterations)
+	fmt.Println("legal:", res.Match.Legal(r) == nil)
+	fmt.Println("maximal:", res.Match.Maximal(r))
+	fmt.Println("pairs matched:", res.Match.Size())
+	// Output:
+	// legal: true
+	// maximal: true
+	// pairs matched: 2
+}

@@ -1,0 +1,176 @@
+// Package proto defines the wire encoding of AN2's inter-switch control
+// messages: the reconfiguration protocol's invitations, acknowledgments,
+// reports, and distributions. On real AN1/AN2 hardware these travel as
+// packets between line-card processors; encoding them gives the simulated
+// control plane a faithful serialization boundary (and the reconfiguration
+// runner round-trips every message through this codec, so a malformed
+// message can never be "accidentally" understood).
+//
+// Wire format (big-endian):
+//
+//	byte 0      version (1)
+//	byte 1      kind
+//	bytes 2-9   epoch
+//	bytes 10-17 initiator UID
+//	bytes 18-21 from (node id, int32)
+//	bytes 22-29 virtual timestamp (µs)
+//	byte 30     flags (bit 0: accept)
+//	bytes 31-34 depth (int32)
+//	bytes 35-38 link count (uint32)
+//	then        link records, 8 bytes each (two int32 node ids)
+//	last 4      CRC-32 (IEEE) over everything before it
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Version is the current protocol version.
+const Version = 1
+
+// Kind identifies a control message type.
+type Kind uint8
+
+// Message kinds. Values are wire-stable.
+const (
+	KindInvite Kind = iota + 1
+	KindAck
+	KindReport
+	KindDistribute
+	kindMax
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInvite:
+		return "invite"
+	case KindAck:
+		return "ack"
+	case KindReport:
+		return "report"
+	case KindDistribute:
+		return "distribute"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// LinkRec is one topology fact: an undirected link between two nodes.
+type LinkRec struct {
+	A, B int32
+}
+
+// Message is a decoded control message.
+type Message struct {
+	Kind      Kind
+	Epoch     uint64
+	Initiator uint64
+	From      int32
+	VTimeUS   int64
+	Accept    bool
+	Depth     int32
+	Links     []LinkRec
+}
+
+const (
+	headerSize  = 39
+	linkRecSize = 8
+	crcSize     = 4
+)
+
+// MaxLinks bounds the topology payload (a 16-port switch network of any
+// realistic size fits comfortably).
+const MaxLinks = 1 << 20
+
+// Decoding errors.
+var (
+	ErrShort    = errors.New("proto: message too short")
+	ErrVersion  = errors.New("proto: unsupported version")
+	ErrKind     = errors.New("proto: unknown message kind")
+	ErrChecksum = errors.New("proto: checksum mismatch")
+	ErrTooBig   = errors.New("proto: too many link records")
+	ErrTrailing = errors.New("proto: trailing bytes")
+)
+
+// Marshal encodes the message.
+func Marshal(m *Message) ([]byte, error) {
+	if m.Kind == 0 || m.Kind >= kindMax {
+		return nil, fmt.Errorf("%w: %d", ErrKind, m.Kind)
+	}
+	if len(m.Links) > MaxLinks {
+		return nil, fmt.Errorf("%w: %d", ErrTooBig, len(m.Links))
+	}
+	buf := make([]byte, headerSize+linkRecSize*len(m.Links)+crcSize)
+	buf[0] = Version
+	buf[1] = byte(m.Kind)
+	binary.BigEndian.PutUint64(buf[2:], m.Epoch)
+	binary.BigEndian.PutUint64(buf[10:], m.Initiator)
+	binary.BigEndian.PutUint32(buf[18:], uint32(m.From))
+	binary.BigEndian.PutUint64(buf[22:], uint64(m.VTimeUS))
+	if m.Accept {
+		buf[30] = 1
+	}
+	binary.BigEndian.PutUint32(buf[31:], uint32(m.Depth))
+	binary.BigEndian.PutUint32(buf[35:], uint32(len(m.Links)))
+	off := headerSize
+	for _, l := range m.Links {
+		binary.BigEndian.PutUint32(buf[off:], uint32(l.A))
+		binary.BigEndian.PutUint32(buf[off+4:], uint32(l.B))
+		off += linkRecSize
+	}
+	binary.BigEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	return buf, nil
+}
+
+// Unmarshal decodes and verifies a message.
+func Unmarshal(data []byte) (*Message, error) {
+	if len(data) < headerSize+crcSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShort, len(data))
+	}
+	body := data[:len(data)-crcSize]
+	want := binary.BigEndian.Uint32(data[len(data)-crcSize:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, ErrChecksum
+	}
+	if body[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, body[0])
+	}
+	kind := Kind(body[1])
+	if kind == 0 || kind >= kindMax {
+		return nil, fmt.Errorf("%w: %d", ErrKind, body[1])
+	}
+	n := binary.BigEndian.Uint32(body[35:])
+	if n > MaxLinks {
+		return nil, fmt.Errorf("%w: %d", ErrTooBig, n)
+	}
+	wantLen := headerSize + int(n)*linkRecSize
+	if len(body) < wantLen {
+		return nil, fmt.Errorf("%w: %d links in %d bytes", ErrShort, n, len(body))
+	}
+	if len(body) > wantLen {
+		return nil, fmt.Errorf("%w: %d extra", ErrTrailing, len(body)-wantLen)
+	}
+	m := &Message{
+		Kind:      kind,
+		Epoch:     binary.BigEndian.Uint64(body[2:]),
+		Initiator: binary.BigEndian.Uint64(body[10:]),
+		From:      int32(binary.BigEndian.Uint32(body[18:])),
+		VTimeUS:   int64(binary.BigEndian.Uint64(body[22:])),
+		Accept:    body[30]&1 != 0,
+		Depth:     int32(binary.BigEndian.Uint32(body[31:])),
+	}
+	if n > 0 {
+		m.Links = make([]LinkRec, n)
+		off := headerSize
+		for i := range m.Links {
+			m.Links[i].A = int32(binary.BigEndian.Uint32(body[off:]))
+			m.Links[i].B = int32(binary.BigEndian.Uint32(body[off+4:]))
+			off += linkRecSize
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,601 @@
+// Package reconfig implements AN1/AN2's distributed reconfiguration
+// algorithm (paper §2): the protocol by which every switch learns the full
+// network topology after a link or switch changes state.
+//
+// The algorithm has three phases:
+//
+//  1. Propagation: the initiator becomes the root of a spanning tree and
+//     invites its neighbors; a node accepts the first invitation it
+//     receives (becoming the inviter's child) and declines the rest,
+//     re-inviting its own neighbors. The result is a propagation-order
+//     spanning tree.
+//  2. Collection: topology information flows up the tree; at the end the
+//     root knows the complete topology.
+//  3. Distribution: the complete topology flows down the tree.
+//
+// Overlapping reconfigurations are serialized by epoch tags: every message
+// carries (epoch, initiator UID); a switch tracks the largest tag it has
+// seen, joins only configurations with a strictly larger tag (aborting its
+// current activity), and ignores the rest.
+//
+// Each switch runs as its own goroutine; links are modeled as messages
+// between inboxes. Latency is tracked with virtual timestamps: a message
+// carries the sender's virtual clock plus link delay, and a receiver
+// advances its clock to max(local, message) plus a processing delay —
+// giving a deterministic-in-shape estimate of real convergence time that
+// corresponds to the paper's sub-200 ms pull-the-plug demo.
+package reconfig
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/topology"
+)
+
+// Tag is an epoch tag: reconfiguration messages are ordered first by epoch
+// number and then by the initiating switch's UID (paper §2).
+type Tag struct {
+	Epoch     uint64
+	Initiator uint64 // switch UID
+}
+
+// Less reports whether t orders before u.
+func (t Tag) Less(u Tag) bool {
+	if t.Epoch != u.Epoch {
+		return t.Epoch < u.Epoch
+	}
+	return t.Initiator < u.Initiator
+}
+
+// String renders the tag.
+func (t Tag) String() string { return fmt.Sprintf("(%d,%d)", t.Epoch, t.Initiator) }
+
+// LinkRec is one topology fact: a live link between two nodes, normalized
+// so A < B.
+type LinkRec struct {
+	A, B topology.NodeID
+}
+
+func normRec(a, b topology.NodeID) LinkRec {
+	if a > b {
+		a, b = b, a
+	}
+	return LinkRec{A: a, B: b}
+}
+
+// View is what one switch knows at the end of a reconfiguration.
+type View struct {
+	// Tag is the configuration the switch completed.
+	Tag Tag
+	// Links is the full learned topology, sorted.
+	Links []LinkRec
+	// CompletedAtUS is the virtual time (µs) the switch finished the
+	// distribution phase.
+	CompletedAtUS int64
+	// Parent is the switch's parent in the spanning tree (None for the
+	// root).
+	Parent topology.NodeID
+	// Depth is the switch's depth in the spanning tree (0 for the root).
+	Depth int
+}
+
+// Trigger is one reconfiguration initiation: switch Node detects a state
+// change at virtual time AtUS.
+type Trigger struct {
+	Node topology.NodeID
+	AtUS int64
+}
+
+// Config configures a reconfiguration run.
+type Config struct {
+	// Topology is the network; only its switch subgraph participates.
+	Topology *topology.Graph
+	// DeadLinks marks links that are down: excluded from adjacency and
+	// from message delivery.
+	DeadLinks map[topology.LinkID]bool
+	// DeadNodes marks switches that are down: they run no process and
+	// their links are dead.
+	DeadNodes map[topology.NodeID]bool
+	// ProcessDelayUS is the software cost of handling one message
+	// (default 5 µs — line-card processor work).
+	ProcessDelayUS int64
+	// LinkDelayUS is the control-message latency of one hop (default
+	// 10 µs — propagation plus serialization).
+	LinkDelayUS int64
+	// WallTimeout bounds the real-time duration of Run (default 10 s).
+	WallTimeout time.Duration
+	// BaseEpoch initializes every switch's stored epoch. Real switches
+	// remember the largest tag they have seen across reconfigurations;
+	// callers that model a long-lived network pass the last winning
+	// epoch here so new configurations supersede old ones.
+	BaseEpoch uint64
+}
+
+// Result is the outcome of a reconfiguration run.
+type Result struct {
+	// Views maps each live switch to what it learned; switches in a
+	// component with no trigger have no view.
+	Views map[topology.NodeID]*View
+	// Messages is the total number of protocol messages delivered.
+	Messages int64
+	// Bytes is the total wire bytes of control traffic (every message is
+	// serialized through the proto codec).
+	Bytes int64
+	// MaxCompletionUS is the largest completion time across switches —
+	// the network-wide convergence time.
+	MaxCompletionUS int64
+	// TreeDepth is the deepest spanning-tree depth among completed
+	// switches of the winning configuration.
+	TreeDepth int
+}
+
+// message kinds.
+type msgKind uint8
+
+const (
+	kindTrigger msgKind = iota + 1
+	kindInvite
+	kindAck
+	kindReport
+	kindDistribute
+)
+
+type message struct {
+	kind   msgKind
+	tag    Tag
+	from   topology.NodeID
+	vtime  int64
+	accept bool      // for kindAck
+	links  []LinkRec // for kindReport / kindDistribute
+	depth  int       // for kindInvite / kindDistribute: sender's depth
+}
+
+// Runner executes reconfiguration runs over a fixed topology.
+type Runner struct {
+	cfg      Config
+	switches []topology.NodeID
+	// adj[node] = live switch neighbors.
+	adj map[topology.NodeID][]topology.NodeID
+	// own[node] = the node's own live adjacency facts (incl. host links).
+	own map[topology.NodeID][]LinkRec
+}
+
+// ErrNoTopology reports a missing topology.
+var ErrNoTopology = errors.New("reconfig: nil topology")
+
+// New creates a Runner.
+func New(cfg Config) (*Runner, error) {
+	if cfg.Topology == nil {
+		return nil, ErrNoTopology
+	}
+	if cfg.ProcessDelayUS == 0 {
+		cfg.ProcessDelayUS = 5
+	}
+	if cfg.LinkDelayUS == 0 {
+		cfg.LinkDelayUS = 10
+	}
+	if cfg.WallTimeout == 0 {
+		cfg.WallTimeout = 10 * time.Second
+	}
+	r := &Runner{
+		cfg: cfg,
+		adj: make(map[topology.NodeID][]topology.NodeID),
+		own: make(map[topology.NodeID][]LinkRec),
+	}
+	g := cfg.Topology
+	for _, s := range g.Switches() {
+		if cfg.DeadNodes[s] {
+			continue
+		}
+		r.switches = append(r.switches, s)
+		for _, l := range g.LinksOf(s) {
+			if cfg.DeadLinks[l.ID] {
+				continue
+			}
+			other := l.Other(s)
+			if cfg.DeadNodes[other] {
+				continue
+			}
+			r.own[s] = append(r.own[s], normRec(s, other))
+			if n, ok := g.Node(other); ok && n.Kind == topology.Switch {
+				r.adj[s] = append(r.adj[s], other)
+			}
+		}
+	}
+	return r, nil
+}
+
+// LiveSwitches returns the switches that participate.
+func (r *Runner) LiveSwitches() []topology.NodeID {
+	return append([]topology.NodeID(nil), r.switches...)
+}
+
+// process is the per-switch goroutine wrapper around the pure protocol
+// machine: it owns the inbox, the virtual clock, and the wire codec, and
+// delegates every protocol decision to the machine (protocol.go), which is
+// the same code the model checker verifies exhaustively.
+type process struct {
+	id     topology.NodeID
+	inbox  chan message
+	r      *Runner
+	run    *runState
+	vclock int64
+
+	mc *machine
+	// lastView detects a fresh completion after each handled message.
+	lastView *View
+}
+
+type configState struct {
+	tag       Tag
+	parent    topology.NodeID
+	depth     int
+	pendAck   map[topology.NodeID]bool
+	pendRep   map[topology.NodeID]bool
+	children  []topology.NodeID
+	collected map[LinkRec]bool
+	done      bool
+}
+
+// runState is shared bookkeeping for one Run.
+type runState struct {
+	inflight  atomic.Int64
+	messages  atomic.Int64
+	bytes     atomic.Int64
+	codecErrs atomic.Int64
+	procs     map[topology.NodeID]*process
+	mu        sync.Mutex
+	views     map[topology.NodeID]*View
+	quit      chan struct{}
+}
+
+// send dispatches a message to a live neighbor, accounting in-flight count
+// and link latency. Messages to dead or unknown nodes vanish (the link is
+// down). Every protocol message is round-tripped through the wire codec
+// (package proto), exactly as the line-card software would serialize it —
+// so nothing travels that could not be encoded, and the byte counter
+// reflects real control-plane traffic.
+func (p *process) send(to topology.NodeID, m message) {
+	dst, ok := p.run.procs[to]
+	if !ok {
+		return
+	}
+	m.from = p.id
+	m.vtime = p.vclock + p.r.cfg.LinkDelayUS
+	wire, err := encodeMessage(m)
+	if err != nil {
+		// Unencodable messages indicate a bug; drop loudly via counter.
+		p.run.codecErrs.Add(1)
+		return
+	}
+	decoded, err := decodeMessage(wire)
+	if err != nil {
+		p.run.codecErrs.Add(1)
+		return
+	}
+	p.run.bytes.Add(int64(len(wire)))
+	p.run.inflight.Add(1)
+	select {
+	case dst.inbox <- decoded:
+	case <-p.run.quit:
+		p.run.inflight.Add(-1)
+	}
+}
+
+// encodeMessage maps the in-memory message onto the wire format.
+func encodeMessage(m message) ([]byte, error) {
+	pm := &proto.Message{
+		Epoch:     m.tag.Epoch,
+		Initiator: m.tag.Initiator,
+		From:      int32(m.from),
+		VTimeUS:   m.vtime,
+		Accept:    m.accept,
+		Depth:     int32(m.depth),
+	}
+	switch m.kind {
+	case kindInvite:
+		pm.Kind = proto.KindInvite
+	case kindAck:
+		pm.Kind = proto.KindAck
+	case kindReport:
+		pm.Kind = proto.KindReport
+	case kindDistribute:
+		pm.Kind = proto.KindDistribute
+	default:
+		return nil, fmt.Errorf("reconfig: kind %d is not a wire message", m.kind)
+	}
+	for _, rec := range m.links {
+		pm.Links = append(pm.Links, proto.LinkRec{A: int32(rec.A), B: int32(rec.B)})
+	}
+	return proto.Marshal(pm)
+}
+
+// decodeMessage parses a wire message back into the in-memory form.
+func decodeMessage(wire []byte) (message, error) {
+	pm, err := proto.Unmarshal(wire)
+	if err != nil {
+		return message{}, err
+	}
+	m := message{
+		tag:    Tag{Epoch: pm.Epoch, Initiator: pm.Initiator},
+		from:   topology.NodeID(pm.From),
+		vtime:  pm.VTimeUS,
+		accept: pm.Accept,
+		depth:  int(pm.Depth),
+	}
+	switch pm.Kind {
+	case proto.KindInvite:
+		m.kind = kindInvite
+	case proto.KindAck:
+		m.kind = kindAck
+	case proto.KindReport:
+		m.kind = kindReport
+	case proto.KindDistribute:
+		m.kind = kindDistribute
+	default:
+		return message{}, fmt.Errorf("reconfig: wire kind %v", pm.Kind)
+	}
+	for _, rec := range pm.Links {
+		m.links = append(m.links, LinkRec{A: topology.NodeID(rec.A), B: topology.NodeID(rec.B)})
+	}
+	return m, nil
+}
+
+// loop is the goroutine body: handle messages until the run ends.
+func (p *process) loop() {
+	for {
+		select {
+		case m := <-p.inbox:
+			p.handle(m)
+			p.run.inflight.Add(-1)
+			p.run.messages.Add(1)
+		case <-p.run.quit:
+			return
+		}
+	}
+}
+
+func (p *process) handle(m message) {
+	if m.vtime > p.vclock {
+		p.vclock = m.vtime
+	}
+	p.vclock += p.r.cfg.ProcessDelayUS
+	p.mc.handle(m, p.send)
+	// A fresh completion gets stamped with the local virtual clock and
+	// published (the machine itself is clock-free).
+	if p.mc.view != p.lastView {
+		p.lastView = p.mc.view
+		v := *p.mc.view
+		v.CompletedAtUS = p.vclock
+		p.run.mu.Lock()
+		p.run.views[p.id] = &v
+		p.run.mu.Unlock()
+	}
+}
+
+func recSet(set map[LinkRec]bool) []LinkRec {
+	out := make([]LinkRec, 0, len(set))
+	for rec := range set {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// ErrTimeout reports that the run did not quiesce within WallTimeout.
+var ErrTimeout = errors.New("reconfig: run did not quiesce before timeout")
+
+// ErrBadTrigger reports a trigger at a dead or unknown switch.
+var ErrBadTrigger = errors.New("reconfig: trigger at dead or unknown switch")
+
+// Run executes the protocol: the triggers fire (in AtUS order), the
+// processes exchange messages until global quiescence, and the final views
+// are returned.
+func (r *Runner) Run(triggers []Trigger) (*Result, error) {
+	return r.run(triggers, nil)
+}
+
+// run executes the protocol among the given region (nil = every live
+// switch).
+func (r *Runner) run(triggers []Trigger, region Region) (*Result, error) {
+	if len(triggers) == 0 {
+		return nil, errors.New("reconfig: no triggers")
+	}
+	run := &runState{
+		procs: make(map[topology.NodeID]*process),
+		views: make(map[topology.NodeID]*View),
+		quit:  make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	for _, s := range r.switches {
+		if region != nil && !region[s] {
+			continue
+		}
+		node, _ := r.cfg.Topology.Node(s)
+		// The machine's adjacency is filtered to participants: in a
+		// scoped reconfiguration, out-of-region neighbors are not
+		// invited (their links are still reported as facts via own).
+		var adj []topology.NodeID
+		for _, nb := range r.adj[s] {
+			if region == nil || region[nb] {
+				adj = append(adj, nb)
+			}
+		}
+		p := &process{
+			id: s, r: r, run: run,
+			mc: &machine{
+				id:     s,
+				uid:    node.UID,
+				adj:    adj,
+				own:    r.own[s],
+				stored: Tag{Epoch: r.cfg.BaseEpoch},
+			},
+			// Inbox capacity: each concurrent configuration can put a
+			// handful of messages per neighbor in flight (invite, ack,
+			// report, distribute, plus churn when configurations
+			// supersede each other). Sizing by neighbors × triggers keeps
+			// senders from ever blocking into a full inbox, which with
+			// many concurrent triggers could otherwise cycle-block.
+			inbox: make(chan message, 4*(len(r.adj[s])+2)*(len(triggers)+2)+16),
+		}
+		run.procs[s] = p
+	}
+	for _, p := range run.procs {
+		wg.Add(1)
+		go func(p *process) {
+			defer wg.Done()
+			p.loop()
+		}(p)
+	}
+
+	sorted := append([]Trigger(nil), triggers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].AtUS < sorted[j].AtUS })
+	for _, tr := range sorted {
+		p, ok := run.procs[tr.Node]
+		if !ok {
+			close(run.quit)
+			wg.Wait()
+			return nil, fmt.Errorf("%w: %d", ErrBadTrigger, tr.Node)
+		}
+		run.inflight.Add(1)
+		p.inbox <- message{kind: kindTrigger, vtime: tr.AtUS}
+	}
+
+	// Wait for global quiescence: no message in flight and all inboxes
+	// drained. The in-flight counter is incremented before each send and
+	// decremented only after the receiver fully handled the message
+	// (including any sends it performed), so 0 means quiescent.
+	deadline := time.Now().Add(r.cfg.WallTimeout)
+	for {
+		if run.inflight.Load() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(run.quit)
+			wg.Wait()
+			return nil, ErrTimeout
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(run.quit)
+	wg.Wait()
+
+	if n := run.codecErrs.Load(); n > 0 {
+		return nil, fmt.Errorf("reconfig: %d messages failed the wire codec (bug)", n)
+	}
+	res := &Result{Views: run.views, Messages: run.messages.Load(), Bytes: run.bytes.Load()}
+	var winner Tag
+	for _, v := range run.views {
+		if winner.Less(v.Tag) {
+			winner = v.Tag
+		}
+	}
+	for _, v := range run.views {
+		if v.CompletedAtUS > res.MaxCompletionUS {
+			res.MaxCompletionUS = v.CompletedAtUS
+		}
+		if v.Tag == winner && v.Depth > res.TreeDepth {
+			res.TreeDepth = v.Depth
+		}
+	}
+	return res, nil
+}
+
+// Agreement checks that every switch in the same live component as a
+// completed switch completed with the same tag and identical topology. It
+// returns an error describing the first disagreement.
+func (r *Runner) Agreement(res *Result) error {
+	comp := r.components()
+	for _, members := range comp {
+		var ref *View
+		var refNode topology.NodeID
+		for _, s := range members {
+			v := res.Views[s]
+			if v == nil {
+				continue
+			}
+			if ref == nil {
+				ref, refNode = v, s
+				continue
+			}
+			if v.Tag != ref.Tag {
+				return fmt.Errorf("reconfig: switch %d finished %v but switch %d finished %v",
+					s, v.Tag, refNode, ref.Tag)
+			}
+			if !equalRecs(v.Links, ref.Links) {
+				return fmt.Errorf("reconfig: switch %d topology differs from switch %d", s, refNode)
+			}
+		}
+		if ref != nil {
+			// Every member of a triggered component must have completed.
+			for _, s := range members {
+				if res.Views[s] == nil {
+					return fmt.Errorf("reconfig: switch %d never completed", s)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// components returns the connected components of the live switch graph.
+func (r *Runner) components() [][]topology.NodeID {
+	seen := make(map[topology.NodeID]bool)
+	var out [][]topology.NodeID
+	for _, s := range r.switches {
+		if seen[s] {
+			continue
+		}
+		var comp []topology.NodeID
+		stack := []topology.NodeID{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for _, nb := range r.adj[n] {
+				if !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+func equalRecs(a, b []LinkRec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpectedLinks computes the ground-truth live topology the views should
+// converge to (live links with at least one live endpoint pair).
+func (r *Runner) ExpectedLinks() []LinkRec {
+	set := make(map[LinkRec]bool)
+	for _, s := range r.switches {
+		for _, rec := range r.own[s] {
+			set[rec] = true
+		}
+	}
+	return recSet(set)
+}

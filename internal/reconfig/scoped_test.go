@@ -1,0 +1,195 @@
+package reconfig
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRegionOf(t *testing.T) {
+	g, err := topology.Line(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustRunner(t, Config{Topology: g})
+	region := r.RegionOf([]Trigger{{Node: 3}}, 0)
+	if len(region) != 1 || !region[3] {
+		t.Fatalf("radius 0 region = %v", region)
+	}
+	region = r.RegionOf([]Trigger{{Node: 3}}, 2)
+	want := []topology.NodeID{1, 2, 3, 4, 5}
+	if len(region) != len(want) {
+		t.Fatalf("radius 2 region = %v", region)
+	}
+	for _, n := range want {
+		if !region[n] {
+			t.Fatalf("radius 2 region missing %d", n)
+		}
+	}
+	// Two triggers merge their balls.
+	region = r.RegionOf([]Trigger{{Node: 0}, {Node: 6}}, 1)
+	if len(region) != 4 {
+		t.Fatalf("two-ball region = %v", region)
+	}
+}
+
+func TestScopedValidation(t *testing.T) {
+	g, err := topology.Line(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustRunner(t, Config{Topology: g})
+	if _, err := r.RunScoped([]Trigger{{Node: 0}}, nil); err == nil {
+		t.Fatal("empty region accepted")
+	}
+	region := r.RegionOf([]Trigger{{Node: 0}}, 1)
+	if _, err := r.RunScoped([]Trigger{{Node: 4}}, region); !errors.Is(err, ErrBadTrigger) {
+		t.Fatalf("out-of-region trigger err = %v", err)
+	}
+}
+
+// The core property: a scoped reconfiguration around a failed link, merged
+// into each stale global view, reproduces exactly what a full
+// reconfiguration would have produced — while involving fewer switches.
+func TestScopedMatchesFullReconfiguration(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		g, err := topology.RandomConnected(rng, 24, 30, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Before the failure: everyone knows the full topology.
+		rBefore := mustRunner(t, Config{Topology: g})
+		before, err := rBefore.Run([]Trigger{{Node: rBefore.LiveSwitches()[0]}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		staleView := before.Views[rBefore.LiveSwitches()[0]].Links
+
+		// Fail a random link whose removal keeps the graph connected.
+		var victim topology.Link
+		found := false
+		for _, l := range g.Links() {
+			filter := func(x topology.Link) bool { return x.ID != l.ID }
+			if g.Connected(filter) {
+				victim = l
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		dead := map[topology.LinkID]bool{victim.ID: true}
+		rAfter := mustRunner(t, Config{Topology: g, DeadLinks: dead})
+		// A single trigger keeps the message-count comparison apples to
+		// apples (two concurrent triggers race and their abort/rejoin
+		// traffic varies run to run).
+		triggers := []Trigger{{Node: victim.A}}
+
+		// Ground truth: the full reconfiguration.
+		full, err := rAfter.Run(triggers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := full.Views[victim.A].Links
+
+		// Scoped: radius 2 around the failure.
+		region := rAfter.RegionOf(triggers, 2)
+		scoped, err := rAfter.RunScoped(triggers, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scoped.Views) != len(region) {
+			t.Fatalf("trial %d: %d views for region of %d", trial, len(scoped.Views), len(region))
+		}
+		// All region members agree on the patch.
+		var patch []LinkRec
+		for s, v := range scoped.Views {
+			if patch == nil {
+				patch = v.Links
+				continue
+			}
+			if !equalRecs(patch, v.Links) {
+				t.Fatalf("trial %d: region member %d disagrees", trial, s)
+			}
+		}
+		// Merging the patch into the stale global view reproduces truth.
+		merged := MergePatch(staleView, region, patch)
+		if !equalRecs(merged, truth) {
+			t.Fatalf("trial %d: merged view (%d links) != full reconfig view (%d links)",
+				trial, len(merged), len(truth))
+		}
+		// And it really was cheaper when the region is a proper subset.
+		if len(region) < len(rAfter.LiveSwitches()) && scoped.Messages >= full.Messages {
+			t.Fatalf("trial %d: scoped (%d switches) used %d messages vs full (%d switches) %d",
+				trial, len(region), scoped.Messages, len(rAfter.LiveSwitches()), full.Messages)
+		}
+	}
+}
+
+func TestScopedRegionBoundaryLinksReported(t *testing.T) {
+	// Line 0-1-2-3-4, region {1,2,3} around a trigger at 2: the patch
+	// must include the boundary links 0-1 and 3-4.
+	g, err := topology.Line(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustRunner(t, Config{Topology: g})
+	region := r.RegionOf([]Trigger{{Node: 2}}, 1)
+	res, err := r.RunScoped([]Trigger{{Node: 2}}, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := res.Views[2].Links
+	if len(links) != 4 {
+		t.Fatalf("patch links = %v, want all 4 line links", links)
+	}
+}
+
+func TestMergePatchReplacesRegionFacts(t *testing.T) {
+	global := []LinkRec{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	region := Region{1: true, 2: true}
+	// The link 1-2 died; the patch reports only 0-1 and 2-3.
+	patch := []LinkRec{{0, 1}, {2, 3}}
+	merged := MergePatch(global, region, patch)
+	want := []LinkRec{{0, 1}, {2, 3}, {3, 4}}
+	if !equalRecs(merged, want) {
+		t.Fatalf("merged = %v, want %v", merged, want)
+	}
+}
+
+func BenchmarkScopedVsFull(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := topology.RandomConnected(rng, 60, 80, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := g.Links()[0]
+	dead := map[topology.LinkID]bool{l.ID: true}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := New(Config{Topology: g, DeadLinks: dead})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.Run([]Trigger{{Node: l.A}, {Node: l.B}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scoped-r2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := New(Config{Topology: g, DeadLinks: dead})
+			if err != nil {
+				b.Fatal(err)
+			}
+			triggers := []Trigger{{Node: l.A}, {Node: l.B}}
+			if _, err := r.RunScoped(triggers, r.RegionOf(triggers, 2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

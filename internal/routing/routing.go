@@ -1,0 +1,385 @@
+// Package routing implements AN1/AN2 route computation (paper §2, §5):
+// spanning-tree link orientation, up*/down* legal paths (AN1's deadlock
+// avoidance), shortest-path routing, and the per-switch routing tables that
+// map a cell's virtual circuit id to its output port.
+//
+// Up*/down* routing assigns every inter-switch link an orientation — "up"
+// is toward the root of the reconfiguration spanning tree, with ties (equal
+// tree level) broken toward the higher-numbered switch. Messages may only
+// follow paths in which no traversal down a link is followed by an upward
+// traversal. This restriction prevents buffer-wait cycles, hence deadlock,
+// at the cost of excluding some routes.
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/topology"
+)
+
+// Tree is the spanning-tree structure used for link orientation. In AN1
+// the tree comes from the last reconfiguration; any BFS tree works for the
+// orientation's correctness.
+type Tree struct {
+	Root   topology.NodeID
+	Level  map[topology.NodeID]int
+	Parent map[topology.NodeID]topology.NodeID
+}
+
+// BuildTree computes a breadth-first spanning tree of the switch subgraph
+// from root, using only links accepted by filter (nil = all).
+func BuildTree(g *topology.Graph, root topology.NodeID, filter topology.LinkFilter) (*Tree, error) {
+	n, ok := g.Node(root)
+	if !ok || n.Kind != topology.Switch {
+		return nil, fmt.Errorf("routing: root %d is not a switch", root)
+	}
+	f := func(l topology.Link) bool {
+		return g.SwitchOnly(l) && (filter == nil || filter(l))
+	}
+	level, _ := g.BFS(root, f, func(m topology.NodeID) bool {
+		node, ok := g.Node(m)
+		return ok && node.Kind == topology.Switch
+	})
+	t := &Tree{
+		Root:   root,
+		Level:  make(map[topology.NodeID]int),
+		Parent: make(map[topology.NodeID]topology.NodeID),
+	}
+	for _, s := range g.Switches() {
+		if level[s] < 0 {
+			continue
+		}
+		t.Level[s] = level[s]
+	}
+	// Parents: any neighbor one level up (first in port order, matching
+	// the deterministic tie-break hardware would use).
+	for s := range t.Level {
+		if s == root {
+			t.Parent[s] = topology.None
+			continue
+		}
+		for _, l := range g.LinksOf(s) {
+			if !f(l) {
+				continue
+			}
+			m := l.Other(s)
+			if lv, ok := t.Level[m]; ok && lv == t.Level[s]-1 {
+				t.Parent[s] = m
+				break
+			}
+		}
+	}
+	return t, nil
+}
+
+// UpEnd returns the endpoint of l that is the "up" direction: the endpoint
+// closer to the root, with equal levels broken toward the higher-numbered
+// (higher-UID) switch.
+func (t *Tree) UpEnd(g *topology.Graph, l topology.Link) topology.NodeID {
+	la, lb := t.Level[l.A], t.Level[l.B]
+	if la != lb {
+		if la < lb {
+			return l.A
+		}
+		return l.B
+	}
+	na, _ := g.Node(l.A)
+	nb, _ := g.Node(l.B)
+	if na.UID > nb.UID {
+		return l.A
+	}
+	return l.B
+}
+
+// Router computes routes over a topology with a fixed orientation tree.
+type Router struct {
+	g    *topology.Graph
+	tree *Tree
+	// dead marks unusable links.
+	dead map[topology.LinkID]bool
+}
+
+// NewRouter creates a router. root is the orientation root (in AN1, the
+// root of the reconfiguration spanning tree). dead may be nil.
+func NewRouter(g *topology.Graph, root topology.NodeID, dead map[topology.LinkID]bool) (*Router, error) {
+	filter := func(l topology.Link) bool { return !dead[l.ID] }
+	tree, err := BuildTree(g, root, filter)
+	if err != nil {
+		return nil, err
+	}
+	return &Router{g: g, tree: tree, dead: dead}, nil
+}
+
+// NewRouterWithTree creates a router that orients links by a tree computed
+// elsewhere — in AN1, the propagation-order spanning tree produced by the
+// last reconfiguration. Switches absent from tree.Level are treated as
+// unreachable.
+func NewRouterWithTree(g *topology.Graph, tree *Tree, dead map[topology.LinkID]bool) (*Router, error) {
+	if tree == nil || len(tree.Level) == 0 {
+		return nil, errors.New("routing: empty orientation tree")
+	}
+	return &Router{g: g, tree: tree, dead: dead}, nil
+}
+
+// Tree returns the orientation tree.
+func (r *Router) Tree() *Tree { return r.tree }
+
+// usable reports whether a link can carry traffic.
+func (r *Router) usable(l topology.Link) bool { return !r.dead[l.ID] }
+
+// Routing errors.
+var (
+	ErrNoRoute     = errors.New("routing: no route")
+	ErrNotAttached = errors.New("routing: host has no live switch link")
+)
+
+// attach resolves a node to its routing switch: a switch maps to itself; a
+// host maps to its first live switch neighbor.
+func (r *Router) attach(n topology.NodeID) (topology.NodeID, error) {
+	node, ok := r.g.Node(n)
+	if !ok {
+		return topology.None, fmt.Errorf("routing: no node %d", n)
+	}
+	if node.Kind == topology.Switch {
+		return n, nil
+	}
+	for _, l := range r.g.LinksOf(n) {
+		if !r.usable(l) {
+			continue
+		}
+		m := l.Other(n)
+		if mn, ok := r.g.Node(m); ok && mn.Kind == topology.Switch {
+			return m, nil
+		}
+	}
+	return topology.None, fmt.Errorf("%w: host %d", ErrNotAttached, n)
+}
+
+// ShortestUnrestricted returns a minimum-hop switch path from src to dst
+// (both may be hosts; the returned path includes them). It ignores the
+// up*/down* restriction — the baseline routing for experiment E12.
+func (r *Router) ShortestUnrestricted(src, dst topology.NodeID) ([]topology.NodeID, error) {
+	return r.shortest(src, dst, false)
+}
+
+// ShortestLegal returns a minimum-hop up*/down*-legal path from src to dst.
+func (r *Router) ShortestLegal(src, dst topology.NodeID) ([]topology.NodeID, error) {
+	return r.shortest(src, dst, true)
+}
+
+// shortest runs BFS over (switch, wentDown) states. With legal=false the
+// wentDown dimension collapses.
+func (r *Router) shortest(src, dst topology.NodeID, legal bool) ([]topology.NodeID, error) {
+	sSrc, err := r.attach(src)
+	if err != nil {
+		return nil, err
+	}
+	sDst, err := r.attach(dst)
+	if err != nil {
+		return nil, err
+	}
+	var core []topology.NodeID
+	if sSrc == sDst {
+		core = []topology.NodeID{sSrc}
+	} else {
+		core, err = r.bfsStates(sSrc, sDst, legal)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var path []topology.NodeID
+	if src != sSrc {
+		path = append(path, src)
+	}
+	path = append(path, core...)
+	if dst != sDst {
+		path = append(path, dst)
+	}
+	return path, nil
+}
+
+type routeState struct {
+	node     topology.NodeID
+	wentDown bool
+}
+
+func (r *Router) bfsStates(src, dst topology.NodeID, legal bool) ([]topology.NodeID, error) {
+	start := routeState{node: src}
+	pred := map[routeState]routeState{start: {node: topology.None}}
+	queue := []routeState{start}
+	var goal *routeState
+	for len(queue) > 0 && goal == nil {
+		st := queue[0]
+		queue = queue[1:]
+		for _, l := range r.g.LinksOf(st.node) {
+			if !r.usable(l) || !r.g.SwitchOnly(l) {
+				continue
+			}
+			m := l.Other(st.node)
+			goingUp := r.tree.UpEnd(r.g, l) == m
+			if legal && st.wentDown && goingUp {
+				continue // down then up: illegal
+			}
+			next := routeState{node: m, wentDown: st.wentDown || (legal && !goingUp)}
+			if _, seen := pred[next]; seen {
+				continue
+			}
+			pred[next] = st
+			if m == dst {
+				goal = &next
+				break
+			}
+			queue = append(queue, next)
+		}
+	}
+	if goal == nil {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+	}
+	var rev []topology.NodeID
+	for st := *goal; st.node != topology.None; st = pred[st] {
+		rev = append(rev, st.node)
+	}
+	out := make([]topology.NodeID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, nil
+}
+
+// IsLegal reports whether the switch portion of path obeys up*/down*.
+func (r *Router) IsLegal(path []topology.NodeID) bool {
+	wentDown := false
+	for i := 0; i+1 < len(path); i++ {
+		l, ok := r.g.LinkBetween(path[i], path[i+1])
+		if !ok || !r.usable(l) {
+			return false
+		}
+		if !r.g.SwitchOnly(l) {
+			continue // host links are not oriented
+		}
+		goingUp := r.tree.UpEnd(r.g, l) == path[i+1]
+		if wentDown && goingUp {
+			return false
+		}
+		if !goingUp {
+			wentDown = true
+		}
+	}
+	return true
+}
+
+// PathLinks resolves a node path to its link sequence.
+func (r *Router) PathLinks(path []topology.NodeID) ([]topology.Link, error) {
+	var out []topology.Link
+	for i := 0; i+1 < len(path); i++ {
+		l, ok := r.g.LinkBetween(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("routing: no link %d-%d in path", path[i], path[i+1])
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// directedLink identifies one direction of a link, the unit of buffer
+// ownership in the dependency analysis.
+type directedLink struct {
+	link topology.LinkID
+	from topology.NodeID
+}
+
+// DependencyCycle analyzes a set of routes under FIFO (shared per-link)
+// buffering: it builds the buffer-wait graph whose vertices are directed
+// links and whose edges join consecutive links of a route, and reports a
+// cycle if one exists (the deadlock precondition of §5). The returned
+// slice is nil when the routes are deadlock-free.
+func DependencyCycle(g *topology.Graph, routes [][]topology.NodeID) []topology.NodeID {
+	adj := make(map[directedLink][]directedLink)
+	nodeOf := make(map[directedLink]topology.NodeID)
+	for _, path := range routes {
+		var prev *directedLink
+		for i := 0; i+1 < len(path); i++ {
+			l, ok := g.LinkBetween(path[i], path[i+1])
+			if !ok {
+				continue
+			}
+			cur := directedLink{link: l.ID, from: path[i]}
+			nodeOf[cur] = path[i]
+			if prev != nil {
+				adj[*prev] = append(adj[*prev], cur)
+			}
+			prevCopy := cur
+			prev = &prevCopy
+		}
+	}
+	// DFS cycle detection.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[directedLink]int)
+	var cycle []topology.NodeID
+	var dfs func(v directedLink) bool
+	dfs = func(v directedLink) bool {
+		color[v] = gray
+		for _, w := range adj[v] {
+			switch color[w] {
+			case white:
+				if dfs(w) {
+					cycle = append(cycle, nodeOf[v])
+					return true
+				}
+			case gray:
+				cycle = append(cycle, nodeOf[w], nodeOf[v])
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for v := range adj {
+		if color[v] == white && dfs(v) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Table is a line card's routing table: it maps a cell's virtual circuit
+// id to the output port the cell should leave the switch on (paper §2).
+// The zero value is ready to use.
+type Table struct {
+	entries map[cell.VCI]int
+}
+
+// Set installs or replaces the entry for vc.
+func (t *Table) Set(vc cell.VCI, outputPort int) {
+	if t.entries == nil {
+		t.entries = make(map[cell.VCI]int)
+	}
+	t.entries[vc] = outputPort
+}
+
+// Lookup returns the output port for vc.
+func (t *Table) Lookup(vc cell.VCI) (int, bool) {
+	p, ok := t.entries[vc]
+	return p, ok
+}
+
+// Delete removes the entry for vc (idempotent).
+func (t *Table) Delete(vc cell.VCI) { delete(t.entries, vc) }
+
+// Len returns the number of installed circuits.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Circuits returns the installed VCIs (unsorted).
+func (t *Table) Circuits() []cell.VCI {
+	out := make([]cell.VCI, 0, len(t.entries))
+	for vc := range t.entries {
+		out = append(out, vc)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// WeightFunc assigns a cost to traversing a link. Costs must be >= 0.
+// Bandwidth central uses load-dependent weights to steer reservations away
+// from congested links (cf. the Paris route-selection heuristics the paper
+// cites).
+type WeightFunc func(topology.Link) float64
+
+// WeightedLegal returns the minimum-cost up*/down*-legal path from src to
+// dst under the given weights, via Dijkstra over (switch, wentDown)
+// states. Hosts are resolved to their attachment switches as in
+// ShortestLegal.
+func (r *Router) WeightedLegal(src, dst topology.NodeID, weight WeightFunc) ([]topology.NodeID, float64, error) {
+	if weight == nil {
+		weight = func(topology.Link) float64 { return 1 }
+	}
+	sSrc, err := r.attach(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	sDst, err := r.attach(dst)
+	if err != nil {
+		return nil, 0, err
+	}
+	var core []topology.NodeID
+	var cost float64
+	if sSrc == sDst {
+		core = []topology.NodeID{sSrc}
+	} else {
+		core, cost, err = r.dijkstra(sSrc, sDst, weight)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	var path []topology.NodeID
+	if src != sSrc {
+		path = append(path, src)
+	}
+	path = append(path, core...)
+	if dst != sDst {
+		path = append(path, dst)
+	}
+	return path, cost, nil
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	state routeState
+	dist  float64
+	index int
+}
+
+type priorityQueue []*pqItem
+
+func (pq priorityQueue) Len() int           { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool { return pq[i].dist < pq[j].dist }
+func (pq priorityQueue) Swap(i, j int)      { pq[i], pq[j] = pq[j], pq[i]; pq[i].index = i; pq[j].index = j }
+func (pq *priorityQueue) Push(x any)        { it := x.(*pqItem); it.index = len(*pq); *pq = append(*pq, it) }
+func (pq *priorityQueue) Pop() any {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*pq = old[:n-1]
+	return it
+}
+
+func (r *Router) dijkstra(src, dst topology.NodeID, weight WeightFunc) ([]topology.NodeID, float64, error) {
+	start := routeState{node: src}
+	dist := map[routeState]float64{start: 0}
+	pred := map[routeState]routeState{start: {node: topology.None}}
+	var pq priorityQueue
+	heap.Push(&pq, &pqItem{state: start})
+	settled := map[routeState]bool{}
+	var best *routeState
+	bestCost := math.Inf(1)
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(*pqItem)
+		st := it.state
+		if settled[st] {
+			continue
+		}
+		settled[st] = true
+		if st.node == dst {
+			if it.dist < bestCost {
+				bestCost = it.dist
+				stCopy := st
+				best = &stCopy
+			}
+			break
+		}
+		for _, l := range r.g.LinksOf(st.node) {
+			if !r.usable(l) || !r.g.SwitchOnly(l) {
+				continue
+			}
+			w := weight(l)
+			if w < 0 || math.IsInf(w, 1) || math.IsNaN(w) {
+				continue // unusable under this weighting
+			}
+			m := l.Other(st.node)
+			goingUp := r.tree.UpEnd(r.g, l) == m
+			if st.wentDown && goingUp {
+				continue
+			}
+			next := routeState{node: m, wentDown: st.wentDown || !goingUp}
+			nd := it.dist + w
+			if old, seen := dist[next]; !seen || nd < old {
+				dist[next] = nd
+				pred[next] = st
+				heap.Push(&pq, &pqItem{state: next, dist: nd})
+			}
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+	}
+	var rev []topology.NodeID
+	for st := *best; st.node != topology.None; st = pred[st] {
+		rev = append(rev, st.node)
+	}
+	out := make([]topology.NodeID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, bestCost, nil
+}

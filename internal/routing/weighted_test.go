@@ -1,0 +1,202 @@
+package routing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// diamond: a(0) at root; b(1), c(2) siblings; d(3) below both.
+func diamondG(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.New()
+	a := g.AddSwitch("a")
+	b := g.AddSwitch("b")
+	c := g.AddSwitch("c")
+	d := g.AddSwitch("d")
+	for _, pr := range [][2]topology.NodeID{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if _, err := g.Connect(pr[0], pr[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestWeightedDefaultsToHopCount(t *testing.T) {
+	g := diamondG(t)
+	r := mustRouter(t, g, 0)
+	path, cost, err := r.WeightedLegal(0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || cost != 2 {
+		t.Fatalf("path %v cost %v, want 2-hop cost 2", path, cost)
+	}
+}
+
+func TestWeightedAvoidsExpensiveLink(t *testing.T) {
+	g := diamondG(t)
+	r := mustRouter(t, g, 0)
+	// Make the a-b link prohibitively expensive: the route detours via c.
+	lab, _ := g.LinkBetween(0, 1)
+	w := func(l topology.Link) float64 {
+		if l.ID == lab.ID {
+			return 100
+		}
+		return 1
+	}
+	path, cost, err := r.WeightedLegal(0, 3, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 2 {
+		t.Fatalf("path %v, want detour via c", path)
+	}
+	if cost != 2 {
+		t.Fatalf("cost %v, want 2", cost)
+	}
+}
+
+func TestWeightedExcludesNegativeAndInfinite(t *testing.T) {
+	g := diamondG(t)
+	r := mustRouter(t, g, 0)
+	// Exclude both links into d: no route.
+	lbd, _ := g.LinkBetween(1, 3)
+	lcd, _ := g.LinkBetween(2, 3)
+	w := func(l topology.Link) float64 {
+		if l.ID == lbd.ID {
+			return -1
+		}
+		if l.ID == lcd.ID {
+			return math.Inf(1)
+		}
+		return 1
+	}
+	if _, _, err := r.WeightedLegal(0, 3, w); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+	// NaN weights are also excluded.
+	wNaN := func(l topology.Link) float64 { return math.NaN() }
+	if _, _, err := r.WeightedLegal(0, 3, wNaN); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("NaN err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestWeightedRespectsUpDown(t *testing.T) {
+	g := diamondG(t)
+	r := mustRouter(t, g, 0)
+	// From b to c: the legal route goes up through the root a, even if we
+	// bribe the router toward the (illegal) b->d->c valley with cheap
+	// weights.
+	w := func(l topology.Link) float64 {
+		if l.A == 0 || l.B == 0 {
+			return 10 // root links expensive
+		}
+		return 0.1
+	}
+	path, _, err := r.WeightedLegal(1, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsLegal(path) {
+		t.Fatalf("weighted route %v is illegal", path)
+	}
+	if len(path) == 3 && path[1] == 3 {
+		t.Fatalf("router took the illegal down-up valley: %v", path)
+	}
+}
+
+func TestWeightedHostEndpoints(t *testing.T) {
+	g := diamondG(t)
+	h0 := g.AddHost("h0")
+	h1 := g.AddHost("h1")
+	if _, err := g.Connect(h0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(h1, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	r := mustRouter(t, g, 0)
+	path, _, err := r.WeightedLegal(h0, h1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != h0 || path[len(path)-1] != h1 || len(path) != 5 {
+		t.Fatalf("path %v", path)
+	}
+	// Same-switch host pair.
+	h2 := g.AddHost("h2")
+	if _, err := g.Connect(h2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	path, cost, err := r.WeightedLegal(h0, h2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || cost != 0 {
+		t.Fatalf("same-switch path %v cost %v", path, cost)
+	}
+	// Unattached host errors.
+	h3 := g.AddHost("h3")
+	if _, _, err := r.WeightedLegal(h3, h0, nil); err == nil {
+		t.Fatal("unattached host accepted")
+	}
+}
+
+func TestNewRouterWithTreeValidation(t *testing.T) {
+	g := diamondG(t)
+	if _, err := NewRouterWithTree(g, nil, nil); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := NewRouterWithTree(g, &Tree{}, nil); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+	tree, err := BuildTree(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouterWithTree(g, tree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ShortestLegal(0, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weighted routing with unit weights matches BFS hop counts.
+func TestWeightedMatchesBFSUnderUnitWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		g, err := topology.RandomConnected(rng, 4+rng.Intn(12), 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := mustRouter(t, g, 0)
+		for _, src := range g.Switches() {
+			for _, dst := range g.Switches() {
+				if src == dst {
+					continue
+				}
+				bfs, err := r.ShortestLegal(src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wpath, cost, err := r.WeightedLegal(src, dst, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int(cost) != len(wpath)-1 {
+					t.Fatalf("cost %v for %d-hop path", cost, len(wpath)-1)
+				}
+				if len(wpath) != len(bfs) {
+					t.Fatalf("weighted %d hops vs BFS %d hops (%d->%d)",
+						len(wpath)-1, len(bfs)-1, src, dst)
+				}
+			}
+		}
+	}
+}

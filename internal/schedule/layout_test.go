@@ -1,0 +1,256 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSchedule builds a schedule with random admissible reservations
+// totalling roughly load×slots×n cells.
+func randomSchedule(t *testing.T, rng *rand.Rand, n, slots int, load float64) *Schedule {
+	t.Helper()
+	s, err := New(n, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := int(load * float64(slots) * float64(n))
+	for k := 0; k < target*4 && k < 100000; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if s.rowLoad[i] >= int(load*float64(slots)) || s.colLoad[j] >= int(load*float64(slots)) {
+			continue
+		}
+		if _, err := s.Insert(i, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func sameReservations(a, b *Schedule) bool {
+	ra, rb := a.Reservations(), b.Reservations()
+	for i := range ra {
+		for j := range ra[i] {
+			if ra[i][j] != rb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRelayoutPreservesReservations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randomSchedule(t, rng, 8, 32, 0.4)
+	for _, policy := range []Layout{LayoutAsInserted, LayoutPacked, LayoutSpread} {
+		out, err := s.Relayout(policy)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if !sameReservations(s, out) {
+			t.Fatalf("%v changed the reservation matrix", policy)
+		}
+	}
+}
+
+func TestPackedUsesMinimumSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randomSchedule(t, rng, 8, 64, 0.3)
+	delta := 0
+	for i := 0; i < 8; i++ {
+		if s.rowLoad[i] > delta {
+			delta = s.rowLoad[i]
+		}
+		if s.colLoad[i] > delta {
+			delta = s.colLoad[i]
+		}
+	}
+	packed, err := s.Relayout(LayoutPacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := packed.BusySlots(); got != delta {
+		t.Fatalf("packed busy slots = %d, want Δ = %d (Slepian–Duguid minimum)", got, delta)
+	}
+	// Busy slots must be the prefix.
+	for t2 := 0; t2 < delta; t2++ {
+		if len(packed.SlotConns(t2)) == 0 {
+			t.Fatalf("packed: slot %d in prefix is empty", t2)
+		}
+	}
+	for t2 := delta; t2 < packed.Slots(); t2++ {
+		if len(packed.SlotConns(t2)) != 0 {
+			t.Fatalf("packed: slot %d beyond Δ is busy", t2)
+		}
+	}
+}
+
+func TestSpreadDistributesBusySlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randomSchedule(t, rng, 4, 100, 0.1)
+	spread, err := s.Relayout(LayoutSpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The busy slots should not all be adjacent: measure the max run of
+	// consecutive busy slots; with ~10% load spread over 100 slots it must
+	// be well under the packed case.
+	run, maxRun := 0, 0
+	for t2 := 0; t2 < spread.Slots(); t2++ {
+		if len(spread.SlotConns(t2)) > 0 {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if maxRun > 2 {
+		t.Fatalf("spread layout has a busy run of %d slots", maxRun)
+	}
+}
+
+func TestRelayoutEmptyAndUnknown(t *testing.T) {
+	s, err := New(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []Layout{LayoutPacked, LayoutSpread} {
+		out, err := s.Relayout(policy)
+		if err != nil {
+			t.Fatalf("%v on empty: %v", policy, err)
+		}
+		if out.BusySlots() != 0 {
+			t.Fatalf("%v on empty: busy slots", policy)
+		}
+	}
+	if _, err := s.Relayout(Layout(99)); err == nil {
+		t.Error("unknown layout accepted")
+	}
+	if Layout(99).String() == "" || LayoutPacked.String() != "packed" {
+		t.Error("Layout.String wrong")
+	}
+}
+
+func TestNestedFramesJitter(t *testing.T) {
+	const n, frame, sub = 4, 128, 16
+	// Flat schedule: 8 cells/frame for (0,0), inserted into the full
+	// frame (they land wherever insertion puts them — typically packed at
+	// the front, worst-case jitter ~ the whole frame).
+	flat, err := New(n, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flat.InsertK(0, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	flatGap := MaxGap(flat.At, frame, 0, 0)
+
+	nest, err := NewNested(n, frame, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nest.Subframes() != frame/sub {
+		t.Fatalf("Subframes = %d", nest.Subframes())
+	}
+	if err := nest.Insert(0, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	nestGap := MaxGap(nest.At, frame, 0, 0)
+	// 8 cells over 8 subframes of 16 slots: one per subframe, so the gap
+	// is bounded by ~2 subframes; the flat layout packs all 8 cells into
+	// the first 8 slots, giving a gap of ~frame.
+	if nestGap > 2*sub {
+		t.Fatalf("nested max gap %d exceeds two subframes (%d)", nestGap, 2*sub)
+	}
+	if flatGap <= nestGap {
+		t.Fatalf("nested frames did not reduce jitter: flat %d, nested %d", flatGap, nestGap)
+	}
+}
+
+func TestNestedUnevenDistribution(t *testing.T) {
+	nest, err := NewNested(4, 64, 16) // 4 subframes
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 cells across 4 subframes: two subframes get 2, two get 1.
+	if err := nest.Insert(1, 2, 6); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for t2 := 0; t2 < 64; t2++ {
+		if nest.At(t2, 1) == 2 {
+			counts[t2/16]++
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 1 || c > 2 {
+			t.Fatalf("subframe distribution %v not even", counts)
+		}
+		total += c
+	}
+	if total != 6 {
+		t.Fatalf("scheduled %d cells, want 6", total)
+	}
+}
+
+func TestNestedValidation(t *testing.T) {
+	if _, err := NewNested(4, 100, 17); err == nil {
+		t.Error("non-dividing subframe accepted")
+	}
+	if _, err := NewNested(4, 0, 1); err == nil {
+		t.Error("zero frame accepted")
+	}
+	nest, err := NewNested(2, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over-commit one subframe pair: 2 subframes of 4 slots each = max 8
+	// cells per (input) row; 9 must fail.
+	if err := nest.Insert(0, 0, 9); err == nil {
+		t.Error("overcommitted nested insert accepted")
+	}
+	if nest.At(-1, 0) != -1 || nest.At(999, 0) != -1 {
+		t.Error("out-of-range At should be -1")
+	}
+}
+
+func TestMaxGapEdgeCases(t *testing.T) {
+	s, _ := New(2, 10)
+	if g := MaxGap(s.At, 10, 0, 0); g != 0 {
+		t.Fatalf("empty pair gap = %d, want 0", g)
+	}
+	if _, err := s.Insert(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g := MaxGap(s.At, 10, 0, 0); g != 10 {
+		t.Fatalf("single-cell gap = %d, want frame size", g)
+	}
+}
+
+func BenchmarkRelayoutPacked(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := New(16, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 400; k++ {
+		i, j := rng.Intn(16), rng.Intn(16)
+		if s.rowLoad[i] < 64 && s.colLoad[j] < 64 {
+			if _, err := s.Insert(i, j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Relayout(LayoutPacked); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

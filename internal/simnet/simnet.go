@@ -1,0 +1,757 @@
+// Package simnet is the network-level data-plane simulator: a topology of
+// AN2 switches (package switchnode) joined by links with propagation
+// latency, with hosts injecting and absorbing cells over virtual circuits.
+//
+// Time is globally slotted; one Step advances every link and switch by one
+// cell slot. Guaranteed circuits are paced at the source to their reserved
+// rate (the paper's rate-matching, §5) and ride the frame schedules
+// installed at each switch; best-effort circuits are windowed at the
+// ingress (credit flow control against the first switch — the full
+// credit protocol between switches is modeled in package flowcontrol) and
+// buffered per circuit inside the network, so no cell is ever dropped in
+// transit. Fault injection (killing links and switches) drops exactly the
+// cells in flight through the failed component, as in AN2.
+//
+// To model the asynchrony of real AN2 (no global clock), each switch's
+// frame position can be given a phase offset, which is the dominant effect
+// of unsynchronized switches on guaranteed traffic buffering (experiment
+// E8).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/metrics"
+	"repro/internal/switchnode"
+	"repro/internal/topology"
+)
+
+// Config configures a Network.
+type Config struct {
+	// Topology is the network graph (switches and hosts).
+	Topology *topology.Graph
+	// Switch is the per-switch template: discipline, PIM iterations,
+	// frame size, and seed (each switch derives its own seed from it).
+	Switch switchnode.Config
+	// IngressWindow is the best-effort credit window per circuit at the
+	// ingress host (0 = unbounded: the host dumps as fast as the link
+	// accepts).
+	IngressWindow int
+	// FramePhase gives each switch a frame phase offset in slots,
+	// modeling unsynchronized switch clocks. Nil means all zero
+	// (synchronous network).
+	FramePhase map[topology.NodeID]int64
+	// Tracer, if set, receives an event for every observable network
+	// action (injections, deliveries, drops, circuit and fault events).
+	Tracer Tracer
+}
+
+// Circuit is an established virtual circuit.
+type Circuit struct {
+	VC    cell.VCI
+	Class cell.Class
+	// Path is host, switch..., host.
+	Path []topology.NodeID
+	// CellsPerFrame is the reservation for guaranteed circuits.
+	CellsPerFrame int
+
+	// hops[i] describes the circuit at Path[i+1]... see hop.
+	hops map[topology.NodeID]hop
+
+	// ingress credit window state (best-effort).
+	window  int
+	inUse   int
+	pending []cell.Cell
+
+	// source pacing state (guaranteed).
+	nextSeq uint64
+}
+
+// hop is the circuit's port usage at one switch.
+type hop struct {
+	inPort  int
+	outPort int
+	// next is the node the circuit proceeds to after this switch.
+	next topology.NodeID
+	// nextIsHost marks delivery on the next hop.
+	nextIsHost bool
+	// linkLatency is the latency of the outgoing link.
+	linkLatency int64
+	// linkID is the outgoing link.
+	linkID topology.LinkID
+}
+
+// HostStats aggregates what a host observed.
+type HostStats struct {
+	CellsSent     int64
+	CellsReceived int64
+	OutOfOrder    int64
+	// LatencyByClass is the per-cell network latency distribution.
+	LatencyByClass map[cell.Class]*metrics.Histogram
+	// PacketLatency is the packet-level latency distribution: from the
+	// injection of a packet's first cell to the reassembly of its last.
+	PacketLatency metrics.Histogram
+	// PacketsReassembled counts complete, CRC-valid packets.
+	PacketsReassembled int64
+	// PacketsCorrupt counts reassemblies that failed the length or CRC
+	// check (must stay 0 in a healthy network).
+	PacketsCorrupt int64
+}
+
+// host is the endpoint state.
+type host struct {
+	id    topology.NodeID
+	stats HostStats
+	// lastSeq per circuit for order verification.
+	lastSeq map[cell.VCI]uint64
+	gotAny  map[cell.VCI]bool
+	reasm   cell.Reassembler
+	packets [][]byte
+	// pktStart records, per circuit, the injection slot of the first
+	// cell of the packet currently being reassembled.
+	pktStart map[cell.VCI]int64
+}
+
+// flight is a cell in transit on a link.
+type flight struct {
+	arrive int64
+	c      cell.Cell
+	// to is the receiving node; port its input port there (switches).
+	to     topology.NodeID
+	link   topology.LinkID
+	isHost bool
+}
+
+// ingressCredit is a window token returning to the source host.
+type ingressCredit struct {
+	arrive int64
+	vc     cell.VCI
+}
+
+// Network is the simulated network.
+type Network struct {
+	cfg      Config
+	g        *topology.Graph
+	switches map[topology.NodeID]*switchnode.Switch
+	phase    map[topology.NodeID]int64
+	hosts    map[topology.NodeID]*host
+	circuits map[cell.VCI]*Circuit
+	inflight []flight
+	credits  []ingressCredit
+	slot     int64
+
+	deadLinks map[topology.LinkID]bool
+	deadNodes map[topology.NodeID]bool
+
+	// linkCells counts cells carried per link (utilization accounting).
+	linkCells map[topology.LinkID]int64
+
+	stats NetStats
+}
+
+// NetStats aggregates network-wide counters.
+type NetStats struct {
+	DeliveredCells  int64
+	DroppedInFlight int64 // cells lost to link/switch failures
+	DroppedReroute  int64 // cells discarded when a circuit was rerouted
+	Slots           int64
+}
+
+// Errors.
+var (
+	ErrNoTopology    = errors.New("simnet: nil topology")
+	ErrBadPath       = errors.New("simnet: invalid circuit path")
+	ErrDupCircuit    = errors.New("simnet: circuit already open")
+	ErrNoCircuit     = errors.New("simnet: no such circuit")
+	ErrNotHost       = errors.New("simnet: endpoint is not a host")
+	ErrDeadElement   = errors.New("simnet: path uses a dead link or switch")
+	ErrNotGuaranteed = errors.New("simnet: circuit is not guaranteed")
+)
+
+// New creates a network. Every switch in the topology gets a switchnode
+// instance; every host an endpoint.
+func New(cfg Config) (*Network, error) {
+	if cfg.Topology == nil {
+		return nil, ErrNoTopology
+	}
+	n := &Network{
+		cfg:       cfg,
+		g:         cfg.Topology,
+		switches:  make(map[topology.NodeID]*switchnode.Switch),
+		phase:     make(map[topology.NodeID]int64),
+		hosts:     make(map[topology.NodeID]*host),
+		circuits:  make(map[cell.VCI]*Circuit),
+		deadLinks: make(map[topology.LinkID]bool),
+		deadNodes: make(map[topology.NodeID]bool),
+		linkCells: make(map[topology.LinkID]int64),
+	}
+	for _, s := range cfg.Topology.Switches() {
+		sc := cfg.Switch
+		sc.Seed = cfg.Switch.Seed + int64(s)*7919
+		sw, err := switchnode.New(sc)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: switch %d: %w", s, err)
+		}
+		n.switches[s] = sw
+		if cfg.FramePhase != nil {
+			n.phase[s] = cfg.FramePhase[s]
+			// Pre-step the empty switch so its frame position is offset
+			// from the global slot counter — the unsynchronized-clock
+			// model.
+			for k := int64(0); k < n.phase[s]; k++ {
+				sw.Step()
+			}
+		}
+	}
+	for _, h := range cfg.Topology.Hosts() {
+		n.hosts[h] = &host{
+			id:       h,
+			lastSeq:  make(map[cell.VCI]uint64),
+			gotAny:   make(map[cell.VCI]bool),
+			pktStart: make(map[cell.VCI]int64),
+			stats: HostStats{
+				LatencyByClass: map[cell.Class]*metrics.Histogram{
+					cell.BestEffort: {},
+					cell.Guaranteed: {},
+				},
+			},
+		}
+	}
+	return n, nil
+}
+
+// Slot returns the current slot.
+func (n *Network) Slot() int64 { return n.slot }
+
+// Stats returns network counters.
+func (n *Network) Stats() NetStats { return n.stats }
+
+// Switch exposes a switch (for reservations inspection in tests).
+func (n *Network) Switch(id topology.NodeID) (*switchnode.Switch, bool) {
+	sw, ok := n.switches[id]
+	return sw, ok
+}
+
+// HostStats returns a host's observation record.
+func (n *Network) HostStats(id topology.NodeID) (*HostStats, bool) {
+	h, ok := n.hosts[id]
+	if !ok {
+		return nil, false
+	}
+	return &h.stats, true
+}
+
+// Packets returns and clears the packets reassembled at a host.
+func (n *Network) Packets(id topology.NodeID) [][]byte {
+	h, ok := n.hosts[id]
+	if !ok {
+		return nil
+	}
+	out := h.packets
+	h.packets = nil
+	return out
+}
+
+// validatePath checks the path alternates host, switches..., host along
+// live links, and resolves the per-switch ports.
+func (n *Network) resolve(path []topology.NodeID) (map[topology.NodeID]hop, error) {
+	if len(path) < 3 {
+		return nil, fmt.Errorf("%w: need host-switch...-host, got %d nodes", ErrBadPath, len(path))
+	}
+	first, last := path[0], path[len(path)-1]
+	if _, ok := n.hosts[first]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotHost, first)
+	}
+	if _, ok := n.hosts[last]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotHost, last)
+	}
+	hops := make(map[topology.NodeID]hop)
+	for i := 1; i+1 <= len(path)-1; i++ {
+		s := path[i]
+		if i == len(path)-1 {
+			break
+		}
+		if _, ok := n.switches[s]; !ok {
+			return nil, fmt.Errorf("%w: %d is not a switch", ErrBadPath, s)
+		}
+		if n.deadNodes[s] {
+			return nil, fmt.Errorf("%w: switch %d", ErrDeadElement, s)
+		}
+		inLink, ok := n.g.LinkBetween(path[i-1], s)
+		if !ok {
+			return nil, fmt.Errorf("%w: no link %d-%d", ErrBadPath, path[i-1], s)
+		}
+		outLink, ok := n.g.LinkBetween(s, path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("%w: no link %d-%d", ErrBadPath, s, path[i+1])
+		}
+		if n.deadLinks[inLink.ID] || n.deadLinks[outLink.ID] {
+			return nil, fmt.Errorf("%w: link on path", ErrDeadElement)
+		}
+		_, nextIsHost := n.hosts[path[i+1]]
+		hops[s] = hop{
+			inPort:      inLink.PortAt(s),
+			outPort:     outLink.PortAt(s),
+			next:        path[i+1],
+			nextIsHost:  nextIsHost,
+			linkLatency: outLink.Latency,
+			linkID:      outLink.ID,
+		}
+	}
+	return hops, nil
+}
+
+// OpenBestEffort establishes a best-effort circuit along path (host,
+// switches..., host).
+func (n *Network) OpenBestEffort(vc cell.VCI, path []topology.NodeID) (*Circuit, error) {
+	if _, dup := n.circuits[vc]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrDupCircuit, vc)
+	}
+	hops, err := n.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &Circuit{
+		VC:     vc,
+		Class:  cell.BestEffort,
+		Path:   append([]topology.NodeID(nil), path...),
+		hops:   hops,
+		window: n.cfg.IngressWindow,
+	}
+	n.circuits[vc] = c
+	n.trace(TraceOpen, vc, path[0], -1, 0)
+	return c, nil
+}
+
+// OpenGuaranteed establishes a guaranteed circuit along path and installs
+// the reservation (cellsPerFrame) in the frame schedule of every switch on
+// the path via Slepian–Duguid insertion. If any switch cannot accommodate
+// the reservation, the whole setup is rolled back and an error returned —
+// the admission decision bandwidth central would have made.
+func (n *Network) OpenGuaranteed(vc cell.VCI, path []topology.NodeID, cellsPerFrame int) (*Circuit, error) {
+	if _, dup := n.circuits[vc]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrDupCircuit, vc)
+	}
+	if cellsPerFrame < 1 {
+		return nil, fmt.Errorf("simnet: cells/frame %d", cellsPerFrame)
+	}
+	hops, err := n.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	var done []topology.NodeID
+	for s, h := range hops {
+		if err := n.switches[s].Reserve(h.inPort, h.outPort, cellsPerFrame); err != nil {
+			for _, u := range done {
+				hu := hops[u]
+				n.switches[u].Unreserve(hu.inPort, hu.outPort, cellsPerFrame)
+			}
+			return nil, fmt.Errorf("simnet: admission failed at switch %d: %w", s, err)
+		}
+		done = append(done, s)
+	}
+	c := &Circuit{
+		VC:            vc,
+		Class:         cell.Guaranteed,
+		Path:          append([]topology.NodeID(nil), path...),
+		CellsPerFrame: cellsPerFrame,
+		hops:          hops,
+	}
+	n.circuits[vc] = c
+	n.trace(TraceOpen, vc, path[0], -1, 0)
+	return c, nil
+}
+
+// CloseCircuit tears a circuit down, releasing reservations. Cells still
+// buffered inside the network for it are NOT dropped; they drain normally
+// (AN2 drains before reusing a VC).
+func (n *Network) CloseCircuit(vc cell.VCI) error {
+	c, ok := n.circuits[vc]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoCircuit, vc)
+	}
+	if c.Class == cell.Guaranteed {
+		for s, h := range c.hops {
+			if sw, live := n.switches[s]; live {
+				sw.Unreserve(h.inPort, h.outPort, c.CellsPerFrame)
+			}
+		}
+	}
+	delete(n.circuits, vc)
+	n.trace(TraceClose, vc, -1, -1, 0)
+	return nil
+}
+
+// Send queues one best-effort cell on the circuit at its source host. For
+// guaranteed circuits, use PaceGuaranteed (sources are rate-matched).
+func (n *Network) Send(vc cell.VCI, payload [cell.PayloadSize]byte) error {
+	c, ok := n.circuits[vc]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoCircuit, vc)
+	}
+	cl := cell.Cell{
+		VC:      vc,
+		Class:   c.Class,
+		Payload: payload,
+		Stamp:   cell.Stamp{EnqueuedAt: n.slot, Seq: c.nextSeq},
+	}
+	c.nextSeq++
+	c.pending = append(c.pending, cl)
+	return nil
+}
+
+// SendPacket segments a packet into cells and queues them on the circuit.
+func (n *Network) SendPacket(vc cell.VCI, packet []byte) error {
+	c, ok := n.circuits[vc]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoCircuit, vc)
+	}
+	cells, err := cell.Segment(vc, c.Class, packet)
+	if err != nil {
+		return fmt.Errorf("simnet: %w", err)
+	}
+	for _, cl := range cells {
+		cl.Stamp = cell.Stamp{EnqueuedAt: n.slot, Seq: c.nextSeq}
+		c.nextSeq++
+		c.pending = append(c.pending, cl)
+	}
+	return nil
+}
+
+// KillLink fails a link: cells and credits in flight on it are lost.
+func (n *Network) KillLink(id topology.LinkID) {
+	n.deadLinks[id] = true
+	n.trace(TraceKillLink, 0, -1, id, 0)
+	kept := n.inflight[:0]
+	for _, f := range n.inflight {
+		if f.link == id {
+			n.stats.DroppedInFlight++
+			n.trace(TraceDropFault, f.c.VC, f.to, f.link, f.c.Stamp.Seq)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	n.inflight = kept
+}
+
+// RestoreLink revives a link.
+func (n *Network) RestoreLink(id topology.LinkID) {
+	delete(n.deadLinks, id)
+	n.trace(TraceRestore, 0, -1, id, 0)
+}
+
+// KillSwitch fails a switch: it stops forwarding; its buffered cells are
+// lost; cells in flight toward it are lost.
+func (n *Network) KillSwitch(id topology.NodeID) {
+	n.deadNodes[id] = true
+	n.trace(TraceKillNode, 0, id, -1, 0)
+	kept := n.inflight[:0]
+	for _, f := range n.inflight {
+		if f.to == id {
+			n.stats.DroppedInFlight++
+			n.trace(TraceDropFault, f.c.VC, f.to, f.link, f.c.Stamp.Seq)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	n.inflight = kept
+}
+
+// Reroute moves a circuit to a new path (the paper's local-repair
+// extension rerouted circuits around a failed link by sending a new setup
+// cell). Cells buffered at switches for this circuit are discarded and
+// counted — exactly the cells the paper says are dropped.
+func (n *Network) Reroute(vc cell.VCI, newPath []topology.NodeID) error {
+	c, ok := n.circuits[vc]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoCircuit, vc)
+	}
+	hops, err := n.resolve(newPath)
+	if err != nil {
+		return err
+	}
+	if c.Class == cell.Guaranteed {
+		// Release old reservations on surviving switches, then reserve on
+		// the new path.
+		for s, h := range c.hops {
+			if sw, live := n.switches[s]; live && !n.deadNodes[s] {
+				sw.Unreserve(h.inPort, h.outPort, c.CellsPerFrame)
+			}
+		}
+		for s, h := range hops {
+			if err := n.switches[s].Reserve(h.inPort, h.outPort, c.CellsPerFrame); err != nil {
+				return fmt.Errorf("simnet: reroute admission failed at switch %d: %w", s, err)
+			}
+		}
+	}
+	// In-network cells of this circuit cannot follow the new ports; they
+	// are dropped (buffered cells stay in old switch buffers and will be
+	// treated as stale: we simply count in-flight ones).
+	kept := n.inflight[:0]
+	for _, f := range n.inflight {
+		if f.c.VC == vc {
+			n.stats.DroppedReroute++
+			n.trace(TraceDropRoute, f.c.VC, f.to, f.link, f.c.Stamp.Seq)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	n.inflight = kept
+	n.trace(TraceReroute, vc, -1, -1, 0)
+	c.Path = append([]topology.NodeID(nil), newPath...)
+	c.hops = hops
+	// Reset ingress window accounting: outstanding cells were dropped.
+	c.inUse = 0
+	return nil
+}
+
+// Step advances the whole network one cell slot.
+func (n *Network) Step() {
+	now := n.slot
+
+	// 1. Ingress credits return to source hosts.
+	keptCr := n.credits[:0]
+	for _, cr := range n.credits {
+		if cr.arrive <= now {
+			if c, ok := n.circuits[cr.vc]; ok && c.inUse > 0 {
+				c.inUse--
+			}
+		} else {
+			keptCr = append(keptCr, cr)
+		}
+	}
+	n.credits = keptCr
+
+	// 2. Source injection: each circuit moves pending cells into its
+	// first switch, subject to the ingress window (best-effort) or the
+	// reserved rate (guaranteed: CellsPerFrame cells per frame, evenly
+	// paced).
+	for _, c := range n.circuits {
+		n.inject(c, now)
+	}
+
+	// 3. Deliver in-flight cells arriving now.
+	keptFl := n.inflight[:0]
+	for _, f := range n.inflight {
+		if f.arrive > now {
+			keptFl = append(keptFl, f)
+			continue
+		}
+		if n.deadLinks[f.link] || n.deadNodes[f.to] {
+			n.stats.DroppedInFlight++
+			continue
+		}
+		if f.isHost {
+			n.deliver(f.to, f.c, now)
+			continue
+		}
+		c, ok := n.circuits[f.c.VC]
+		if !ok {
+			// Circuit vanished mid-flight (closed): drop silently as a
+			// reroute casualty.
+			n.stats.DroppedReroute++
+			continue
+		}
+		h, ok := c.hops[f.to]
+		if !ok {
+			n.stats.DroppedReroute++
+			continue
+		}
+		sw := n.switches[f.to]
+		if c.Class == cell.Guaranteed {
+			sw.EnqueueGuaranteed(h.inPort, f.c, h.outPort)
+		} else {
+			sw.EnqueueBestEffort(h.inPort, f.c, h.outPort)
+		}
+	}
+	n.inflight = keptFl
+
+	// 4. Step every live switch; route departures onto links.
+	for s, sw := range n.switches {
+		if n.deadNodes[s] {
+			continue
+		}
+		for _, d := range sw.Step() {
+			c, ok := n.circuits[d.Cell.VC]
+			if !ok {
+				n.stats.DroppedReroute++
+				continue
+			}
+			h, ok := c.hops[s]
+			if !ok || h.outPort != d.Output {
+				// Stale cell from before a reroute.
+				n.stats.DroppedReroute++
+				continue
+			}
+			if n.deadLinks[h.linkID] {
+				n.stats.DroppedInFlight++
+				continue
+			}
+			n.inflight = append(n.inflight, flight{
+				arrive: now + h.linkLatency,
+				c:      d.Cell,
+				to:     h.next,
+				link:   h.linkID,
+				isHost: h.nextIsHost,
+			})
+			n.linkCells[h.linkID]++
+			// First-switch departure returns an ingress credit.
+			if c.Class == cell.BestEffort && c.window > 0 && s == c.Path[1] {
+				firstLink, _ := n.g.LinkBetween(c.Path[0], c.Path[1])
+				n.credits = append(n.credits, ingressCredit{
+					arrive: now + firstLink.Latency,
+					vc:     c.VC,
+				})
+			}
+		}
+	}
+
+	n.slot++
+	n.stats.Slots++
+}
+
+// inject moves source-pending cells onto the first link.
+func (n *Network) inject(c *Circuit, now int64) {
+	if len(c.pending) == 0 {
+		return
+	}
+	first := c.Path[1]
+	if n.deadNodes[first] {
+		return
+	}
+	link, ok := n.g.LinkBetween(c.Path[0], first)
+	if !ok || n.deadLinks[link.ID] {
+		return
+	}
+	budget := 1 // host link carries one cell per slot per circuit
+	if c.Class == cell.Guaranteed {
+		// Rate matching: send only in this circuit's share of the frame.
+		frame := int64(n.switches[first].Frame().Slots())
+		pos := (now + n.phase[first]) % frame
+		// Evenly paced: one cell each frame/CellsPerFrame slots, and never
+		// more than CellsPerFrame per frame (rate matching, §5).
+		interval := frame / int64(c.CellsPerFrame)
+		if interval < 1 {
+			interval = 1
+		}
+		if pos%interval != 0 || pos/interval >= int64(c.CellsPerFrame) {
+			return
+		}
+	} else if c.window > 0 && c.inUse >= c.window {
+		return
+	}
+	for b := 0; b < budget && len(c.pending) > 0; b++ {
+		cl := c.pending[0]
+		c.pending = c.pending[1:]
+		// Latency is measured from network entry: the paper's bounds
+		// cover the network, not the host's own send queue (guaranteed
+		// sources are rate-matched, so a bursty application queues at the
+		// host, not in the network).
+		cl.Stamp.EnqueuedAt = now
+		if c.Class == cell.BestEffort && c.window > 0 {
+			c.inUse++
+		}
+		if h, ok := n.hosts[c.Path[0]]; ok {
+			h.stats.CellsSent++
+		}
+		n.inflight = append(n.inflight, flight{
+			arrive: now + link.Latency,
+			c:      cl,
+			to:     first,
+			link:   link.ID,
+			isHost: false,
+		})
+		n.linkCells[link.ID]++
+		n.trace(TraceInject, cl.VC, first, link.ID, cl.Stamp.Seq)
+	}
+}
+
+// deliver hands a cell to its destination host.
+func (n *Network) deliver(to topology.NodeID, cl cell.Cell, now int64) {
+	h, ok := n.hosts[to]
+	if !ok {
+		return
+	}
+	h.stats.CellsReceived++
+	n.stats.DeliveredCells++
+	n.trace(TraceDeliver, cl.VC, to, -1, cl.Stamp.Seq)
+	if hist := h.stats.LatencyByClass[cl.Class]; hist != nil {
+		hist.Observe(now - cl.Stamp.EnqueuedAt)
+	}
+	if h.gotAny[cl.VC] && cl.Stamp.Seq != h.lastSeq[cl.VC]+1 {
+		h.stats.OutOfOrder++
+	}
+	h.gotAny[cl.VC] = true
+	h.lastSeq[cl.VC] = cl.Stamp.Seq
+	if !h.reasm.HasPartial(cl.VC) {
+		// First cell of a new packet on this circuit.
+		h.pktStart[cl.VC] = cl.Stamp.EnqueuedAt
+	}
+	pkt, done, err := h.reasm.Add(cl)
+	if !done {
+		return
+	}
+	if err != nil || pkt == nil {
+		h.stats.PacketsCorrupt++
+		return
+	}
+	h.packets = append(h.packets, append([]byte(nil), pkt...))
+	h.stats.PacketsReassembled++
+	h.stats.PacketLatency.Observe(now - h.pktStart[cl.VC])
+}
+
+// Run advances the network the given number of slots.
+func (n *Network) Run(slots int64) {
+	for i := int64(0); i < slots; i++ {
+		n.Step()
+	}
+}
+
+// MaxGuaranteedOccupancy returns the peak guaranteed-pool occupancy over
+// all inputs of all switches right now (experiment E8 probes this each
+// slot from outside; this helper reads the instantaneous value).
+func (n *Network) MaxGuaranteedOccupancy() int {
+	maxOcc := 0
+	for s, sw := range n.switches {
+		if n.deadNodes[s] {
+			continue
+		}
+		for i := 0; i < sw.N(); i++ {
+			if occ := sw.BufferedGuaranteed(i); occ > maxOcc {
+				maxOcc = occ
+			}
+		}
+	}
+	return maxOcc
+}
+
+// LinkUtilization returns cells carried per link over the run so far,
+// normalized to cells per slot (a full-duplex link counts both
+// directions together, each direction carrying at most 1 cell/slot).
+func (n *Network) LinkUtilization() map[topology.LinkID]float64 {
+	out := make(map[topology.LinkID]float64, len(n.linkCells))
+	if n.slot == 0 {
+		return out
+	}
+	for id, cells := range n.linkCells {
+		out[id] = float64(cells) / float64(n.slot)
+	}
+	return out
+}
+
+// TotalBestEffortBacklog returns all best-effort cells buffered in the
+// network's switches.
+func (n *Network) TotalBestEffortBacklog() int {
+	total := 0
+	for s, sw := range n.switches {
+		if n.deadNodes[s] {
+			continue
+		}
+		for i := 0; i < sw.N(); i++ {
+			total += sw.BufferedBestEffort(i)
+		}
+	}
+	return total
+}

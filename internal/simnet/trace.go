@@ -1,0 +1,110 @@
+package simnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cell"
+	"repro/internal/topology"
+)
+
+// TraceEvent is one observable network event, for debugging and for
+// offline analysis of simulation runs.
+type TraceEvent struct {
+	Slot int64  `json:"slot"`
+	Kind string `json:"kind"`
+	VC   uint32 `json:"vc,omitempty"`
+	Node int32  `json:"node,omitempty"`
+	Link int32  `json:"link,omitempty"`
+	Seq  uint64 `json:"seq,omitempty"`
+}
+
+// Trace event kinds.
+const (
+	TraceInject    = "inject"     // cell left its source host
+	TraceDeliver   = "deliver"    // cell reached its destination host
+	TraceDropFault = "drop-fault" // cell died on a failed link/switch
+	TraceDropRoute = "drop-route" // cell discarded by a reroute
+	TraceOpen      = "open"       // circuit established
+	TraceClose     = "close"      // circuit torn down
+	TraceReroute   = "reroute"    // circuit moved to a new path
+	TraceKillLink  = "kill-link"
+	TraceKillNode  = "kill-switch"
+	TraceRestore   = "restore-link"
+)
+
+// Tracer receives trace events. Implementations must be fast; they run
+// inside the simulation loop.
+type Tracer interface {
+	Trace(TraceEvent)
+}
+
+// JSONLTracer writes one JSON object per line.
+type JSONLTracer struct {
+	w   io.Writer
+	enc *json.Encoder
+	n   int64
+	err error
+}
+
+var _ Tracer = (*JSONLTracer)(nil)
+
+// NewJSONLTracer creates a tracer writing JSON lines to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{w: w, enc: json.NewEncoder(w)}
+}
+
+// Trace implements Tracer. Encoding errors are sticky and reported by Err.
+func (t *JSONLTracer) Trace(ev TraceEvent) {
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(ev); err != nil {
+		t.err = fmt.Errorf("simnet: trace: %w", err)
+		return
+	}
+	t.n++
+}
+
+// Events returns the number of events written.
+func (t *JSONLTracer) Events() int64 { return t.n }
+
+// Err returns the first write error, if any.
+func (t *JSONLTracer) Err() error { return t.err }
+
+// CollectTracer buffers events in memory (tests and small runs).
+type CollectTracer struct {
+	Events []TraceEvent
+}
+
+var _ Tracer = (*CollectTracer)(nil)
+
+// Trace implements Tracer.
+func (t *CollectTracer) Trace(ev TraceEvent) { t.Events = append(t.Events, ev) }
+
+// Count returns how many events of the kind were recorded.
+func (t *CollectTracer) Count(kind string) int {
+	n := 0
+	for _, ev := range t.Events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// trace emits an event if a tracer is configured.
+func (n *Network) trace(kind string, vc cell.VCI, node topology.NodeID, link topology.LinkID, seq uint64) {
+	if n.cfg.Tracer == nil {
+		return
+	}
+	n.cfg.Tracer.Trace(TraceEvent{
+		Slot: n.slot,
+		Kind: kind,
+		VC:   uint32(vc),
+		Node: int32(node),
+		Link: int32(link),
+		Seq:  seq,
+	})
+}

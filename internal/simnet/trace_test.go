@@ -1,0 +1,142 @@
+package simnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/switchnode"
+)
+
+func TestCollectTracerRecordsLifecycle(t *testing.T) {
+	tr := &CollectTracer{}
+	n, _, _, path := lineNet(t, 2, 1, Config{
+		Switch: switchnode.Config{N: 4, FrameSlots: 16},
+		Tracer: tr,
+	})
+	if _, err := n.OpenBestEffort(5, path); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if err := n.Send(5, [48]byte{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run(100)
+	if err := n.CloseCircuit(5); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count(TraceOpen) != 1 || tr.Count(TraceClose) != 1 {
+		t.Fatalf("open=%d close=%d", tr.Count(TraceOpen), tr.Count(TraceClose))
+	}
+	if tr.Count(TraceInject) != 10 || tr.Count(TraceDeliver) != 10 {
+		t.Fatalf("inject=%d deliver=%d", tr.Count(TraceInject), tr.Count(TraceDeliver))
+	}
+	if tr.Count(TraceDropFault) != 0 {
+		t.Fatal("phantom drops")
+	}
+	// Events carry monotone slots.
+	last := int64(-1)
+	for _, ev := range tr.Events {
+		if ev.Slot < last {
+			t.Fatalf("slots not monotone: %d after %d", ev.Slot, last)
+		}
+		last = ev.Slot
+	}
+}
+
+func TestTraceFaultEvents(t *testing.T) {
+	tr := &CollectTracer{}
+	n, _, _, path := lineNet(t, 2, 10, Config{
+		Switch: switchnode.Config{N: 4, FrameSlots: 16},
+		Tracer: tr,
+	})
+	if _, err := n.OpenBestEffort(1, path); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if err := n.Send(1, [48]byte{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run(15)
+	link, _ := n.cfg.Topology.LinkBetween(path[1], path[2])
+	n.KillLink(link.ID)
+	n.RestoreLink(link.ID)
+	if tr.Count(TraceKillLink) != 1 || tr.Count(TraceRestore) != 1 {
+		t.Fatal("kill/restore not traced")
+	}
+	if tr.Count(TraceDropFault) == 0 {
+		t.Fatal("in-flight drop not traced")
+	}
+}
+
+func TestJSONLTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	n, _, _, path := lineNet(t, 2, 1, Config{
+		Switch: switchnode.Config{N: 4, FrameSlots: 16},
+		Tracer: tr,
+	})
+	if _, err := n.OpenBestEffort(2, path); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		if err := n.Send(2, [48]byte{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run(60)
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+	if tr.Events() < 11 { // open + 5 injects + 5 delivers
+		t.Fatalf("only %d events", tr.Events())
+	}
+	// Every line is valid JSON with the expected fields.
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if ev.Kind == "" {
+			t.Fatalf("line %d has no kind", lines)
+		}
+		lines++
+	}
+	if int64(lines) != tr.Events() {
+		t.Fatalf("lines %d != events %d", lines, tr.Events())
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	n, _, _, path := lineNet(t, 2, 1, Config{Switch: switchnode.Config{N: 4, FrameSlots: 16}})
+	if util := n.LinkUtilization(); len(util) != 0 {
+		t.Fatal("utilization before any slot")
+	}
+	if _, err := n.OpenBestEffort(1, path); err != nil {
+		t.Fatal(err)
+	}
+	const cells = 200
+	for k := 0; k < cells; k++ {
+		if err := n.Send(1, [48]byte{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run(400)
+	util := n.LinkUtilization()
+	// Every link on the 3-link path carried all 200 cells: 200/400 = 0.5.
+	links := 0
+	for _, u := range util {
+		if u < 0.45 || u > 0.55 {
+			t.Fatalf("utilization %v", util)
+		}
+		links++
+	}
+	if links != 3 {
+		t.Fatalf("%d links used, want 3", links)
+	}
+}

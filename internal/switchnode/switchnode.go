@@ -1,0 +1,422 @@
+// Package switchnode assembles one AN2 switch from its parts: per-input
+// line-card buffers, the crossbar fabric, the guaranteed-traffic frame
+// schedule, and parallel iterative matching for best-effort traffic.
+//
+// Each call to Step simulates one cell slot, exactly as the paper describes
+// (§3–§4): guaranteed reservations drive the crossbar first; best-effort
+// cells are then matched by PIM onto the inputs and outputs the guaranteed
+// schedule left idle — including reserved pairs whose circuit has no cell
+// waiting.
+package switchnode
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/buffer"
+	"repro/internal/cell"
+	"repro/internal/crossbar"
+	"repro/internal/matching"
+	"repro/internal/pim"
+	"repro/internal/schedule"
+)
+
+// Discipline selects the input-buffer organization (paper §3).
+type Discipline int
+
+const (
+	// DisciplineFIFO uses one FIFO queue per input (AN1-style; exhibits
+	// head-of-line blocking).
+	DisciplineFIFO Discipline = iota + 1
+	// DisciplinePerVC uses random-access per-virtual-circuit queues
+	// (AN2-style; no head-of-line blocking).
+	DisciplinePerVC
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case DisciplineFIFO:
+		return "fifo"
+	case DisciplinePerVC:
+		return "per-vc"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Config configures a switch.
+type Config struct {
+	// N is the port count (default crossbar.DefaultSize).
+	N int
+	// Discipline selects the input buffering (default DisciplinePerVC).
+	Discipline Discipline
+	// PIMIterations is the matching budget per slot (default
+	// pim.DefaultIterations; 0 picks the default, negative runs PIM to
+	// quiescence = maximal matching).
+	PIMIterations int
+	// BufferLimit bounds each input FIFO (FIFO discipline) or each
+	// circuit's queue (per-VC discipline); 0 = unbounded.
+	BufferLimit int
+	// Seed seeds the switch's private randomness (PIM grant/accept).
+	Seed int64
+	// FrameSlots sets the guaranteed frame size (default
+	// schedule.DefaultFrameSlots). The frame schedule starts empty;
+	// reserve with Reserve.
+	FrameSlots int
+}
+
+// Departure is a cell leaving the switch in a slot.
+type Departure struct {
+	Output     int
+	Cell       cell.Cell
+	Guaranteed bool
+}
+
+// Stats counts switch activity.
+type Stats struct {
+	ArrivedBestEffort    int64
+	ArrivedGuaranteed    int64
+	DroppedBestEffort    int64
+	DroppedGuaranteed    int64
+	DepartedBestEffort   int64
+	DepartedGuaranteed   int64
+	Slots                int64
+	PIMIterationsTotal   int64
+	GuaranteedSlotsFree  int64 // reserved slots lent to best-effort
+	GuaranteedSlotsFired int64
+}
+
+// Switch is a single AN2 switch. It is not safe for concurrent use.
+type Switch struct {
+	n       int
+	disc    Discipline
+	iters   int
+	be      []buffer.InputBuffer
+	gtd     []*buffer.PerVC
+	xb      *crossbar.Crossbar
+	matcher *pim.Sequential
+	frame   *schedule.Schedule
+	slot    int64
+	stats   Stats
+	reqs    *matching.Requests
+	// hold keeps the cell chosen for each connected input this slot.
+	hold []holdSlot
+}
+
+type holdSlot struct {
+	valid      bool
+	c          cell.Cell
+	guaranteed bool
+}
+
+// New creates a switch.
+func New(cfg Config) (*Switch, error) {
+	if cfg.N == 0 {
+		cfg.N = crossbar.DefaultSize
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("switchnode: size %d", cfg.N)
+	}
+	if cfg.Discipline == 0 {
+		cfg.Discipline = DisciplinePerVC
+	}
+	if cfg.PIMIterations == 0 {
+		cfg.PIMIterations = pim.DefaultIterations
+	}
+	if cfg.PIMIterations < 0 {
+		cfg.PIMIterations = 0 // quiescence
+	}
+	if cfg.FrameSlots == 0 {
+		cfg.FrameSlots = schedule.DefaultFrameSlots
+	}
+	frame, err := schedule.New(cfg.N, cfg.FrameSlots)
+	if err != nil {
+		return nil, err
+	}
+	s := &Switch{
+		n:       cfg.N,
+		disc:    cfg.Discipline,
+		iters:   cfg.PIMIterations,
+		xb:      crossbar.New(cfg.N),
+		matcher: pim.NewSequential(rand.New(rand.NewSource(cfg.Seed))),
+		frame:   frame,
+		reqs:    matching.NewRequests(cfg.N),
+		hold:    make([]holdSlot, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		switch cfg.Discipline {
+		case DisciplineFIFO:
+			s.be = append(s.be, buffer.NewFIFO(cfg.BufferLimit))
+		case DisciplinePerVC:
+			s.be = append(s.be, buffer.NewPerVC(cfg.BufferLimit))
+		default:
+			return nil, fmt.Errorf("switchnode: unknown discipline %d", cfg.Discipline)
+		}
+		s.gtd = append(s.gtd, buffer.NewPerVC(0))
+	}
+	return s, nil
+}
+
+// N returns the port count.
+func (s *Switch) N() int { return s.n }
+
+// Slot returns the number of slots stepped so far.
+func (s *Switch) Slot() int64 { return s.slot }
+
+// Stats returns a copy of the switch counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// Frame exposes the guaranteed frame schedule (for inspection and for
+// bandwidth central's updates).
+func (s *Switch) Frame() *schedule.Schedule { return s.frame }
+
+// SetFrame replaces the guaranteed frame schedule with an externally
+// computed one of the same dimensions — how a relayout (packed/spread) or
+// a flattened nested schedule is installed. The switch applies it at the
+// next slot boundary.
+func (s *Switch) SetFrame(f *schedule.Schedule) error {
+	if f == nil || f.N() != s.n || f.Slots() != s.frame.Slots() {
+		return fmt.Errorf("switchnode: frame must be %d ports × %d slots", s.n, s.frame.Slots())
+	}
+	s.frame = f
+	return nil
+}
+
+// ErrBadPort reports an out-of-range port.
+var ErrBadPort = errors.New("switchnode: port out of range")
+
+// Reserve adds a guaranteed reservation of k cells/frame from input to
+// output via Slepian–Duguid insertion.
+func (s *Switch) Reserve(input, output, k int) error {
+	if _, err := s.frame.InsertK(input, output, k); err != nil {
+		return fmt.Errorf("switchnode: reserve: %w", err)
+	}
+	return nil
+}
+
+// Unreserve removes up to k cells/frame of the (input, output) reservation.
+func (s *Switch) Unreserve(input, output, k int) {
+	for c := 0; c < k; c++ {
+		if err := s.frame.Remove(input, output); err != nil {
+			return
+		}
+	}
+}
+
+// EnqueueBestEffort places a best-effort cell in input's buffer, destined
+// to output. It reports false if the cell was dropped (buffer full).
+func (s *Switch) EnqueueBestEffort(input int, c cell.Cell, output int) bool {
+	if input < 0 || input >= s.n || output < 0 || output >= s.n {
+		return false
+	}
+	s.stats.ArrivedBestEffort++
+	if !s.be[input].Push(c, output) {
+		s.stats.DroppedBestEffort++
+		return false
+	}
+	return true
+}
+
+// EnqueueGuaranteed places a guaranteed cell in input's guaranteed pool,
+// destined to output. Guaranteed pools are sized by admission control, so
+// a full pool indicates a misbehaving source; the cell is dropped and
+// counted.
+func (s *Switch) EnqueueGuaranteed(input int, c cell.Cell, output int) bool {
+	if input < 0 || input >= s.n || output < 0 || output >= s.n {
+		return false
+	}
+	s.stats.ArrivedGuaranteed++
+	if !s.gtd[input].Push(c, output) {
+		s.stats.DroppedGuaranteed++
+		return false
+	}
+	return true
+}
+
+// BufferedBestEffort returns the number of best-effort cells queued at
+// input.
+func (s *Switch) BufferedBestEffort(input int) int { return s.be[input].Len() }
+
+// BufferedGuaranteed returns the number of guaranteed cells queued at
+// input.
+func (s *Switch) BufferedGuaranteed(input int) int { return s.gtd[input].Len() }
+
+// Step advances the switch one cell slot and returns the departures.
+//
+// The slot proceeds in the order the paper gives: the frame schedule's
+// reserved connections are made first (a reserved pair with no waiting
+// guaranteed cell leaves its input and output idle), and parallel
+// iterative matching then pairs the remaining inputs and outputs that have
+// best-effort cells.
+func (s *Switch) Step() []Departure {
+	s.xb.Reset()
+	for i := range s.hold {
+		s.hold[i] = holdSlot{}
+	}
+	framePos := int(s.slot % int64(s.frame.Slots()))
+
+	// Phase 1: guaranteed schedule.
+	for i := 0; i < s.n; i++ {
+		j := s.frame.At(framePos, i)
+		if j < 0 {
+			continue
+		}
+		if c, ok := s.gtd[i].Pop(j); ok {
+			// Hardware invariant: the schedule is a partial permutation,
+			// so ConnectOne cannot fail.
+			if err := s.xb.ConnectOne(i, j); err == nil {
+				s.hold[i] = holdSlot{valid: true, c: c, guaranteed: true}
+				s.stats.GuaranteedSlotsFired++
+			}
+		} else {
+			// No guaranteed cell waiting: slot lent to best-effort.
+			s.stats.GuaranteedSlotsFree++
+		}
+	}
+
+	// Phase 2: best-effort matching over the idle inputs/outputs.
+	for i := 0; i < s.n; i++ {
+		for j := 0; j < s.n; j++ {
+			s.reqs.Clear(i, j)
+		}
+	}
+	any := false
+	for i := 0; i < s.n; i++ {
+		if !s.xb.InputFree(i) {
+			continue
+		}
+		for _, j := range s.be[i].Eligible() {
+			if !s.xb.OutputBusy(j) {
+				s.reqs.Set(i, j)
+				any = true
+			}
+		}
+	}
+	if any {
+		res := s.matcher.Match(s.reqs, s.iters)
+		s.stats.PIMIterationsTotal += int64(res.Iterations)
+		for i, j := range res.Match {
+			if j < 0 {
+				continue
+			}
+			c, ok := s.be[i].Pop(j)
+			if !ok {
+				continue // cannot happen: requests mirror buffer state
+			}
+			if err := s.xb.ConnectOne(i, j); err != nil {
+				continue // cannot happen: matching is legal
+			}
+			s.hold[i] = holdSlot{valid: true, c: c}
+		}
+	}
+
+	// Phase 3: transfer.
+	var out []Departure
+	for i := 0; i < s.n; i++ {
+		if !s.hold[i].valid {
+			continue
+		}
+		j, err := s.xb.Transfer(i, s.hold[i].c)
+		if err != nil {
+			continue
+		}
+		out = append(out, Departure{Output: j, Cell: s.hold[i].c, Guaranteed: s.hold[i].guaranteed})
+		if s.hold[i].guaranteed {
+			s.stats.DepartedGuaranteed++
+		} else {
+			s.stats.DepartedBestEffort++
+		}
+	}
+	s.slot++
+	s.stats.Slots++
+	return out
+}
+
+// Oracle is the output-queueing reference the paper compares against
+// (§3): an internal fabric sped up by a factor of k, so up to k cells may
+// reach the same output in one slot, with unbounded output queues. With
+// k = N it is the throughput-optimal (but impractical) switch.
+type Oracle struct {
+	n     int
+	k     int
+	out   [][]cell.Cell
+	slot  int64
+	stats Stats
+	rng   *rand.Rand
+	// pending arrivals this slot, grouped by output.
+	arrivals [][]cell.Cell
+}
+
+// NewOracle creates an output-queued switch with speedup k (k<=0 means
+// k=n).
+func NewOracle(n, k int, seed int64) *Oracle {
+	if k <= 0 || k > n {
+		k = n
+	}
+	return &Oracle{
+		n:        n,
+		k:        k,
+		out:      make([][]cell.Cell, n),
+		arrivals: make([][]cell.Cell, n),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Enqueue presents a cell arriving at an input for the given output. Input
+// identity is irrelevant to output queueing except for the k-per-slot
+// fabric limit, which is enforced per output in Step.
+func (o *Oracle) Enqueue(c cell.Cell, output int) bool {
+	if output < 0 || output >= o.n {
+		return false
+	}
+	o.stats.ArrivedBestEffort++
+	o.arrivals[output] = append(o.arrivals[output], c)
+	return true
+}
+
+// Step advances one slot: up to k freshly arrived cells cross the fabric
+// to each output queue (excess cells wait at a virtual input stage), and
+// each output transmits one cell.
+func (o *Oracle) Step() []Departure {
+	for j := 0; j < o.n; j++ {
+		moved := 0
+		keep := o.arrivals[j][:0]
+		for _, c := range o.arrivals[j] {
+			if moved < o.k {
+				o.out[j] = append(o.out[j], c)
+				moved++
+			} else {
+				keep = append(keep, c)
+			}
+		}
+		o.arrivals[j] = keep
+	}
+	var deps []Departure
+	for j := 0; j < o.n; j++ {
+		if len(o.out[j]) == 0 {
+			continue
+		}
+		c := o.out[j][0]
+		o.out[j] = o.out[j][1:]
+		deps = append(deps, Departure{Output: j, Cell: c})
+		o.stats.DepartedBestEffort++
+	}
+	o.slot++
+	o.stats.Slots++
+	return deps
+}
+
+// Stats returns a copy of the oracle's counters.
+func (o *Oracle) Stats() Stats { return o.stats }
+
+// Buffered returns the total queued cells (output queues plus fabric
+// backlog).
+func (o *Oracle) Buffered() int {
+	total := 0
+	for j := 0; j < o.n; j++ {
+		total += len(o.out[j]) + len(o.arrivals[j])
+	}
+	return total
+}

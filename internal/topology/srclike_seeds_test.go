@@ -1,0 +1,19 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSRCLikeManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := SRCLike(rng, 6, 24, 30, 1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !g.Connected(nil) {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+	}
+}
