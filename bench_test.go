@@ -1,5 +1,5 @@
 // Package repro's root benchmark harness: one testing.B benchmark per
-// experiment in DESIGN.md (E1–E18), each regenerating one of the paper's
+// experiment in DESIGN.md (E1–E26), each regenerating one of the paper's
 // figures, worked examples, or quantitative claims via internal/exp — the
 // same code cmd/an2bench runs.
 //
@@ -136,3 +136,14 @@ func BenchmarkE23CrossbarVsBanyan(b *testing.B) { benchExperiment(b, "E23") }
 // E24 — §3 (network-level composite): AN1's FIFO data path vs AN2's
 // per-VC + PIM data path on the same network and traffic.
 func BenchmarkE24AN1VsAN2EndToEnd(b *testing.B) { benchExperiment(b, "E24") }
+
+// E25 — §3 successor (scheduler-family ablation): iSLIP's desynchronizing
+// round-robin pointers reach ~100% uniform throughput in one iteration
+// where single-iteration PIM saturates near 63%, and serve the paper's
+// adversarial pattern perfectly evenly without per-slot randomness.
+func BenchmarkE25ISLIPVsPIM(b *testing.B) { benchExperiment(b, "E25") }
+
+// E26 — §3 successor (fabric ablation): crosspoint buffers dissolve the
+// matching problem into 2N independent round-robin arbiters; 1-cell
+// buffers already sustain full uniform load, at an N² memory cost.
+func BenchmarkE26CrosspointBuffering(b *testing.B) { benchExperiment(b, "E26") }

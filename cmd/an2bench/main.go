@@ -1,6 +1,7 @@
 // Command an2bench regenerates every experiment in the AN2 reproduction
-// (DESIGN.md E1–E18): the paper's figures, worked examples, and
-// quantitative claims, printed as tables.
+// (the registry in internal/exp, currently E1–E26; `-list` enumerates it):
+// the paper's figures, worked examples, and quantitative claims, printed
+// as tables.
 //
 // Usage:
 //
@@ -9,11 +10,19 @@
 //	an2bench -run E2,E4      # selected experiments
 //	an2bench -seed 7         # change the seed
 //	an2bench -list           # list experiments and claims
+//	an2bench -json           # machine-readable results on stdout
+//
+// With -json the output is one JSON array of objects, each carrying the
+// experiment id, title, claim, wall time in milliseconds, and its tables
+// as header/row string matrices — the format future sessions use to track
+// a benchmark trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,19 +31,37 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "an2bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// jsonTable is one rendered table in -json output.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonResult is one experiment's -json record.
+type jsonResult struct {
+	ID         string      `json:"id"`
+	Title      string      `json:"title"`
+	Claim      string      `json:"claim"`
+	Seed       int64       `json:"seed"`
+	WallMillis int64       `json:"wall_ms"`
+	Tables     []jsonTable `json:"tables"`
+}
+
+func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("an2bench", flag.ContinueOnError)
 	var (
-		quick = fs.Bool("quick", false, "run only the fast experiments")
-		list  = fs.Bool("list", false, "list experiments without running")
-		only  = fs.String("run", "", "comma-separated experiment ids (e.g. E2,E4)")
-		seed  = fs.Int64("seed", 42, "random seed")
+		quick    = fs.Bool("quick", false, "run only the fast experiments")
+		list     = fs.Bool("list", false, "list experiments without running")
+		only     = fs.String("run", "", "comma-separated experiment ids (e.g. E2,E4)")
+		seed     = fs.Int64("seed", 42, "random seed")
+		jsonFlag = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,11 +76,12 @@ func run(args []string) error {
 
 	if *list {
 		for _, e := range exp.All() {
-			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+			fmt.Fprintf(w, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
 		return nil
 	}
 
+	var results []jsonResult
 	ran := 0
 	for _, e := range exp.All() {
 		if len(selected) > 0 && !selected[e.ID] {
@@ -62,21 +90,42 @@ func run(args []string) error {
 		if *quick && !e.Quick && len(selected) == 0 {
 			continue
 		}
-		fmt.Printf("### %s — %s\n", e.ID, e.Title)
-		fmt.Printf("    paper: %s\n\n", e.Claim)
+		if !*jsonFlag {
+			fmt.Fprintf(w, "### %s — %s\n", e.ID, e.Title)
+			fmt.Fprintf(w, "    paper: %s\n\n", e.Claim)
+		}
 		start := time.Now()
 		tables, err := e.Run(*seed)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		for _, t := range tables {
-			fmt.Println(t.String())
+		elapsed := time.Since(start)
+		if *jsonFlag {
+			r := jsonResult{
+				ID: e.ID, Title: e.Title, Claim: e.Claim,
+				Seed: *seed, WallMillis: elapsed.Milliseconds(),
+			}
+			for _, t := range tables {
+				r.Tables = append(r.Tables, jsonTable{
+					Title: t.Title(), Headers: t.Headers(), Rows: t.Rows(),
+				})
+			}
+			results = append(results, r)
+		} else {
+			for _, t := range tables {
+				fmt.Fprintln(w, t.String())
+			}
+			fmt.Fprintf(w, "(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
 		}
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiments matched (have %d registered; try -list)", len(exp.All()))
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
 	}
 	return nil
 }

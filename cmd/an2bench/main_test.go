@@ -1,35 +1,108 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
 	"testing"
 )
 
 func TestListFlag(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-list"}); err != nil {
 		t.Fatal(err)
+	}
+	for _, id := range []string{"E1 ", "E25", "E26"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Fatalf("-list output missing %q", id)
+		}
 	}
 }
 
 func TestRunSelected(t *testing.T) {
-	if err := run([]string{"-run", "E6,e5", "-seed", "7"}); err != nil {
+	if err := run(io.Discard, []string{"-run", "E6,e5", "-seed", "7"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuick(t *testing.T) {
-	if err := run([]string{"-quick"}); err != nil {
+	if err := run(io.Discard, []string{"-quick"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-run", "E99"}); err == nil {
+	if err := run(io.Discard, []string{"-run", "E99"}); err == nil {
 		t.Fatal("unknown experiment id accepted")
 	}
 }
 
 func TestBadFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := run(io.Discard, []string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-json", "-run", "E3,E5", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	var results []jsonResult
+	if err := json.Unmarshal(buf.Bytes(), &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, want := range []string{"E3", "E5"} {
+		r := results[i]
+		if r.ID != want {
+			t.Fatalf("result %d id %q, want %q", i, r.ID, want)
+		}
+		if r.Seed != 7 || r.Title == "" || r.Claim == "" {
+			t.Fatalf("result %d incomplete: %+v", i, r)
+		}
+		if len(r.Tables) == 0 {
+			t.Fatalf("%s has no tables", r.ID)
+		}
+		for _, tb := range r.Tables {
+			if tb.Title == "" || len(tb.Headers) == 0 || len(tb.Rows) == 0 {
+				t.Fatalf("%s table incomplete: %+v", r.ID, tb)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Headers) {
+					t.Fatalf("%s: row width %d != header width %d", r.ID, len(row), len(tb.Headers))
+				}
+			}
+		}
+	}
+	// No table text may leak into JSON mode.
+	if strings.Contains(buf.String(), "###") {
+		t.Fatal("human-readable output mixed into -json stream")
+	}
+}
+
+// JSON results are deterministic under a seed (modulo wall time).
+func TestJSONDeterministic(t *testing.T) {
+	capture := func() []jsonResult {
+		var buf bytes.Buffer
+		if err := run(&buf, []string{"-json", "-run", "E3", "-seed", "9"}); err != nil {
+			t.Fatal(err)
+		}
+		var res []jsonResult
+		if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+			t.Fatal(err)
+		}
+		for i := range res {
+			res[i].WallMillis = 0
+		}
+		return res
+	}
+	a, _ := json.Marshal(capture())
+	b, _ := json.Marshal(capture())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("JSON output differs across identical seeds:\n%s\n%s", a, b)
 	}
 }

@@ -1,4 +1,4 @@
-// Package exp implements the paper-reproduction experiments (E1–E18 in
+// Package exp implements the paper-reproduction experiments (E1–E26 in
 // DESIGN.md): each function regenerates one of the paper's figures, worked
 // examples, or quantitative claims as a metrics.Table, so the experiment
 // output reads like the rows a paper's evaluation section reports.
@@ -40,7 +40,7 @@ func register(e *Experiment) {
 	registry[e.ID] = e
 }
 
-// All returns the experiments sorted by ID (E1, E2, ... E18).
+// All returns the experiments sorted by ID (E1, E2, ... E26).
 func All() []*Experiment {
 	out := make([]*Experiment, 0, len(registry))
 	for _, e := range registry {

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Quantile edge cases: empty histogram, q at and beyond both ends, and a
+// single-sample histogram where every quantile is that sample.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if empty.Count() != 0 || empty.Min() != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram accessors not all zero")
+	}
+
+	var one Histogram
+	one.Observe(-7)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != -7 {
+			t.Errorf("single-sample Quantile(%v) = %d, want -7", q, got)
+		}
+	}
+
+	var h Histogram
+	for _, v := range []int64{30, 10, 20} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %d, want min 10", got)
+	}
+	if got := h.Quantile(-0.5); got != 10 {
+		t.Errorf("Quantile(-0.5) = %d, want min 10", got)
+	}
+	if got := h.Quantile(1); got != 30 {
+		t.Errorf("Quantile(1) = %d, want max 30", got)
+	}
+	if got := h.Quantile(1.5); got != 30 {
+		t.Errorf("Quantile(1.5) = %d, want max 30", got)
+	}
+}
+
+// Summarizing an empty histogram must be usable (all zeros, no panic).
+func TestEmptySummary(t *testing.T) {
+	var h Histogram
+	if s := h.Summarize(); s != (Summary{}) {
+		t.Fatalf("empty summary %+v, want zero value", s)
+	}
+}
+
+// The accessors behind an2bench -json: Title/Headers/Rows round-trip what
+// AddRow recorded, and mutating the copies does not touch the table.
+func TestTableAccessors(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", "y")
+	if tb.Title() != "t" {
+		t.Fatalf("Title %q", tb.Title())
+	}
+	if got := tb.Headers(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Headers %v", got)
+	}
+	rows := tb.Rows()
+	want := [][]string{{"1", "2.5"}, {"x", "y"}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("Rows %v, want %v", rows, want)
+	}
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] != "1" {
+		t.Fatal("Rows returned a view into table internals")
+	}
+	h := tb.Headers()
+	h[0] = "mutated"
+	if tb.Headers()[0] != "a" {
+		t.Fatal("Headers returned a view into table internals")
+	}
+}

@@ -227,6 +227,22 @@ func (t *Table) AddRow(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
+// Title returns the table's title.
+func (t *Table) Title() string { return t.title }
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string { return append([]string(nil), t.headers...) }
+
+// Rows returns a copy of the rendered rows (cells as strings, exactly as
+// String prints them) — the machine-readable view an2bench -json emits.
+func (t *Table) Rows() [][]string {
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]string(nil), r...)
+	}
+	return rows
+}
+
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.headers))

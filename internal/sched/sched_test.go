@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/pim"
+)
+
+func randomRequests(rng *rand.Rand, n int, p float64) *matching.Requests {
+	r := matching.NewRequests(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				r.Set(i, j)
+			}
+		}
+	}
+	return r
+}
+
+// The PIM adapter must reproduce the raw sequential engine exactly: same
+// seed, same request sequence, same matchings. This is what keeps E2–E5
+// byte-identical across the scheduler refactor.
+func TestPIMAdapterMatchesRawEngine(t *testing.T) {
+	const n, seed, iters = 16, 99, 3
+	adapter := NewPIM(seed, iters)
+	raw := pim.NewSequential(rand.New(rand.NewSource(seed)))
+	gen := rand.New(rand.NewSource(5))
+	for step := 0; step < 200; step++ {
+		r := randomRequests(gen, n, 0.3)
+		got := adapter.Schedule(r)
+		want := raw.Match(r.Clone(), iters)
+		if got.Iterations != want.Iterations {
+			t.Fatalf("step %d: iterations %d, want %d", step, got.Iterations, want.Iterations)
+		}
+		for i := range want.Match {
+			if got.Match[i] != want.Match[i] {
+				t.Fatalf("step %d: input %d matched to %d, want %d", step, i, got.Match[i], want.Match[i])
+			}
+		}
+	}
+}
+
+func TestPIMAdapterQuiescenceIsMaximal(t *testing.T) {
+	s := NewPIM(3, 0) // budget <= 0: run to quiescence
+	gen := rand.New(rand.NewSource(11))
+	for step := 0; step < 100; step++ {
+		r := randomRequests(gen, 8, 0.4)
+		res := s.Schedule(r)
+		if err := res.Match.Legal(r); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if !res.Match.Maximal(r) {
+			t.Fatalf("step %d: quiescent PIM produced non-maximal matching", step)
+		}
+	}
+}
+
+func TestNegativeItersMeansQuiescence(t *testing.T) {
+	s := NewPIM(3, -1)
+	r := matching.NewRequests(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			r.Set(i, j)
+		}
+	}
+	if res := s.Schedule(r); !res.Match.Maximal(r) {
+		t.Fatal("negative budget should run to quiescence")
+	}
+}
+
+func TestMaximumAndGreedySchedulers(t *testing.T) {
+	gen := rand.New(rand.NewSource(21))
+	for _, s := range []Scheduler{Maximum{}, Greedy{}} {
+		if s.Name() == "" {
+			t.Fatal("scheduler has no name")
+		}
+		for step := 0; step < 100; step++ {
+			r := randomRequests(gen, 8, 0.4)
+			res := s.Schedule(r)
+			if err := res.Match.Legal(r); err != nil {
+				t.Fatalf("%s step %d: %v", s.Name(), step, err)
+			}
+			if !res.Match.Maximal(r) {
+				t.Fatalf("%s step %d: non-maximal matching", s.Name(), step)
+			}
+			if res.Iterations != 1 {
+				t.Fatalf("%s: single-shot scheduler reported %d iterations", s.Name(), res.Iterations)
+			}
+		}
+	}
+}
+
+// Maximum must never produce a smaller matching than Greedy (it is, after
+// all, maximum).
+func TestMaximumAtLeastGreedy(t *testing.T) {
+	gen := rand.New(rand.NewSource(31))
+	for step := 0; step < 100; step++ {
+		r := randomRequests(gen, 12, 0.3)
+		mx := Maximum{}.Schedule(r).Match.Size()
+		gr := Greedy{}.Schedule(r).Match.Size()
+		if mx < gr {
+			t.Fatalf("step %d: maximum %d < greedy %d", step, mx, gr)
+		}
+	}
+}

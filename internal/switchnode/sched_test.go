@@ -1,0 +1,114 @@
+package switchnode
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/islip"
+	"repro/internal/sched"
+)
+
+// The switch accepts any sched.Scheduler; with iSLIP plugged in, the
+// best-effort path works end to end and the guaranteed path is untouched.
+func TestPluggableSchedulerISLIP(t *testing.T) {
+	s := newSwitch(t, Config{N: 4, Scheduler: islip.New(4, islip.DefaultIterations, 0)})
+	if err := s.Reserve(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.EnqueueGuaranteed(0, cell.Cell{VC: 1}, 1)
+	s.EnqueueBestEffort(2, cell.Cell{VC: 2}, 3)
+	var gtd, be int
+	for slot := 0; slot < int(s.Frame().Slots()); slot++ {
+		for _, d := range s.Step() {
+			if d.Guaranteed {
+				gtd++
+			} else {
+				be++
+			}
+		}
+	}
+	if gtd != 1 || be != 1 {
+		t.Fatalf("departed guaranteed=%d best-effort=%d, want 1 and 1", gtd, be)
+	}
+	if it := s.Stats().PIMIterationsTotal; it == 0 {
+		t.Fatal("scheduler iterations not accounted")
+	}
+}
+
+// Saturating two inputs toward the same output: any maximal scheduler
+// (here sched.Greedy) keeps the output busy every slot.
+func TestPluggableSchedulerGreedy(t *testing.T) {
+	s := newSwitch(t, Config{N: 2, Scheduler: sched.Greedy{}})
+	const slots = 100
+	for slot := 0; slot < slots; slot++ {
+		s.EnqueueBestEffort(0, cell.Cell{VC: 1}, 0)
+		s.EnqueueBestEffort(1, cell.Cell{VC: 2}, 0)
+		if deps := s.Step(); len(deps) != 1 || deps[0].Output != 0 {
+			t.Fatalf("slot %d: departures %v", slot, deps)
+		}
+	}
+	if got := s.Stats().DepartedBestEffort; got != slots {
+		t.Fatalf("departed %d, want %d", got, slots)
+	}
+}
+
+// A nil Config.Scheduler defaults to PIM seeded from Config.Seed and must
+// behave identically to an explicit sched.NewPIM with the same seed and
+// budget — the compatibility contract that keeps E2–E5 reproducible.
+func TestDefaultSchedulerIsSeededPIM(t *testing.T) {
+	run := func(cfg Config) []int64 {
+		s := newSwitch(t, cfg)
+		var departures []int64
+		for slot := 0; slot < 500; slot++ {
+			for i := 0; i < 4; i++ {
+				s.EnqueueBestEffort(i, cell.Cell{VC: cell.VCI(i + 1)}, (i+slot)%4)
+			}
+			for _, d := range s.Step() {
+				departures = append(departures, int64(d.Output)<<32|int64(d.Cell.VC))
+			}
+		}
+		return departures
+	}
+	a := run(Config{N: 4, Seed: 77})
+	b := run(Config{N: 4, Seed: 77, Scheduler: sched.NewPIM(77, 3)})
+	if len(a) != len(b) {
+		t.Fatalf("departure counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("departure %d differs", i)
+		}
+	}
+}
+
+// Satellite: Discipline.String covers both named disciplines and the
+// unknown fallback.
+func TestDisciplineString(t *testing.T) {
+	cases := map[Discipline]string{
+		DisciplineFIFO:  "fifo",
+		DisciplinePerVC: "per-vc",
+		Discipline(0):   "Discipline(0)",
+		Discipline(9):   "Discipline(9)",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("Discipline(%d).String() = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+// Satellite: the Stats zero value is all-zero and usable as-is.
+func TestStatsZeroValue(t *testing.T) {
+	var st Stats
+	if st != (Stats{}) {
+		t.Fatal("zero Stats not comparable-equal to Stats{}")
+	}
+	s := newSwitch(t, Config{N: 2})
+	if s.Stats() != (Stats{}) {
+		t.Fatalf("fresh switch has non-zero stats: %+v", s.Stats())
+	}
+	s.Step()
+	if got := s.Stats(); got.Slots != 1 || got.ArrivedBestEffort != 0 {
+		t.Fatalf("after one idle slot: %+v", got)
+	}
+}

@@ -1,12 +1,13 @@
 // Package switchnode assembles one AN2 switch from its parts: per-input
 // line-card buffers, the crossbar fabric, the guaranteed-traffic frame
-// schedule, and parallel iterative matching for best-effort traffic.
+// schedule, and a best-effort scheduler (parallel iterative matching by
+// default; any sched.Scheduler — e.g. iSLIP — can be plugged in).
 //
 // Each call to Step simulates one cell slot, exactly as the paper describes
 // (§3–§4): guaranteed reservations drive the crossbar first; best-effort
-// cells are then matched by PIM onto the inputs and outputs the guaranteed
-// schedule left idle — including reserved pairs whose circuit has no cell
-// waiting.
+// cells are then matched by the scheduler onto the inputs and outputs the
+// guaranteed schedule left idle — including reserved pairs whose circuit
+// has no cell waiting.
 package switchnode
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/crossbar"
 	"repro/internal/matching"
 	"repro/internal/pim"
+	"repro/internal/sched"
 	"repro/internal/schedule"
 )
 
@@ -52,10 +54,16 @@ type Config struct {
 	N int
 	// Discipline selects the input buffering (default DisciplinePerVC).
 	Discipline Discipline
-	// PIMIterations is the matching budget per slot (default
-	// pim.DefaultIterations; 0 picks the default, negative runs PIM to
-	// quiescence = maximal matching).
+	// PIMIterations is the matching budget per slot for the default PIM
+	// scheduler (default pim.DefaultIterations; 0 picks the default,
+	// negative runs PIM to quiescence = maximal matching). Ignored when
+	// Scheduler is set.
 	PIMIterations int
+	// Scheduler, when non-nil, replaces the default parallel iterative
+	// matcher for best-effort traffic (e.g. islip.New or sched.Maximum).
+	// The scheduler must be private to this switch: it is called once per
+	// slot and carries its state across slots.
+	Scheduler sched.Scheduler
 	// BufferLimit bounds each input FIFO (FIFO discipline) or each
 	// circuit's queue (per-VC discipline); 0 = unbounded.
 	BufferLimit int
@@ -83,6 +91,9 @@ type Stats struct {
 	DepartedBestEffort   int64
 	DepartedGuaranteed   int64
 	Slots                int64
+	// PIMIterationsTotal sums the best-effort scheduler's per-slot
+	// iteration counts (named for the default PIM scheduler; iSLIP and
+	// other sched.Scheduler implementations report here too).
 	PIMIterationsTotal   int64
 	GuaranteedSlotsFree  int64 // reserved slots lent to best-effort
 	GuaranteedSlotsFired int64
@@ -92,11 +103,10 @@ type Stats struct {
 type Switch struct {
 	n       int
 	disc    Discipline
-	iters   int
 	be      []buffer.InputBuffer
 	gtd     []*buffer.PerVC
 	xb      *crossbar.Crossbar
-	matcher *pim.Sequential
+	matcher sched.Scheduler
 	frame   *schedule.Schedule
 	slot    int64
 	stats   Stats
@@ -131,6 +141,9 @@ func New(cfg Config) (*Switch, error) {
 	if cfg.FrameSlots == 0 {
 		cfg.FrameSlots = schedule.DefaultFrameSlots
 	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = sched.NewPIM(cfg.Seed, cfg.PIMIterations)
+	}
 	frame, err := schedule.New(cfg.N, cfg.FrameSlots)
 	if err != nil {
 		return nil, err
@@ -138,9 +151,8 @@ func New(cfg Config) (*Switch, error) {
 	s := &Switch{
 		n:       cfg.N,
 		disc:    cfg.Discipline,
-		iters:   cfg.PIMIterations,
 		xb:      crossbar.New(cfg.N),
-		matcher: pim.NewSequential(rand.New(rand.NewSource(cfg.Seed))),
+		matcher: cfg.Scheduler,
 		frame:   frame,
 		reqs:    matching.NewRequests(cfg.N),
 		hold:    make([]holdSlot, cfg.N),
@@ -295,7 +307,7 @@ func (s *Switch) Step() []Departure {
 		}
 	}
 	if any {
-		res := s.matcher.Match(s.reqs, s.iters)
+		res := s.matcher.Schedule(s.reqs)
 		s.stats.PIMIterationsTotal += int64(res.Iterations)
 		for i, j := range res.Match {
 			if j < 0 {
