@@ -28,6 +28,14 @@ type InputBuffer interface {
 	// head cell's output; for per-VC buffers it is every output with a
 	// queued circuit.
 	Eligible() []int
+	// EligibleBits returns the same set as Eligible as a bitset (bit j set
+	// iff an eligible cell for output j is buffered). The slice is owned
+	// by the buffer — callers must treat it as read-only and must not
+	// retain it across mutations — and may be shorter than the switch's
+	// word count (missing high words are zero). This is the slot-loop hot
+	// path: the switch ANDs it word-wise into the request matrix with no
+	// per-output iteration and no allocation.
+	EligibleBits() []uint64
 	// Pop removes and returns an eligible cell destined to the given
 	// output. ok is false if no eligible cell for that output exists.
 	Pop(output int) (c cell.Cell, ok bool)
@@ -47,6 +55,7 @@ type FIFO struct {
 	q     []queued
 	head  int
 	limit int
+	bits  []uint64 // scratch backing EligibleBits
 }
 
 var _ InputBuffer = (*FIFO)(nil)
@@ -72,6 +81,25 @@ func (f *FIFO) Eligible() []int {
 		return nil
 	}
 	return []int{f.q[f.head].output}
+}
+
+// EligibleBits implements InputBuffer: a single bit for the head cell's
+// output (empty bitset when the queue is empty).
+func (f *FIFO) EligibleBits() []uint64 {
+	if f.head >= len(f.q) {
+		return nil
+	}
+	j := f.q[f.head].output
+	words := j/64 + 1
+	if cap(f.bits) < words {
+		f.bits = make([]uint64, words)
+	}
+	f.bits = f.bits[:words]
+	for w := range f.bits {
+		f.bits[w] = 0
+	}
+	f.bits[words-1] = 1 << (uint(j) % 64)
+	return f.bits
 }
 
 // Pop implements InputBuffer: only the head cell may leave, and only
@@ -109,6 +137,13 @@ type PerVC struct {
 	// rr tracks the last circuit served per output, for round-robin
 	// fairness among circuits sharing an output.
 	rr map[int]cell.VCI
+	// bits mirrors byOutput as a bitset (bit o set iff some circuit has a
+	// cell queued for output o), maintained incrementally so EligibleBits
+	// is O(1) with no allocation.
+	bits []uint64
+	// free pools emptied vcQueues so a circuit draining and refilling
+	// every few slots does not allocate a fresh queue each time.
+	free []*vcQueue
 }
 
 type vcQueue struct {
@@ -139,7 +174,13 @@ func NewPerVC(perVCLimit int) *PerVC {
 func (p *PerVC) Push(c cell.Cell, output int) bool {
 	q := p.queues[c.VC]
 	if q == nil {
-		q = &vcQueue{output: output}
+		if k := len(p.free); k > 0 {
+			q = p.free[k-1]
+			p.free = p.free[:k-1]
+			q.output = output
+		} else {
+			q = &vcQueue{output: output}
+		}
 		p.queues[c.VC] = q
 	}
 	if p.perVCLimit > 0 && q.len() >= p.perVCLimit {
@@ -154,7 +195,31 @@ func (p *PerVC) Push(c cell.Cell, output int) bool {
 		p.byOutput[output] = set
 	}
 	set[c.VC] = struct{}{}
+	p.setBit(output)
 	return true
+}
+
+// setBit marks output o eligible, growing the bitset as needed.
+func (p *PerVC) setBit(o int) {
+	w := o / 64
+	for len(p.bits) <= w {
+		p.bits = append(p.bits, 0)
+	}
+	p.bits[w] |= 1 << (uint(o) % 64)
+}
+
+// clearBit unmarks output o.
+func (p *PerVC) clearBit(o int) {
+	if w := o / 64; w < len(p.bits) {
+		p.bits[w] &^= 1 << (uint(o) % 64)
+	}
+}
+
+// recycle resets an emptied queue and returns it to the free pool.
+func (p *PerVC) recycle(q *vcQueue) {
+	q.cells = q.cells[:0]
+	q.head = 0
+	p.free = append(p.free, q)
 }
 
 // Eligible implements InputBuffer: every output with at least one queued
@@ -168,6 +233,10 @@ func (p *PerVC) Eligible() []int {
 	}
 	return out
 }
+
+// EligibleBits implements InputBuffer: the incrementally maintained output
+// bitset, equal bit-for-bit to Eligible.
+func (p *PerVC) EligibleBits() []uint64 { return p.bits }
 
 // Pop implements InputBuffer. Among the circuits queued for the output it
 // serves them round-robin, so one busy circuit cannot monopolize the port.
@@ -183,9 +252,11 @@ func (p *PerVC) Pop(output int) (cell.Cell, bool) {
 	p.total--
 	if q.len() == 0 {
 		delete(p.queues, vc)
+		p.recycle(q)
 		delete(set, vc)
 		if len(set) == 0 {
 			delete(p.byOutput, output)
+			p.clearBit(output)
 		}
 	} else if q.head > 64 && q.head*2 >= len(q.cells) {
 		n := copy(q.cells, q.cells[q.head:])
@@ -250,7 +321,9 @@ func (p *PerVC) Drop(vc cell.VCI) int {
 		delete(set, vc)
 		if len(set) == 0 {
 			delete(p.byOutput, q.output)
+			p.clearBit(q.output)
 		}
 	}
+	p.recycle(q)
 	return n
 }

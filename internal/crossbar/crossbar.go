@@ -25,13 +25,21 @@ type Crossbar struct {
 	config []int
 	// outBusy[j] reports whether output j is connected this slot.
 	outBusy []bool
+	// busyWords mirrors outBusy as a bitset for the scheduler's word-wise
+	// request-matrix fill.
+	busyWords []uint64
 	// transferred counts cells moved across the fabric over its lifetime.
 	transferred int64
 }
 
 // New creates an n×n crossbar.
 func New(n int) *Crossbar {
-	c := &Crossbar{n: n, config: make([]int, n), outBusy: make([]bool, n)}
+	c := &Crossbar{
+		n:         n,
+		config:    make([]int, n),
+		outBusy:   make([]bool, n),
+		busyWords: make([]uint64, (n+63)/64),
+	}
 	c.Reset()
 	return c
 }
@@ -48,7 +56,21 @@ func (c *Crossbar) Reset() {
 		c.config[i] = -1
 		c.outBusy[i] = false
 	}
+	for w := range c.busyWords {
+		c.busyWords[w] = 0
+	}
 }
+
+// markBusy records output j as connected in both representations.
+func (c *Crossbar) markBusy(j int) {
+	c.outBusy[j] = true
+	c.busyWords[j/64] |= 1 << (uint(j) % 64)
+}
+
+// OutputBusyWords returns the connected-output bitset (bit j set iff
+// output j is connected this slot). The slice is owned by the crossbar:
+// read-only, valid until the next Reset/Configure/ConnectOne.
+func (c *Crossbar) OutputBusyWords() []uint64 { return c.busyWords }
 
 // Configuration errors.
 var (
@@ -76,7 +98,7 @@ func (c *Crossbar) Configure(m matching.Matching) error {
 			return fmt.Errorf("%w: output %d", ErrOutputBusy, j)
 		}
 		c.config[i] = j
-		c.outBusy[j] = true
+		c.markBusy(j)
 	}
 	return nil
 }
@@ -94,7 +116,7 @@ func (c *Crossbar) ConnectOne(input, output int) error {
 		return fmt.Errorf("%w: output %d", ErrOutputBusy, output)
 	}
 	c.config[input] = output
-	c.outBusy[output] = true
+	c.markBusy(output)
 	return nil
 }
 

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// renderAll runs the given experiments at the given GOMAXPROCS setting and
+// concatenates their rendered tables. simnet resolves its default switch-
+// stepping worker count from GOMAXPROCS at network-build time, so toggling
+// it selects the sequential (1) versus parallel (>1) Network.Step path.
+func renderAll(t *testing.T, ids []string, procs int) string {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	var sb strings.Builder
+	for _, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		tables, err := e.Run(42)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, tab := range tables {
+			sb.WriteString(tab.String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// TestParallelExperimentsMatchSequential reruns the experiments the
+// paper's throughput and fairness claims rest on — E2–E5 plus the
+// scheduler comparisons E25/E26 — with the parallel network step forced
+// off and then on, and requires byte-identical tables. This is the
+// acceptance check that worker-pool stepping cannot change any published
+// number.
+func TestParallelExperimentsMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-experiment determinism diff in -short mode")
+	}
+	ids := []string{"E2", "E3", "E4", "E5", "E25", "E26"}
+	seq := renderAll(t, ids, 1)
+	par := renderAll(t, ids, 4)
+	if seq != par {
+		t.Fatal("experiment tables differ between sequential (GOMAXPROCS=1) and parallel (GOMAXPROCS=4) stepping")
+	}
+}

@@ -51,6 +51,7 @@ type Scheduler struct {
 	grants    [][]int // grants[i] = outputs granting to input i this iteration
 	inMatched []bool
 	outOwner  []int
+	match     matching.Matching // backs Result.Match
 }
 
 // New creates an iSLIP scheduler for an n×n switch with the given per-slot
@@ -69,6 +70,7 @@ func New(n, iters int, seed int64) *Scheduler {
 		grants:    make([][]int, n),
 		inMatched: make([]bool, n),
 		outOwner:  make([]int, n),
+		match:     make(matching.Matching, n),
 	}
 	if seed != 0 {
 		rng := rand.New(rand.NewSource(seed))
@@ -91,10 +93,12 @@ func (s *Scheduler) Pointers() (grant, accept []int) {
 
 // Schedule implements sched.Scheduler: it runs up to the iteration budget
 // of request/grant/accept rounds, retaining matches across rounds, and
-// returns the resulting conflict-free matching.
+// returns the resulting conflict-free matching. The result's Match aliases
+// scheduler scratch and is valid until the next Schedule call.
 func (s *Scheduler) Schedule(r *matching.Requests) sched.Result {
 	n := s.n
-	m := matching.NewMatching(n)
+	m := s.match
+	m.Reset()
 	for p := 0; p < n; p++ {
 		s.inMatched[p] = false
 		s.outOwner[p] = -1

@@ -7,26 +7,40 @@
 // (package pim) with maximum matching, which "can lead to starvation" and
 // for which no fast enough algorithm was known. Hopcroft–Karp here is the
 // baseline that exhibits exactly that starvation in experiment E5.
+//
+// Requests is backed by a bitset ([]uint64 words, row-major), so the
+// slot-level hot path — clearing the matrix, populating a row from a
+// line card's eligible-output bitset, and iterating a row's requests —
+// runs word-wise with no per-slot allocation. The exported semantics are
+// identical to the original boolean-matrix representation (verified by a
+// property test against a boolean-matrix reference model).
 package matching
 
 import (
 	"fmt"
+	"math/bits"
 )
 
+// wordBits is the bitset word width.
+const wordBits = 64
+
+// WordsFor returns the number of uint64 words needed for n bits — the row
+// length of Requests.Row and the mask length expected by SetRowAndNot.
+func WordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
 // Requests is a bipartite request graph between n inputs and n outputs.
-// req[i] holds the set of outputs input i has buffered cells for.
+// Row i holds the set of outputs input i has buffered cells for, as a
+// bitset.
 type Requests struct {
-	n   int
-	req [][]bool
+	n     int
+	words int      // words per row
+	bits  []uint64 // n*words, row-major
 }
 
 // NewRequests creates an empty request graph for an n×n switch.
 func NewRequests(n int) *Requests {
-	r := &Requests{n: n, req: make([][]bool, n)}
-	for i := range r.req {
-		r.req[i] = make([]bool, n)
-	}
-	return r
+	w := WordsFor(n)
+	return &Requests{n: n, words: w, bits: make([]uint64, n*w)}
 }
 
 // N returns the switch size.
@@ -35,42 +49,94 @@ func (r *Requests) N() int { return r.n }
 // Set marks that input i has at least one cell destined to output j.
 func (r *Requests) Set(i, j int) {
 	if i >= 0 && i < r.n && j >= 0 && j < r.n {
-		r.req[i][j] = true
+		r.bits[i*r.words+j/wordBits] |= 1 << (uint(j) % wordBits)
 	}
 }
 
 // Clear removes the request from input i to output j.
 func (r *Requests) Clear(i, j int) {
 	if i >= 0 && i < r.n && j >= 0 && j < r.n {
-		r.req[i][j] = false
+		r.bits[i*r.words+j/wordBits] &^= 1 << (uint(j) % wordBits)
+	}
+}
+
+// ClearAll removes every request, word-wise — the per-slot reset that
+// replaces the O(N²) cell-by-cell clear.
+func (r *Requests) ClearAll() {
+	for w := range r.bits {
+		r.bits[w] = 0
 	}
 }
 
 // Has reports whether input i requests output j.
 func (r *Requests) Has(i, j int) bool {
-	return i >= 0 && i < r.n && j >= 0 && j < r.n && r.req[i][j]
+	return i >= 0 && i < r.n && j >= 0 && j < r.n &&
+		r.bits[i*r.words+j/wordBits]&(1<<(uint(j)%wordBits)) != 0
+}
+
+// Row returns input i's request bitset (WordsFor(N()) words, bit j set iff
+// i requests j). The slice aliases the matrix: callers must treat it as
+// read-only, and it is valid until the matrix is resized (never).
+func (r *Requests) Row(i int) []uint64 {
+	return r.bits[i*r.words : (i+1)*r.words]
+}
+
+// SetRowAndNot replaces input i's row with elig &^ busy: the outputs in
+// the eligibility bitset that are not masked busy. elig and busy may be
+// shorter than the row (missing words are zero); elig bits at or beyond N
+// are ignored. It reports whether the resulting row is non-empty. This is
+// the switch's phase-2 hot path: one word-wise operation per line card
+// instead of a per-output loop.
+func (r *Requests) SetRowAndNot(i int, elig, busy []uint64) bool {
+	row := r.bits[i*r.words : (i+1)*r.words]
+	for w := range row {
+		var v uint64
+		if w < len(elig) {
+			v = elig[w]
+		}
+		if w < len(busy) {
+			v &^= busy[w]
+		}
+		row[w] = v
+	}
+	// Mask stray bits above n in the last word so Count/Outputs stay exact.
+	if extra := r.words*wordBits - r.n; extra > 0 {
+		row[r.words-1] &= ^uint64(0) >> uint(extra)
+	}
+	var any uint64
+	for _, v := range row {
+		any |= v
+	}
+	return any != 0
 }
 
 // Outputs returns the outputs requested by input i, ascending.
 func (r *Requests) Outputs(i int) []int {
-	var out []int
-	for j, ok := range r.req[i] {
-		if ok {
-			out = append(out, j)
+	return r.AppendOutputs(nil, i)
+}
+
+// AppendOutputs appends the outputs requested by input i to dst, ascending,
+// and returns the extended slice — the allocation-free form of Outputs.
+func (r *Requests) AppendOutputs(dst []int, i int) []int {
+	if i < 0 || i >= r.n {
+		return dst
+	}
+	row := r.Row(i)
+	for w, word := range row {
+		base := w * wordBits
+		for word != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
-	return out
+	return dst
 }
 
 // Count returns the total number of (input, output) request pairs.
 func (r *Requests) Count() int {
 	c := 0
-	for i := range r.req {
-		for _, ok := range r.req[i] {
-			if ok {
-				c++
-			}
-		}
+	for _, w := range r.bits {
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
@@ -78,9 +144,7 @@ func (r *Requests) Count() int {
 // Clone returns a deep copy.
 func (r *Requests) Clone() *Requests {
 	c := NewRequests(r.n)
-	for i := range r.req {
-		copy(c.req[i], r.req[i])
-	}
+	copy(c.bits, r.bits)
 	return c
 }
 
@@ -91,10 +155,15 @@ type Matching []int
 // NewMatching returns an empty matching for an n×n switch.
 func NewMatching(n int) Matching {
 	m := make(Matching, n)
+	m.Reset()
+	return m
+}
+
+// Reset unmatches every input, making m reusable across slots.
+func (m Matching) Reset() {
 	for i := range m {
 		m[i] = -1
 	}
-	return m
 }
 
 // Size returns the number of matched pairs.
@@ -147,9 +216,15 @@ func (m Matching) Maximal(r *Requests) bool {
 		if j >= 0 {
 			continue
 		}
-		for _, o := range r.Outputs(i) {
-			if !usedOut[o] {
-				return false
+		row := r.Row(i)
+		for w, word := range row {
+			base := w * wordBits
+			for word != 0 {
+				o := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				if !usedOut[o] {
+					return false
+				}
 			}
 		}
 	}
@@ -201,16 +276,19 @@ func HopcroftKarp(r *Requests) Matching {
 		found := false
 		for qi := 0; qi < len(queue); qi++ {
 			i := queue[qi]
-			for j := 0; j < n; j++ {
-				if !r.req[i][j] {
-					continue
-				}
-				k := matchOut[j]
-				if k < 0 {
-					found = true
-				} else if dist[k] == inf {
-					dist[k] = dist[i] + 1
-					queue = append(queue, k)
+			row := r.Row(i)
+			for w, word := range row {
+				base := w * wordBits
+				for word != 0 {
+					j := base + bits.TrailingZeros64(word)
+					word &= word - 1
+					k := matchOut[j]
+					if k < 0 {
+						found = true
+					} else if dist[k] == inf {
+						dist[k] = dist[i] + 1
+						queue = append(queue, k)
+					}
 				}
 			}
 		}
@@ -219,15 +297,18 @@ func HopcroftKarp(r *Requests) Matching {
 
 	var dfs func(i int) bool
 	dfs = func(i int) bool {
-		for j := 0; j < n; j++ {
-			if !r.req[i][j] {
-				continue
-			}
-			k := matchOut[j]
-			if k < 0 || (dist[k] == dist[i]+1 && dfs(k)) {
-				matchIn[i] = j
-				matchOut[j] = i
-				return true
+		row := r.Row(i)
+		for w, word := range row {
+			base := w * wordBits
+			for word != 0 {
+				j := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				k := matchOut[j]
+				if k < 0 || (dist[k] == dist[i]+1 && dfs(k)) {
+					matchIn[i] = j
+					matchOut[j] = i
+					return true
+				}
 			}
 		}
 		dist[i] = inf

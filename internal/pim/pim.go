@@ -27,6 +27,7 @@
 package pim
 
 import (
+	"math/bits"
 	"math/rand"
 	"sync"
 
@@ -38,6 +39,12 @@ import (
 const DefaultIterations = 3
 
 // Result describes one run of the matcher.
+//
+// For Sequential engines, Match and NewMatches alias per-engine scratch
+// buffers: they are valid until the engine's next Match call, so callers
+// that retain a result across runs must copy it. The slotted simulator
+// consumes each result within its slot, which is what makes the engine
+// allocation-free on the hot path.
 type Result struct {
 	// Match is the computed matching (input -> output, -1 if unmatched).
 	Match matching.Matching
@@ -55,10 +62,12 @@ type Result struct {
 type Sequential struct {
 	rng *rand.Rand
 	// scratch, reused across runs to avoid per-slot allocation:
-	grants    [][]int // grants[i] = outputs granting to input i this iteration
-	requests  [][]int // requests[j] = inputs requesting output j this iteration
-	inMatched []bool
-	outOwner  []int
+	grants     [][]int // grants[i] = outputs granting to input i this iteration
+	requests   [][]int // requests[j] = inputs requesting output j this iteration
+	inMatched  []bool
+	outOwner   []int
+	match      matching.Matching // backs Result.Match
+	newMatches []int             // backs Result.NewMatches
 }
 
 // NewSequential creates a sequential engine drawing randomness from rng.
@@ -72,20 +81,23 @@ func (s *Sequential) ensure(n int) {
 		s.requests = make([][]int, n)
 		s.inMatched = make([]bool, n)
 		s.outOwner = make([]int, n)
+		s.match = make(matching.Matching, n)
 	}
 }
 
 // Match runs at most maxIter iterations (0 means run to quiescence, i.e.
-// until an iteration adds no pair, which yields a maximal matching).
+// until an iteration adds no pair, which yields a maximal matching). The
+// result's Match and NewMatches alias engine scratch (see Result).
 func (s *Sequential) Match(r *matching.Requests, maxIter int) Result {
 	n := r.N()
 	s.ensure(n)
-	m := matching.NewMatching(n)
+	m := s.match[:n]
+	m.Reset()
 	for i := 0; i < n; i++ {
 		s.inMatched[i] = false
 		s.outOwner[i] = -1
 	}
-	res := Result{Match: m}
+	res := Result{Match: m, NewMatches: s.newMatches[:0]}
 	for iter := 0; maxIter == 0 || iter < maxIter; iter++ {
 		added := s.iterate(r, m)
 		res.Iterations++
@@ -94,6 +106,7 @@ func (s *Sequential) Match(r *matching.Requests, maxIter int) Result {
 			break
 		}
 	}
+	s.newMatches = res.NewMatches
 	return res
 }
 
@@ -103,7 +116,8 @@ func (s *Sequential) iterate(r *matching.Requests, m matching.Matching) int {
 	n := r.N()
 	// Step 1 — request: each unmatched input requests every output it has
 	// a cell for. (Outputs already matched in a previous iteration ignore
-	// requests; inputs need not know which outputs are taken.)
+	// requests; inputs need not know which outputs are taken.) The request
+	// row is walked word-wise so no per-input output slice is built.
 	for j := 0; j < n; j++ {
 		s.requests[j] = s.requests[j][:0]
 	}
@@ -111,9 +125,14 @@ func (s *Sequential) iterate(r *matching.Requests, m matching.Matching) int {
 		if s.inMatched[i] {
 			continue
 		}
-		for _, j := range r.Outputs(i) {
-			if s.outOwner[j] < 0 {
-				s.requests[j] = append(s.requests[j], i)
+		for w, word := range r.Row(i) {
+			base := w * 64
+			for word != 0 {
+				j := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				if s.outOwner[j] < 0 {
+					s.requests[j] = append(s.requests[j], i)
+				}
 			}
 		}
 	}

@@ -39,6 +39,10 @@ type Scheduler interface {
 	Name() string
 	// Schedule returns a conflict-free matching over the request matrix.
 	// The returned Match must be legal for r (matching.Matching.Legal).
+	// Implementations may back Result.Match with scratch reused across
+	// calls, so the result is only guaranteed valid until the next
+	// Schedule call on the same instance; callers that retain a matching
+	// across slots must copy it.
 	Schedule(r *matching.Requests) Result
 }
 

@@ -1,0 +1,71 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/switchnode"
+	"repro/internal/topology"
+)
+
+// benchNet builds an 8-switch line with hosts at both ends and a spread of
+// best-effort circuits kept saturated, then measures Network.Step. workers
+// selects the per-slot switch-stepping parallelism (1 = sequential).
+func benchNetworkStep(b *testing.B, workers int) {
+	g, err := topology.Line(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h0 := g.AddHost("h0")
+	h1 := g.AddHost("h1")
+	if _, err := g.Connect(h0, 0, 1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := g.Connect(h1, 7, 1); err != nil {
+		b.Fatal(err)
+	}
+	n, err := New(Config{
+		Topology: g,
+		Switch: switchnode.Config{
+			N:          8,
+			Discipline: switchnode.DisciplinePerVC,
+			FrameSlots: 16,
+			Seed:       1,
+		},
+		IngressWindow: 16,
+		Workers:       workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := []topology.NodeID{h0, 0, 1, 2, 3, 4, 5, 6, 7, h1}
+	for vc := cell.VCI(1); vc <= 8; vc++ {
+		if _, err := n.OpenBestEffort(vc, path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fill := func() {
+		for vc := cell.VCI(1); vc <= 8; vc++ {
+			_ = n.Send(vc, [cell.PayloadSize]byte{byte(vc)})
+		}
+	}
+	for i := 0; i < 32; i++ {
+		fill()
+		n.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill()
+		n.Step()
+	}
+}
+
+func BenchmarkNetworkStep(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchNetworkStep(b, w)
+		})
+	}
+}

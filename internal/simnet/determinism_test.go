@@ -1,0 +1,141 @@
+package simnet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/switchnode"
+	"repro/internal/topology"
+)
+
+// runDeterminismScenario drives a fixed mixed workload — bursty best-effort
+// circuits in both directions, a paced guaranteed circuit, and a mid-run
+// link failure — over a 6-switch line, and returns everything observable:
+// the full event trace, network counters, both hosts' stats, and link
+// utilization. Two runs are "the same" iff all of it matches.
+func runDeterminismScenario(t *testing.T, workers int) (*CollectTracer, NetStats, HostStats, HostStats, map[topology.LinkID]float64) {
+	t.Helper()
+	tr := &CollectTracer{}
+	n, h0, h1, path := lineNet(t, 6, 1, Config{
+		Switch: switchnode.Config{
+			N:          8,
+			Discipline: switchnode.DisciplinePerVC,
+			FrameSlots: 16,
+			Seed:       99,
+		},
+		IngressWindow: 8,
+		Tracer:        tr,
+		Workers:       workers,
+	})
+	rev := make([]topology.NodeID, len(path))
+	for i, id := range path {
+		rev[len(path)-1-i] = id
+	}
+	for vc := cell.VCI(1); vc <= 4; vc++ {
+		if _, err := n.OpenBestEffort(vc, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for vc := cell.VCI(5); vc <= 7; vc++ {
+		if _, err := n.OpenBestEffort(vc, rev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.OpenGuaranteed(10, path, 4); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for slot := 0; slot < 400; slot++ {
+		for vc := cell.VCI(1); vc <= 7; vc++ {
+			if rng.Intn(3) == 0 {
+				if err := n.Send(vc, [cell.PayloadSize]byte{byte(vc), byte(slot)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if slot%5 == 0 {
+			if err := n.Send(10, [cell.PayloadSize]byte{0x47, byte(slot)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if slot == 150 {
+			link, _ := n.g.LinkBetween(path[2], path[3])
+			n.KillLink(link.ID)
+		}
+		if slot == 180 {
+			link, _ := n.g.LinkBetween(path[2], path[3])
+			n.RestoreLink(link.ID)
+		}
+		n.Step()
+	}
+	n.Run(200) // drain
+	s0, _ := n.HostStats(h0)
+	s1, _ := n.HostStats(h1)
+	return tr, n.Stats(), *s0, *s1, n.LinkUtilization()
+}
+
+// TestParallelStepMatchesSequential is the tentpole determinism check:
+// stepping switches through a worker pool must produce byte-identical
+// results to sequential stepping — same trace, same counters, same host
+// observations — because departures are applied in canonical NodeID order
+// behind the slot barrier.
+func TestParallelStepMatchesSequential(t *testing.T) {
+	seqTr, seqNet, seqH0, seqH1, seqUtil := runDeterminismScenario(t, 1)
+	for _, workers := range []int{2, 4, 7} {
+		parTr, parNet, parH0, parH1, parUtil := runDeterminismScenario(t, workers)
+		if !reflect.DeepEqual(seqTr.Events, parTr.Events) {
+			t.Fatalf("workers=%d: trace diverged from sequential (%d vs %d events)",
+				workers, len(seqTr.Events), len(parTr.Events))
+		}
+		if seqNet != parNet {
+			t.Fatalf("workers=%d: net stats diverged: %+v vs %+v", workers, seqNet, parNet)
+		}
+		if !reflect.DeepEqual(seqH0, parH0) || !reflect.DeepEqual(seqH1, parH1) {
+			t.Fatalf("workers=%d: host stats diverged", workers)
+		}
+		if !reflect.DeepEqual(seqUtil, parUtil) {
+			t.Fatalf("workers=%d: link utilization diverged", workers)
+		}
+	}
+}
+
+// TestSameSeedRepeatable runs the identical scenario twice at the default
+// worker setting and requires identical observable behaviour — the
+// regression test for the map-iteration nondeterminism the sorted
+// switchOrder/circOrder slices replace.
+func TestSameSeedRepeatable(t *testing.T) {
+	aTr, aNet, aH0, aH1, aUtil := runDeterminismScenario(t, 0)
+	bTr, bNet, bH0, bH1, bUtil := runDeterminismScenario(t, 0)
+	if !reflect.DeepEqual(aTr.Events, bTr.Events) {
+		t.Fatalf("same-seed runs traced differently (%d vs %d events)", len(aTr.Events), len(bTr.Events))
+	}
+	if aNet != bNet {
+		t.Fatalf("same-seed net stats differ: %+v vs %+v", aNet, bNet)
+	}
+	if !reflect.DeepEqual(aH0, bH0) || !reflect.DeepEqual(aH1, bH1) {
+		t.Fatal("same-seed host stats differ")
+	}
+	if !reflect.DeepEqual(aUtil, bUtil) {
+		t.Fatal("same-seed link utilization differs")
+	}
+}
+
+// TestWorkersResolution checks the Config.Workers defaulting rules.
+func TestWorkersResolution(t *testing.T) {
+	n, _, _, _ := lineNet(t, 3, 1, Config{
+		Switch:  switchnode.Config{N: 4, FrameSlots: 8},
+		Workers: 16,
+	})
+	if n.workers > 3 {
+		t.Fatalf("workers = %d, want clamped to switch count 3", n.workers)
+	}
+	n2, _, _, _ := lineNet(t, 3, 1, Config{
+		Switch:  switchnode.Config{N: 4, FrameSlots: 8},
+		Workers: 1,
+	})
+	if n2.workers != 1 {
+		t.Fatalf("workers = %d, want 1", n2.workers)
+	}
+}

@@ -21,6 +21,10 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/metrics"
@@ -46,6 +50,12 @@ type Config struct {
 	// Tracer, if set, receives an event for every observable network
 	// action (injections, deliveries, drops, circuit and fault events).
 	Tracer Tracer
+	// Workers bounds the worker pool that steps switches in parallel
+	// within each slot. 0 picks min(GOMAXPROCS, switch count); 1 forces
+	// sequential stepping. Results are byte-identical at any setting:
+	// switches share no state during a slot, and departures are applied
+	// in canonical (ascending NodeID) order behind a slot barrier.
+	Workers int
 }
 
 // Circuit is an established virtual circuit.
@@ -135,18 +145,33 @@ type Network struct {
 	cfg      Config
 	g        *topology.Graph
 	switches map[topology.NodeID]*switchnode.Switch
-	phase    map[topology.NodeID]int64
-	hosts    map[topology.NodeID]*host
-	circuits map[cell.VCI]*Circuit
-	inflight []flight
-	credits  []ingressCredit
-	slot     int64
+	// switchOrder is the ascending-NodeID iteration order, cached at build
+	// time so every per-switch loop (stepping, occupancy, backlog) is
+	// deterministic instead of following map iteration order.
+	switchOrder []topology.NodeID
+	phase       map[topology.NodeID]int64
+	hosts       map[topology.NodeID]*host
+	circuits    map[cell.VCI]*Circuit
+	// circOrder holds the open circuits sorted by VCI; source injection
+	// follows it so cross-circuit interleaving is reproducible run to run.
+	circOrder []*Circuit
+	inflight  []flight
+	credits   []ingressCredit
+	slot      int64
 
 	deadLinks map[topology.LinkID]bool
 	deadNodes map[topology.NodeID]bool
 
-	// linkCells counts cells carried per link (utilization accounting).
-	linkCells map[topology.LinkID]int64
+	// linkCells counts cells carried per link (utilization accounting),
+	// indexed by the dense LinkID.
+	linkCells []int64
+
+	// workers is the per-slot switch-stepping parallelism (resolved from
+	// Config.Workers at build time); stepDeps collects each switch's
+	// departures by switchOrder position so they can be applied in
+	// canonical order after the slot barrier.
+	workers  int
+	stepDeps [][]switchnode.Departure
 
 	stats NetStats
 }
@@ -177,16 +202,25 @@ func New(cfg Config) (*Network, error) {
 		return nil, ErrNoTopology
 	}
 	n := &Network{
-		cfg:       cfg,
-		g:         cfg.Topology,
-		switches:  make(map[topology.NodeID]*switchnode.Switch),
-		phase:     make(map[topology.NodeID]int64),
-		hosts:     make(map[topology.NodeID]*host),
-		circuits:  make(map[cell.VCI]*Circuit),
-		deadLinks: make(map[topology.LinkID]bool),
-		deadNodes: make(map[topology.NodeID]bool),
-		linkCells: make(map[topology.LinkID]int64),
+		cfg:         cfg,
+		g:           cfg.Topology,
+		switches:    make(map[topology.NodeID]*switchnode.Switch),
+		switchOrder: cfg.Topology.Switches(), // ascending NodeID
+		phase:       make(map[topology.NodeID]int64),
+		hosts:       make(map[topology.NodeID]*host),
+		circuits:    make(map[cell.VCI]*Circuit),
+		deadLinks:   make(map[topology.LinkID]bool),
+		deadNodes:   make(map[topology.NodeID]bool),
+		linkCells:   make([]int64, cfg.Topology.NumLinks()),
 	}
+	n.workers = cfg.Workers
+	if n.workers <= 0 {
+		n.workers = runtime.GOMAXPROCS(0)
+	}
+	if n.workers > len(n.switchOrder) {
+		n.workers = len(n.switchOrder)
+	}
+	n.stepDeps = make([][]switchnode.Departure, len(n.switchOrder))
 	for _, s := range cfg.Topology.Switches() {
 		sc := cfg.Switch
 		sc.Seed = cfg.Switch.Seed + int64(s)*7919
@@ -252,6 +286,22 @@ func (n *Network) Packets(id topology.NodeID) [][]byte {
 	out := h.packets
 	h.packets = nil
 	return out
+}
+
+// insertCircuit adds c to the VCI-sorted injection order.
+func (n *Network) insertCircuit(c *Circuit) {
+	i := sort.Search(len(n.circOrder), func(k int) bool { return n.circOrder[k].VC >= c.VC })
+	n.circOrder = append(n.circOrder, nil)
+	copy(n.circOrder[i+1:], n.circOrder[i:])
+	n.circOrder[i] = c
+}
+
+// removeCircuit drops vc from the injection order.
+func (n *Network) removeCircuit(vc cell.VCI) {
+	i := sort.Search(len(n.circOrder), func(k int) bool { return n.circOrder[k].VC >= vc })
+	if i < len(n.circOrder) && n.circOrder[i].VC == vc {
+		n.circOrder = append(n.circOrder[:i], n.circOrder[i+1:]...)
+	}
 }
 
 // validatePath checks the path alternates host, switches..., host along
@@ -321,6 +371,7 @@ func (n *Network) OpenBestEffort(vc cell.VCI, path []topology.NodeID) (*Circuit,
 		window: n.cfg.IngressWindow,
 	}
 	n.circuits[vc] = c
+	n.insertCircuit(c)
 	n.trace(TraceOpen, vc, path[0], -1, 0)
 	return c, nil
 }
@@ -360,6 +411,7 @@ func (n *Network) OpenGuaranteed(vc cell.VCI, path []topology.NodeID, cellsPerFr
 		hops:          hops,
 	}
 	n.circuits[vc] = c
+	n.insertCircuit(c)
 	n.trace(TraceOpen, vc, path[0], -1, 0)
 	return c, nil
 }
@@ -380,6 +432,7 @@ func (n *Network) CloseCircuit(vc cell.VCI) error {
 		}
 	}
 	delete(n.circuits, vc)
+	n.removeCircuit(vc)
 	n.trace(TraceClose, vc, -1, -1, 0)
 	return nil
 }
@@ -527,8 +580,9 @@ func (n *Network) Step() {
 	// 2. Source injection: each circuit moves pending cells into its
 	// first switch, subject to the ingress window (best-effort) or the
 	// reserved rate (guaranteed: CellsPerFrame cells per frame, evenly
-	// paced).
-	for _, c := range n.circuits {
+	// paced). Circuits inject in ascending VCI order so the interleaving
+	// of cells sharing a link is reproducible run to run.
+	for _, c := range n.circOrder {
 		n.inject(c, now)
 	}
 
@@ -568,12 +622,15 @@ func (n *Network) Step() {
 	}
 	n.inflight = keptFl
 
-	// 4. Step every live switch; route departures onto links.
-	for s, sw := range n.switches {
-		if n.deadNodes[s] {
-			continue
-		}
-		for _, d := range sw.Step() {
+	// 4. Step every live switch — in parallel when the worker pool allows
+	// it — then route departures onto links in canonical (ascending
+	// NodeID) order. Switches share no state during a slot, so parallel
+	// stepping with ordered application is byte-identical to sequential.
+	n.stepSwitches()
+	for idx, s := range n.switchOrder {
+		deps := n.stepDeps[idx]
+		n.stepDeps[idx] = nil
+		for _, d := range deps {
 			c, ok := n.circuits[d.Cell.VC]
 			if !ok {
 				n.stats.DroppedReroute++
@@ -610,6 +667,48 @@ func (n *Network) Step() {
 
 	n.slot++
 	n.stats.Slots++
+}
+
+// stepSwitches advances every live switch one slot, filling stepDeps by
+// switchOrder position. With more than one worker the per-switch Step
+// calls are fanned across a bounded pool; the WaitGroup is the slot
+// barrier. Each switch owns all state its Step touches (buffers, crossbar,
+// scheduler RNG), so work-stealing the index order is safe: only the
+// deterministic application order in Step matters for results. The
+// departure slices are scratch owned by each switch, valid until that
+// switch's next Step — i.e. for the rest of this slot.
+func (n *Network) stepSwitches() {
+	if n.workers <= 1 || len(n.switchOrder) < 2 {
+		for idx, s := range n.switchOrder {
+			if n.deadNodes[s] {
+				n.stepDeps[idx] = nil
+				continue
+			}
+			n.stepDeps[idx] = n.switches[s].Step()
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(n.workers)
+	for w := 0; w < n.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(atomic.AddInt64(&next, 1))
+				if idx >= len(n.switchOrder) {
+					return
+				}
+				s := n.switchOrder[idx]
+				if n.deadNodes[s] {
+					n.stepDeps[idx] = nil
+					continue
+				}
+				n.stepDeps[idx] = n.switches[s].Step()
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // inject moves source-pending cells onto the first link.
@@ -714,10 +813,11 @@ func (n *Network) Run(slots int64) {
 // slot from outside; this helper reads the instantaneous value).
 func (n *Network) MaxGuaranteedOccupancy() int {
 	maxOcc := 0
-	for s, sw := range n.switches {
+	for _, s := range n.switchOrder {
 		if n.deadNodes[s] {
 			continue
 		}
+		sw := n.switches[s]
 		for i := 0; i < sw.N(); i++ {
 			if occ := sw.BufferedGuaranteed(i); occ > maxOcc {
 				maxOcc = occ
@@ -731,12 +831,14 @@ func (n *Network) MaxGuaranteedOccupancy() int {
 // normalized to cells per slot (a full-duplex link counts both
 // directions together, each direction carrying at most 1 cell/slot).
 func (n *Network) LinkUtilization() map[topology.LinkID]float64 {
-	out := make(map[topology.LinkID]float64, len(n.linkCells))
+	out := make(map[topology.LinkID]float64)
 	if n.slot == 0 {
 		return out
 	}
 	for id, cells := range n.linkCells {
-		out[id] = float64(cells) / float64(n.slot)
+		if cells > 0 {
+			out[topology.LinkID(id)] = float64(cells) / float64(n.slot)
+		}
 	}
 	return out
 }
@@ -745,10 +847,11 @@ func (n *Network) LinkUtilization() map[topology.LinkID]float64 {
 // network's switches.
 func (n *Network) TotalBestEffortBacklog() int {
 	total := 0
-	for s, sw := range n.switches {
+	for _, s := range n.switchOrder {
 		if n.deadNodes[s] {
 			continue
 		}
+		sw := n.switches[s]
 		for i := 0; i < sw.N(); i++ {
 			total += sw.BufferedBestEffort(i)
 		}

@@ -1,0 +1,58 @@
+package switchnode
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// benchStep measures the slot-engine hot path: a saturated n-port per-VC
+// switch with uniform traffic, refilled so every input always holds cells
+// for several outputs. This is the loop the zero-allocation work targets;
+// allocs/op should stay at (or near) zero.
+func benchStep(b *testing.B, n int) {
+	s, err := New(Config{N: n, Discipline: DisciplinePerVC, FrameSlots: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One circuit per (input, offset) pair, spreading each input's backlog
+	// over four outputs.
+	vc := func(in, k int) cell.VCI { return cell.VCI(1 + in*4 + k) }
+	refill := func() {
+		for in := 0; in < n; in++ {
+			for k := 0; k < 4; k++ {
+				out := (in + k) % n
+				if s.BufferedBestEffort(in) < 8*n {
+					s.EnqueueBestEffort(in, cell.Cell{VC: vc(in, k), Class: cell.BestEffort}, out)
+				}
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		refill()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refill()
+		s.Step()
+	}
+}
+
+func BenchmarkStep16(b *testing.B) { benchStep(b, 16) }
+func BenchmarkStep64(b *testing.B) { benchStep(b, 64) }
+
+func BenchmarkStepFIFO16(b *testing.B) {
+	s, err := New(Config{N: 16, Discipline: DisciplineFIFO, FrameSlots: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for in := 0; in < 16; in++ {
+			s.EnqueueBestEffort(in, cell.Cell{VC: cell.VCI(1 + in), Class: cell.BestEffort}, (in+i)%16)
+		}
+		s.Step()
+	}
+}

@@ -113,6 +113,8 @@ type Switch struct {
 	reqs    *matching.Requests
 	// hold keeps the cell chosen for each connected input this slot.
 	hold []holdSlot
+	// deps backs the slice returned by Step, reused across slots.
+	deps []Departure
 }
 
 type holdSlot struct {
@@ -151,11 +153,14 @@ func New(cfg Config) (*Switch, error) {
 	s := &Switch{
 		n:       cfg.N,
 		disc:    cfg.Discipline,
+		be:      make([]buffer.InputBuffer, 0, cfg.N),
+		gtd:     make([]*buffer.PerVC, 0, cfg.N),
 		xb:      crossbar.New(cfg.N),
 		matcher: cfg.Scheduler,
 		frame:   frame,
 		reqs:    matching.NewRequests(cfg.N),
 		hold:    make([]holdSlot, cfg.N),
+		deps:    make([]Departure, 0, cfg.N),
 	}
 	for i := 0; i < cfg.N; i++ {
 		switch cfg.Discipline {
@@ -262,6 +267,11 @@ func (s *Switch) BufferedGuaranteed(input int) int { return s.gtd[input].Len() }
 // guaranteed cell leaves its input and output idle), and parallel
 // iterative matching then pairs the remaining inputs and outputs that have
 // best-effort cells.
+//
+// The returned slice is reused across slots: it is valid until the next
+// Step call, so callers that retain departures must copy them. Every
+// caller in this repository consumes the slice within the slot, which
+// keeps the slot loop allocation-free.
 func (s *Switch) Step() []Departure {
 	s.xb.Reset()
 	for i := range s.hold {
@@ -288,22 +298,19 @@ func (s *Switch) Step() []Departure {
 		}
 	}
 
-	// Phase 2: best-effort matching over the idle inputs/outputs.
-	for i := 0; i < s.n; i++ {
-		for j := 0; j < s.n; j++ {
-			s.reqs.Clear(i, j)
-		}
-	}
+	// Phase 2: best-effort matching over the idle inputs/outputs. The
+	// request matrix is cleared word-wise and each free input's row is
+	// filled in one word-wise pass: the line card's eligible-output bitset
+	// AND-NOT the crossbar's connected-output bitset.
+	s.reqs.ClearAll()
+	busy := s.xb.OutputBusyWords()
 	any := false
 	for i := 0; i < s.n; i++ {
 		if !s.xb.InputFree(i) {
 			continue
 		}
-		for _, j := range s.be[i].Eligible() {
-			if !s.xb.OutputBusy(j) {
-				s.reqs.Set(i, j)
-				any = true
-			}
+		if s.reqs.SetRowAndNot(i, s.be[i].EligibleBits(), busy) {
+			any = true
 		}
 	}
 	if any {
@@ -325,7 +332,7 @@ func (s *Switch) Step() []Departure {
 	}
 
 	// Phase 3: transfer.
-	var out []Departure
+	out := s.deps[:0]
 	for i := 0; i < s.n; i++ {
 		if !s.hold[i].valid {
 			continue
@@ -343,6 +350,10 @@ func (s *Switch) Step() []Departure {
 	}
 	s.slot++
 	s.stats.Slots++
+	s.deps = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
@@ -359,6 +370,8 @@ type Oracle struct {
 	rng   *rand.Rand
 	// pending arrivals this slot, grouped by output.
 	arrivals [][]cell.Cell
+	// deps backs the slice returned by Step, reused across slots.
+	deps []Departure
 }
 
 // NewOracle creates an output-queued switch with speedup k (k<=0 means
@@ -373,6 +386,7 @@ func NewOracle(n, k int, seed int64) *Oracle {
 		out:      make([][]cell.Cell, n),
 		arrivals: make([][]cell.Cell, n),
 		rng:      rand.New(rand.NewSource(seed)),
+		deps:     make([]Departure, 0, n),
 	}
 }
 
@@ -390,7 +404,8 @@ func (o *Oracle) Enqueue(c cell.Cell, output int) bool {
 
 // Step advances one slot: up to k freshly arrived cells cross the fabric
 // to each output queue (excess cells wait at a virtual input stage), and
-// each output transmits one cell.
+// each output transmits one cell. Like Switch.Step, the returned slice is
+// reused across slots and valid until the next Step call.
 func (o *Oracle) Step() []Departure {
 	for j := 0; j < o.n; j++ {
 		moved := 0
@@ -405,7 +420,7 @@ func (o *Oracle) Step() []Departure {
 		}
 		o.arrivals[j] = keep
 	}
-	var deps []Departure
+	deps := o.deps[:0]
 	for j := 0; j < o.n; j++ {
 		if len(o.out[j]) == 0 {
 			continue
@@ -417,6 +432,10 @@ func (o *Oracle) Step() []Departure {
 	}
 	o.slot++
 	o.stats.Slots++
+	o.deps = deps
+	if len(deps) == 0 {
+		return nil
+	}
 	return deps
 }
 
