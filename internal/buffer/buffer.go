@@ -41,6 +41,15 @@ type InputBuffer interface {
 	Pop(output int) (c cell.Cell, ok bool)
 	// Len returns the number of buffered cells.
 	Len() int
+	// CountVC returns the number of buffered cells belonging to circuit vc.
+	CountVC(vc cell.VCI) int
+	// Drop discards all buffered cells of circuit vc (teardown, page-out,
+	// reroute purge), returning how many were discarded. EligibleBits stays
+	// consistent with the surviving contents.
+	Drop(vc cell.VCI) int
+	// DropAll discards every buffered cell (a crashed line card losing its
+	// memory), returning how many were discarded.
+	DropAll() int
 }
 
 // queued pairs a cell with its output port.
@@ -121,6 +130,42 @@ func (f *FIFO) Pop(output int) (cell.Cell, bool) {
 
 // Len implements InputBuffer.
 func (f *FIFO) Len() int { return len(f.q) - f.head }
+
+// CountVC implements InputBuffer by scanning the queue.
+func (f *FIFO) CountVC(vc cell.VCI) int {
+	n := 0
+	for _, it := range f.q[f.head:] {
+		if it.c.VC == vc {
+			n++
+		}
+	}
+	return n
+}
+
+// Drop implements InputBuffer: it compacts the queue in place, removing
+// every cell of circuit vc while preserving the order of the rest.
+func (f *FIFO) Drop(vc cell.VCI) int {
+	kept := f.q[:0]
+	dropped := 0
+	for _, it := range f.q[f.head:] {
+		if it.c.VC == vc {
+			dropped++
+			continue
+		}
+		kept = append(kept, it)
+	}
+	f.q = kept
+	f.head = 0
+	return dropped
+}
+
+// DropAll implements InputBuffer.
+func (f *FIFO) DropAll() int {
+	n := f.Len()
+	f.q = f.q[:0]
+	f.head = 0
+	return n
+}
 
 // PerVC is the AN2-style random-access buffer: one queue per virtual
 // circuit. Create with NewPerVC.
@@ -304,6 +349,9 @@ func (p *PerVC) QueueLen(vc cell.VCI) int {
 	return q.len()
 }
 
+// CountVC implements InputBuffer.
+func (p *PerVC) CountVC(vc cell.VCI) int { return p.QueueLen(vc) }
+
 // Circuits returns the number of circuits with queued cells.
 func (p *PerVC) Circuits() int { return len(p.queues) }
 
@@ -325,5 +373,22 @@ func (p *PerVC) Drop(vc cell.VCI) int {
 		}
 	}
 	p.recycle(q)
+	return n
+}
+
+// DropAll implements InputBuffer.
+func (p *PerVC) DropAll() int {
+	n := p.total
+	for vc, q := range p.queues {
+		delete(p.queues, vc)
+		p.recycle(q)
+	}
+	for o := range p.byOutput {
+		delete(p.byOutput, o)
+	}
+	for w := range p.bits {
+		p.bits[w] = 0
+	}
+	p.total = 0
 	return n
 }

@@ -1,0 +1,97 @@
+package recovery
+
+import (
+	"sort"
+
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// FaultEvent is one scheduled hardware state change. It is the *injected
+// truth* of an experiment: the measurement loop applies these and nothing
+// else touches the fault APIs, so every KillLink/KillSwitch in the run is
+// declared up front and all recovery is the Loop's own work.
+type FaultEvent struct {
+	// Slot is when the hardware changes state.
+	Slot int64
+	// Node >= 0 makes this a switch event on Node; otherwise Link names
+	// the affected link.
+	Node topology.NodeID
+	Link topology.LinkID
+	// Up restores the element; !Up kills it.
+	Up bool
+}
+
+// CutLink schedules a link failure.
+func CutLink(slot int64, link topology.LinkID) FaultEvent {
+	return FaultEvent{Slot: slot, Node: -1, Link: link}
+}
+
+// HealLink schedules a link repair.
+func HealLink(slot int64, link topology.LinkID) FaultEvent {
+	return FaultEvent{Slot: slot, Node: -1, Link: link, Up: true}
+}
+
+// CrashSwitch schedules a switch crash.
+func CrashSwitch(slot int64, node topology.NodeID) FaultEvent {
+	return FaultEvent{Slot: slot, Node: node, Link: -1}
+}
+
+// RebootSwitch schedules a switch restore.
+func RebootSwitch(slot int64, node topology.NodeID) FaultEvent {
+	return FaultEvent{Slot: slot, Node: node, Link: -1, Up: true}
+}
+
+// Flap generates a flapping history for a link: starting at startSlot, the
+// link dies and revives every halfPeriod slots, count full cycles — the
+// intermittent fault the skeptics exist to contain (§2).
+func Flap(link topology.LinkID, startSlot, halfPeriod int64, cycles int) []FaultEvent {
+	var evs []FaultEvent
+	at := startSlot
+	for i := 0; i < cycles; i++ {
+		evs = append(evs, CutLink(at, link))
+		evs = append(evs, HealLink(at+halfPeriod, link))
+		at += 2 * halfPeriod
+	}
+	return evs
+}
+
+// Injector applies a declared fault schedule to a network as slots pass.
+type Injector struct {
+	events []FaultEvent
+	next   int
+}
+
+// NewInjector sorts (stably, by slot) and adopts a copy of the schedule.
+func NewInjector(events []FaultEvent) *Injector {
+	evs := append([]FaultEvent(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Slot < evs[j].Slot })
+	return &Injector{events: evs}
+}
+
+// Apply fires every event whose slot has arrived, returning how many fired.
+func (inj *Injector) Apply(n *simnet.Network) int {
+	fired := 0
+	for inj.next < len(inj.events) && inj.events[inj.next].Slot <= n.Slot() {
+		ev := inj.events[inj.next]
+		inj.next++
+		fired++
+		switch {
+		case ev.Node >= 0 && !ev.Up:
+			n.KillSwitch(ev.Node)
+		case ev.Node >= 0 && ev.Up:
+			n.RestoreSwitch(ev.Node)
+		case ev.Up:
+			n.RestoreLink(ev.Link)
+		default:
+			n.KillLink(ev.Link)
+		}
+	}
+	return fired
+}
+
+// Done reports whether the whole schedule has been applied.
+func (inj *Injector) Done() bool { return inj.next >= len(inj.events) }
+
+// Remaining returns how many events have not fired yet.
+func (inj *Injector) Remaining() int { return len(inj.events) - inj.next }

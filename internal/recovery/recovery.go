@@ -1,0 +1,535 @@
+// Package recovery closes the paper's §2 loop inside the slot simulation:
+// autonomous detect → reconfigure → reroute, with no operator in the path.
+//
+// A Loop plays the role of the distributed switch software. Every slot it
+// pings the inter-switch links (simnet.ProbeLink is the hardware answer)
+// and feeds the results to one monitor.Skeptic per link — the same
+// skeptics E15 studies in isolation. When a skeptic's believed state
+// flips, the loop runs a reconfig round over the surviving topology
+// (scoped to a region around the trigger when configured, the paper's
+// proposed optimization), waits out the round's convergence time in slot
+// time, recomputes deadlock-free up*/down* paths with package routing,
+// calls simnet.Reroute for every circuit crossing a believed-dead
+// component, and resyncs the ingress credit window of each rerouted
+// best-effort circuit the way flowcontrol's epoch resync repairs a credit
+// loop. The data plane keeps stepping underneath throughout — the outage
+// a failure causes is exactly the window this package measures.
+//
+// The loop acts on *belief*, never on hardware truth: it reads nothing
+// from simnet except probe answers and the circuit table. Detection lag,
+// stale beliefs during proving periods, and reroutes refused because the
+// control plane's picture is behind the hardware are all part of the
+// model, as they were in AN2.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/monitor"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Config tunes a Loop.
+type Config struct {
+	// Net is the live network the loop protects.
+	Net *simnet.Network
+	// SlotUS converts data-plane slots to the virtual microseconds the
+	// skeptics and the reconfiguration protocol run in (default 10 µs per
+	// slot — a 53-byte cell at ~42 Mb/s).
+	SlotUS int64
+	// ProbeIntervalSlots is how often each link is pinged (default 1:
+	// every slot, the densest signal the skeptics can get).
+	ProbeIntervalSlots int64
+	// Skeptic tunes the per-link skeptics. The zero value uses monitor's
+	// defaults (100 ms base proving period — very long in slot time; real
+	// loops set BaseWaitUS to tens of slots' worth of µs).
+	Skeptic monitor.Config
+	// ReconfigRadius scopes reconfiguration rounds to switches within this
+	// BFS radius of the trigger (§2's "restrict participation to switches
+	// near the failing component"). Negative runs global rounds.
+	ReconfigRadius int
+	// RetrySlots is the delay before re-attempting repair when some
+	// circuit could not be rerouted — no path in the believed topology, or
+	// admission refused (default 64).
+	RetrySlots int64
+	// Root is the up*/down* tree root. Default: lowest-numbered switch.
+	// If the root itself is believed dead the loop substitutes the lowest
+	// believed-live switch for that repair pass.
+	Root topology.NodeID
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlotUS <= 0 {
+		c.SlotUS = 10
+	}
+	if c.ProbeIntervalSlots <= 0 {
+		c.ProbeIntervalSlots = 1
+	}
+	if c.RetrySlots <= 0 {
+		c.RetrySlots = 64
+	}
+	return c
+}
+
+// Incident is one believed failure or recovery, with the loop's timeline
+// for it. Slots are data-plane slot numbers.
+type Incident struct {
+	// Kind is "link-down", "link-up", "switch-down" or "switch-up".
+	Kind string
+	Link topology.LinkID
+	// Node is set (>= 0) for switch incidents.
+	Node topology.NodeID
+	// HardwareSlot is when the hardware actually changed state (-1 if the
+	// belief never matched a hardware event, e.g. a flap the skeptic
+	// smoothed over).
+	HardwareSlot int64
+	// DetectSlot is when the skeptic believed the transition.
+	DetectSlot int64
+	// ReconfigSlots is the convergence time of the reconfiguration round
+	// this incident triggered, in slots (rounded up).
+	ReconfigSlots int64
+	// RepairSlot is when the repair pass that followed finished moving
+	// circuits (== DetectSlot + ReconfigSlots for up-incidents, which need
+	// no reroute). -1 while repair is still pending.
+	RepairSlot int64
+	// Rerouted counts circuits moved by this incident's repair pass.
+	Rerouted int
+}
+
+// DetectionLagSlots is the monitoring delay: hardware change to belief.
+func (i Incident) DetectionLagSlots() int64 {
+	if i.HardwareSlot < 0 {
+		return 0
+	}
+	return i.DetectSlot - i.HardwareSlot
+}
+
+// OutageSlots is the full window from hardware change to completed repair.
+// -1 if the repair never completed.
+func (i Incident) OutageSlots() int64 {
+	if i.RepairSlot < 0 {
+		return -1
+	}
+	if i.HardwareSlot < 0 {
+		return i.RepairSlot - i.DetectSlot
+	}
+	return i.RepairSlot - i.HardwareSlot
+}
+
+// Stats aggregates the loop's work.
+type Stats struct {
+	Probes         int64
+	Detections     int64 // believed transitions (skeptic events)
+	ReconfigRounds int64
+	ReconfigMsgs   int64
+	ReconfigBytes  int64
+	Reroutes       int64 // successful circuit moves
+	FailedReroutes int64 // no path or admission refused (will retry)
+	Resyncs        int64 // ingress credit resyncs issued
+	UnroutedAtEnd  int   // circuits still crossing dead elements
+	MaxReconfigUS  int64 // slowest round's convergence time
+}
+
+// Loop is the recovery control loop for one network.
+type Loop struct {
+	cfg Config
+	net *simnet.Network
+	g   *topology.Graph
+
+	// links are the monitored inter-switch links in ascending LinkID
+	// order — the deterministic probe order.
+	links    []topology.Link
+	skeptics map[topology.LinkID]*monitor.Skeptic
+
+	// believedDeadLinks / believedDeadNodes is the loop's picture of the
+	// topology; it lags hardware by the skeptics' thresholds.
+	believedDeadLinks map[topology.LinkID]bool
+	believedDeadNodes map[topology.NodeID]bool
+
+	// epoch carries the reconfiguration epoch across rounds, so each new
+	// configuration supersedes the last.
+	epoch uint64
+
+	// repairAtSlot, when >= 0, schedules the next repair pass — the
+	// reconfiguration round's convergence time must elapse (in slot time)
+	// before the new routes exist anywhere.
+	repairAtSlot int64
+
+	incidents []Incident
+	// openIncidents indexes incidents awaiting their repair pass.
+	openIncidents []int
+
+	stats Stats
+}
+
+// New builds a Loop over the network's inter-switch topology. All links
+// start believed working, matching the skeptics' initial state.
+func New(cfg Config) (*Loop, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("recovery: nil network")
+	}
+	cfg = cfg.withDefaults()
+	g := cfg.Net.Topology()
+	l := &Loop{
+		cfg:               cfg,
+		net:               cfg.Net,
+		g:                 g,
+		skeptics:          make(map[topology.LinkID]*monitor.Skeptic),
+		believedDeadLinks: make(map[topology.LinkID]bool),
+		believedDeadNodes: make(map[topology.NodeID]bool),
+		repairAtSlot:      -1,
+	}
+	for _, link := range g.Links() {
+		if !g.SwitchOnly(link) {
+			continue // host links are the host's problem, as in AN2
+		}
+		l.links = append(l.links, link)
+		l.skeptics[link.ID] = monitor.New(cfg.Skeptic)
+	}
+	sort.Slice(l.links, func(i, j int) bool { return l.links[i].ID < l.links[j].ID })
+	if len(l.links) == 0 {
+		return nil, fmt.Errorf("recovery: topology has no inter-switch links to monitor")
+	}
+	return l, nil
+}
+
+// Stats returns the loop's aggregate counters.
+func (l *Loop) Stats() Stats {
+	s := l.stats
+	s.UnroutedAtEnd = len(l.crossingCircuits())
+	return s
+}
+
+// Incidents returns the believed transitions recorded so far.
+func (l *Loop) Incidents() []Incident {
+	return append([]Incident(nil), l.incidents...)
+}
+
+// BelievesLinkDead reports the loop's current belief about a link.
+func (l *Loop) BelievesLinkDead(id topology.LinkID) bool { return l.believedDeadLinks[id] }
+
+// BelievesSwitchDead reports the loop's current belief about a switch.
+func (l *Loop) BelievesSwitchDead(id topology.NodeID) bool { return l.believedDeadNodes[id] }
+
+// Quiescent reports whether the loop has no repair work pending and no
+// circuit crossing a believed-dead component — the state a finished
+// recovery converges to.
+func (l *Loop) Quiescent() bool {
+	return l.repairAtSlot < 0 && len(l.crossingCircuits()) == 0
+}
+
+// Tick runs one slot of control-loop work. Call it once per data-plane
+// slot, before or after Network.Step (the loop only probes and reroutes;
+// it never moves cells).
+func (l *Loop) Tick() {
+	slot := l.net.Slot()
+	if slot%l.cfg.ProbeIntervalSlots == 0 {
+		if changed := l.probe(slot); len(changed) > 0 {
+			l.react(slot, changed)
+		}
+	}
+	if l.repairAtSlot >= 0 && slot >= l.repairAtSlot {
+		l.repair(slot)
+	}
+}
+
+// probe pings every monitored link and returns the links whose believed
+// state flipped this slot, in ascending LinkID order.
+func (l *Loop) probe(slot int64) []topology.Link {
+	nowUS := slot * l.cfg.SlotUS
+	var changed []topology.Link
+	for _, link := range l.links {
+		sk := l.skeptics[link.ID]
+		l.stats.Probes++
+		if l.net.ProbeLink(link.ID) {
+			sk.PingOK(nowUS)
+		} else {
+			sk.PingFail(nowUS)
+		}
+		deadNow := sk.State() != monitor.Working
+		if deadNow != l.believedDeadLinks[link.ID] {
+			if deadNow {
+				l.believedDeadLinks[link.ID] = true
+			} else {
+				delete(l.believedDeadLinks, link.ID)
+			}
+			changed = append(changed, link)
+		}
+	}
+	return changed
+}
+
+// react records incidents for the flipped links (and any switch whose
+// believed liveness changed with them), then launches a reconfiguration
+// round and schedules the repair pass behind its convergence time.
+func (l *Loop) react(slot int64, changed []topology.Link) {
+	for _, link := range changed {
+		down := l.believedDeadLinks[link.ID]
+		kind := "link-up"
+		if down {
+			kind = "link-down"
+		}
+		hw := int64(-1)
+		if s, ok := l.net.LastLinkChangeSlot(link.ID); ok {
+			hw = s
+		}
+		l.addIncident(Incident{
+			Kind: kind, Link: link.ID, Node: -1,
+			HardwareSlot: hw, DetectSlot: slot, RepairSlot: -1,
+		})
+		l.net.EmitTrace(simnet.TraceRecoveryDetect, 0, -1, link.ID, uint64(len(l.incidents)))
+		l.stats.Detections++
+	}
+	l.refreshNodeBeliefs(slot)
+
+	// One reconfiguration round covers every transition believed this
+	// slot, as one real round would.
+	triggers := l.triggersFor(changed)
+	if len(triggers) > 0 {
+		if us := l.runReconfig(triggers); us > 0 {
+			delay := (us + l.cfg.SlotUS - 1) / l.cfg.SlotUS
+			for _, idx := range l.openIncidents {
+				l.incidents[idx].ReconfigSlots = delay
+			}
+			l.scheduleRepair(slot + delay)
+			return
+		}
+	}
+	// No live switch could run the protocol (or the round degenerated);
+	// repair on the loop's own knowledge immediately.
+	l.scheduleRepair(slot)
+}
+
+// addIncident appends the incident and indexes it as awaiting the next
+// repair pass. Up-transitions need no reroute, so their pass closes them
+// immediately — their outage window is just detection plus reconfiguration.
+func (l *Loop) addIncident(inc Incident) {
+	l.incidents = append(l.incidents, inc)
+	l.openIncidents = append(l.openIncidents, len(l.incidents)-1)
+}
+
+// refreshNodeBeliefs derives switch liveness from link beliefs: a switch
+// with every monitored link believed dead is believed dead (a crashed
+// switch answers no pings, so this is exactly how a crash presents).
+func (l *Loop) refreshNodeBeliefs(slot int64) {
+	for _, s := range l.g.Switches() {
+		total, dead := 0, 0
+		for _, link := range l.g.LinksOf(s) {
+			if !l.g.SwitchOnly(link) {
+				continue
+			}
+			total++
+			if l.believedDeadLinks[link.ID] {
+				dead++
+			}
+		}
+		believedDead := total > 0 && dead == total
+		if believedDead == l.believedDeadNodes[s] {
+			continue
+		}
+		kind := "switch-up"
+		if believedDead {
+			l.believedDeadNodes[s] = true
+			kind = "switch-down"
+		} else {
+			delete(l.believedDeadNodes, s)
+		}
+		hw := int64(-1)
+		if hs, ok := l.net.LastSwitchChangeSlot(s); ok {
+			hw = hs
+		}
+		l.addIncident(Incident{
+			Kind: kind, Link: -1, Node: s,
+			HardwareSlot: hw, DetectSlot: slot, RepairSlot: -1,
+		})
+		l.net.EmitTrace(simnet.TraceRecoveryDetect, 0, s, -1, uint64(len(l.incidents)))
+		l.stats.Detections++
+	}
+}
+
+// triggersFor builds the reconfiguration triggers: each believed-live
+// switch adjacent to a flipped link detects the change.
+func (l *Loop) triggersFor(changed []topology.Link) []reconfig.Trigger {
+	seen := make(map[topology.NodeID]bool)
+	var triggers []reconfig.Trigger
+	for _, link := range changed {
+		for _, end := range []topology.NodeID{link.A, link.B} {
+			if n, ok := l.g.Node(end); !ok || n.Kind != topology.Switch {
+				continue
+			}
+			if l.believedDeadNodes[end] || seen[end] {
+				continue
+			}
+			seen[end] = true
+			triggers = append(triggers, reconfig.Trigger{Node: end})
+		}
+	}
+	sort.Slice(triggers, func(i, j int) bool { return triggers[i].Node < triggers[j].Node })
+	return triggers
+}
+
+// runReconfig executes one reconfiguration round over the believed
+// topology and returns its convergence time in µs (0 if the round could
+// not run).
+func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
+	runner, err := reconfig.New(reconfig.Config{
+		Topology:  l.g,
+		DeadLinks: l.believedDeadLinks,
+		DeadNodes: l.believedDeadNodes,
+		BaseEpoch: l.epoch,
+	})
+	if err != nil {
+		return 0
+	}
+	var res *reconfig.Result
+	if l.cfg.ReconfigRadius >= 0 {
+		region := runner.RegionOf(triggers, l.cfg.ReconfigRadius)
+		res, err = runner.RunScoped(triggers, region)
+	} else {
+		res, err = runner.Run(triggers)
+	}
+	if err != nil || res == nil {
+		return 0
+	}
+	l.stats.ReconfigRounds++
+	l.stats.ReconfigMsgs += res.Messages
+	l.stats.ReconfigBytes += res.Bytes
+	if res.MaxCompletionUS > l.stats.MaxReconfigUS {
+		l.stats.MaxReconfigUS = res.MaxCompletionUS
+	}
+	for _, v := range res.Views {
+		if v != nil && v.Tag.Epoch > l.epoch {
+			l.epoch = v.Tag.Epoch
+		}
+	}
+	l.net.EmitTrace(simnet.TraceRecoveryReconfig, 0, -1, -1, uint64(res.MaxCompletionUS))
+	return res.MaxCompletionUS
+}
+
+// scheduleRepair arms the repair pass, keeping the earliest requested slot
+// if one is already pending.
+func (l *Loop) scheduleRepair(at int64) {
+	if l.repairAtSlot < 0 || at < l.repairAtSlot {
+		l.repairAtSlot = at
+	}
+}
+
+// crossingCircuits returns the open circuits whose path uses a
+// believed-dead link or switch, in VCI order.
+func (l *Loop) crossingCircuits() []*simnet.Circuit {
+	var out []*simnet.Circuit
+	for _, c := range l.net.Circuits() {
+		if l.pathCrossesDead(c.Path) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (l *Loop) pathCrossesDead(path []topology.NodeID) bool {
+	for i, n := range path {
+		if l.believedDeadNodes[n] {
+			return true
+		}
+		if i+1 < len(path) {
+			if link, ok := l.g.LinkBetween(n, path[i+1]); ok && l.believedDeadLinks[link.ID] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// repair recomputes up*/down* routes over the believed topology and moves
+// every circuit crossing a believed-dead component. Circuits it cannot
+// move (partitioned, or admission refused) stay put; the pass re-arms
+// itself RetrySlots later so they are retried — a transient admission
+// conflict clears when another circuit moves away.
+func (l *Loop) repair(slot int64) {
+	l.repairAtSlot = -1
+	crossing := l.crossingCircuits()
+	rerouted, failed := 0, 0
+	if len(crossing) > 0 {
+		router := l.buildRouter()
+		for _, c := range crossing {
+			if router == nil {
+				failed++
+				continue
+			}
+			src, dst := c.Path[0], c.Path[len(c.Path)-1]
+			newPath, err := router.ShortestLegal(src, dst)
+			if err != nil {
+				failed++ // no believed-live path; retry later
+				continue
+			}
+			if err := l.net.Reroute(c.VC, newPath); err != nil {
+				failed++ // admission refused or belief behind hardware
+				continue
+			}
+			rerouted++
+			l.stats.Reroutes++
+			l.net.EmitTrace(simnet.TraceRecoveryReroute, c.VC, -1, -1, uint64(slot))
+			if c.Class == cell.BestEffort {
+				if l.net.ResyncIngress(c.VC) == nil {
+					l.stats.Resyncs++
+				}
+			}
+		}
+		l.stats.FailedReroutes += int64(failed)
+	}
+	// Close the incidents this pass served.
+	var stillOpen []int
+	for _, idx := range l.openIncidents {
+		inc := &l.incidents[idx]
+		if failed > 0 && (inc.Kind == "link-down" || inc.Kind == "switch-down") {
+			// Down-incidents stay open until every crossing circuit is
+			// handled, so the outage window keeps growing while any
+			// circuit is stranded.
+			stillOpen = append(stillOpen, idx)
+			continue
+		}
+		inc.RepairSlot = slot
+		inc.Rerouted += rerouted
+	}
+	l.openIncidents = stillOpen
+	if failed > 0 {
+		l.scheduleRepair(slot + l.cfg.RetrySlots)
+	}
+}
+
+// buildRouter constructs the up*/down* router over the believed topology,
+// or nil if no believed-live switch exists to root the tree.
+func (l *Loop) buildRouter() *routing.Router {
+	dead := make(map[topology.LinkID]bool, len(l.believedDeadLinks))
+	for id := range l.believedDeadLinks {
+		dead[id] = true
+	}
+	for s := range l.believedDeadNodes {
+		for _, link := range l.g.LinksOf(s) {
+			dead[link.ID] = true
+		}
+	}
+	root := l.cfg.Root
+	if _, ok := l.g.Node(root); !ok || l.believedDeadNodes[root] {
+		root = -1
+		for _, s := range l.g.Switches() {
+			if !l.believedDeadNodes[s] {
+				root = s
+				break
+			}
+		}
+		if root < 0 {
+			return nil
+		}
+	}
+	r, err := routing.NewRouter(l.g, root, dead)
+	if err != nil {
+		return nil
+	}
+	return r
+}

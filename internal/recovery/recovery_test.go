@@ -1,0 +1,288 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/monitor"
+	"repro/internal/simnet"
+	"repro/internal/switchnode"
+	"repro/internal/topology"
+)
+
+// testNet builds the diamond h0 - a - {b | c} - d - h1 with one
+// best-effort circuit (vc 1) and one guaranteed circuit (vc 9), both on
+// the upper branch through b.
+func testNet(t *testing.T) (n *simnet.Network, a, b, c, d, h0, h1 topology.NodeID) {
+	t.Helper()
+	g := topology.New()
+	a = g.AddSwitch("a")
+	b = g.AddSwitch("b")
+	c = g.AddSwitch("c")
+	d = g.AddSwitch("d")
+	for _, pr := range [][2]topology.NodeID{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if _, err := g.Connect(pr[0], pr[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h0 = g.AddHost("h0")
+	h1 = g.AddHost("h1")
+	if _, err := g.Connect(h0, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(h1, d, 1); err != nil {
+		t.Fatal(err)
+	}
+	net, err := simnet.New(simnet.Config{
+		Topology:      g,
+		Switch:        switchnode.Config{N: 4, FrameSlots: 16, Discipline: switchnode.DisciplinePerVC, Seed: 1},
+		IngressWindow: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper := []topology.NodeID{h0, a, b, d, h1}
+	if _, err := net.OpenBestEffort(1, upper); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.OpenGuaranteed(9, upper, 2); err != nil {
+		t.Fatal(err)
+	}
+	return net, a, b, c, d, h0, h1
+}
+
+// fastSkeptic is a skeptic tuned to slot time: with SlotUS=10 it believes
+// a death after 2 failed pings and a recovery after 30 error-free slots.
+var fastSkeptic = monitor.Config{
+	FailThreshold: 2,
+	BaseWaitUS:    300,
+	MaxWaitUS:     5_000,
+	DecayUS:       10_000,
+	Skeptical:     true,
+}
+
+// drive runs the closed loop for the given slots: injector applies the
+// declared hardware history, the recovery loop ticks, traffic flows, the
+// network steps. Nothing else touches the fault or reroute APIs.
+func drive(t *testing.T, n *simnet.Network, loop *Loop, inj *Injector, slots int64) {
+	t.Helper()
+	for i := int64(0); i < slots; i++ {
+		if inj != nil {
+			inj.Apply(n)
+		}
+		loop.Tick()
+		slot := n.Slot()
+		if slot%2 == 0 {
+			if err := n.Send(1, [cell.PayloadSize]byte{1, byte(slot)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if slot%8 == 0 {
+			if err := n.Send(9, [cell.PayloadSize]byte{9, byte(slot)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Step()
+	}
+}
+
+func pathUses(path []topology.NodeID, n topology.NodeID) bool {
+	for _, p := range path {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLinkCutDetectReconfigureReroute(t *testing.T) {
+	n, a, b, _, _, _, h1 := testNet(t)
+	loop, err := New(Config{Net: n, SlotUS: 10, Skeptic: fastSkeptic, ReconfigRadius: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, _ := n.Topology().LinkBetween(a, b)
+	inj := NewInjector([]FaultEvent{CutLink(100, link.ID)})
+	drive(t, n, loop, inj, 600)
+
+	if !inj.Done() {
+		t.Fatal("injector did not fire")
+	}
+	if !loop.BelievesLinkDead(link.ID) {
+		t.Fatal("loop never believed the cut link dead")
+	}
+	var down *Incident
+	for _, inc := range loop.Incidents() {
+		if inc.Kind == "link-down" && inc.Link == link.ID {
+			down = &inc
+			break
+		}
+	}
+	if down == nil {
+		t.Fatal("no link-down incident recorded")
+	}
+	if down.HardwareSlot != 100 {
+		t.Fatalf("hardware slot = %d, want 100", down.HardwareSlot)
+	}
+	if lag := down.DetectionLagSlots(); lag <= 0 || lag > 20 {
+		t.Fatalf("detection lag = %d slots, want small positive", lag)
+	}
+	if out := down.OutageSlots(); out < 0 {
+		t.Fatal("outage window never closed")
+	} else if out > 200 {
+		t.Fatalf("outage window = %d slots, implausibly long", out)
+	}
+	// Both circuits must have been moved off the dead link by the loop.
+	for _, c := range n.Circuits() {
+		if pathUses(c.Path, b) {
+			t.Fatalf("vc %d still routed through the dead branch", c.VC)
+		}
+	}
+	st := loop.Stats()
+	if st.Reroutes < 2 {
+		t.Fatalf("loop rerouted %d circuits, want 2", st.Reroutes)
+	}
+	if st.ReconfigRounds == 0 {
+		t.Fatal("no reconfiguration round ran")
+	}
+	if st.Resyncs == 0 {
+		t.Fatal("no ingress resync issued for the best-effort circuit")
+	}
+	if !loop.Quiescent() {
+		t.Fatal("loop not quiescent after recovery")
+	}
+	// Service continued: cells delivered after the fault slot.
+	hs, _ := n.HostStats(h1)
+	if hs.CellsReceived < 200 {
+		t.Fatalf("only %d cells delivered across the fault", hs.CellsReceived)
+	}
+	if snap := n.Snapshot(); !snap.Conserved() {
+		t.Fatalf("conservation broken: %+v", snap)
+	}
+}
+
+func TestSwitchCrashAndReboot(t *testing.T) {
+	n, _, b, c, _, _, h1 := testNet(t)
+	loop, err := New(Config{Net: n, SlotUS: 10, Skeptic: fastSkeptic, ReconfigRadius: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector([]FaultEvent{
+		CrashSwitch(100, b),
+		RebootSwitch(500, b),
+	})
+	drive(t, n, loop, inj, 1000)
+
+	var sawDown, sawUp bool
+	for _, inc := range loop.Incidents() {
+		if inc.Node == b && inc.Kind == "switch-down" {
+			sawDown = true
+			if inc.HardwareSlot != 100 {
+				t.Fatalf("switch-down hardware slot = %d, want 100", inc.HardwareSlot)
+			}
+			if out := inc.OutageSlots(); out < 0 || out > 300 {
+				t.Fatalf("switch-down outage = %d slots", out)
+			}
+		}
+		if inc.Node == b && inc.Kind == "switch-up" {
+			sawUp = true
+		}
+	}
+	if !sawDown {
+		t.Fatal("switch crash never believed")
+	}
+	if !sawUp {
+		t.Fatal("switch reboot never believed")
+	}
+	if loop.BelievesSwitchDead(b) {
+		t.Fatal("loop still believes rebooted switch dead")
+	}
+	// Circuits settled on the surviving branch through c.
+	for _, circ := range n.Circuits() {
+		if !pathUses(circ.Path, c) {
+			t.Fatalf("vc %d not on surviving branch: %v", circ.VC, circ.Path)
+		}
+	}
+	if !loop.Quiescent() {
+		t.Fatal("loop not quiescent")
+	}
+	hs, _ := n.HostStats(h1)
+	if hs.CellsReceived < 300 {
+		t.Fatalf("only %d cells delivered across crash and reboot", hs.CellsReceived)
+	}
+	if snap := n.Snapshot(); !snap.Conserved() {
+		t.Fatalf("conservation broken: %+v", snap)
+	}
+}
+
+// TestFlappingLinkContained checks the skeptic integration: a flapping
+// link produces far fewer believed transitions than hardware transitions,
+// because escalating proving periods keep it believed-dead through the
+// flutter (§2's skeptic rationale).
+func TestFlappingLinkContained(t *testing.T) {
+	n, a, b, _, _, _, _ := testNet(t)
+	loop, err := New(Config{Net: n, SlotUS: 10, Skeptic: fastSkeptic, ReconfigRadius: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, _ := n.Topology().LinkBetween(a, b)
+	// 12 hardware transitions: die/revive every 20 slots from slot 100.
+	inj := NewInjector(Flap(link.ID, 100, 20, 6))
+	drive(t, n, loop, inj, 1200)
+
+	believed := 0
+	for _, inc := range loop.Incidents() {
+		if inc.Link == link.ID {
+			believed++
+		}
+	}
+	if believed == 0 {
+		t.Fatal("flapping link never believed dead at all")
+	}
+	if believed >= 12 {
+		t.Fatalf("skeptic passed through all %d hardware transitions", believed)
+	}
+	// The flap heals for good at slot ~320; eventually the link is
+	// believed working again and the loop settles.
+	if loop.BelievesLinkDead(link.ID) {
+		t.Fatal("healed link still believed dead after proving period")
+	}
+	if !loop.Quiescent() {
+		t.Fatal("loop not quiescent after flap ended")
+	}
+	if snap := n.Snapshot(); !snap.Conserved() {
+		t.Fatalf("conservation broken: %+v", snap)
+	}
+}
+
+func TestInjectorOrderAndBounds(t *testing.T) {
+	n, a, b, _, _, _, _ := testNet(t)
+	link, _ := n.Topology().LinkBetween(a, b)
+	inj := NewInjector([]FaultEvent{
+		HealLink(50, link.ID),
+		CutLink(10, link.ID),
+	})
+	if inj.Remaining() != 2 {
+		t.Fatalf("remaining = %d", inj.Remaining())
+	}
+	if fired := inj.Apply(n); fired != 0 {
+		t.Fatalf("fired %d events at slot 0", fired)
+	}
+	n.Run(10)
+	if fired := inj.Apply(n); fired != 1 {
+		t.Fatalf("fired %d events at slot 10, want 1 (the cut)", fired)
+	}
+	if n.ProbeLink(link.ID) {
+		t.Fatal("link alive after scheduled cut")
+	}
+	n.Run(40)
+	if fired := inj.Apply(n); fired != 1 {
+		t.Fatalf("fired %d events at slot 50, want 1 (the heal)", fired)
+	}
+	if !n.ProbeLink(link.ID) {
+		t.Fatal("link dead after scheduled heal")
+	}
+	if !inj.Done() {
+		t.Fatal("injector not done")
+	}
+}

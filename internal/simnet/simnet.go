@@ -162,6 +162,12 @@ type Network struct {
 	deadLinks map[topology.LinkID]bool
 	deadNodes map[topology.NodeID]bool
 
+	// lastLinkChange / lastNodeChange record the slot of each element's
+	// most recent kill or restore — the hardware-truth timestamps the
+	// recovery loop uses to measure detection lag.
+	lastLinkChange map[topology.LinkID]int64
+	lastNodeChange map[topology.NodeID]int64
+
 	// linkCells counts cells carried per link (utilization accounting),
 	// indexed by the dense LinkID.
 	linkCells []int64
@@ -202,16 +208,18 @@ func New(cfg Config) (*Network, error) {
 		return nil, ErrNoTopology
 	}
 	n := &Network{
-		cfg:         cfg,
-		g:           cfg.Topology,
-		switches:    make(map[topology.NodeID]*switchnode.Switch),
-		switchOrder: cfg.Topology.Switches(), // ascending NodeID
-		phase:       make(map[topology.NodeID]int64),
-		hosts:       make(map[topology.NodeID]*host),
-		circuits:    make(map[cell.VCI]*Circuit),
-		deadLinks:   make(map[topology.LinkID]bool),
-		deadNodes:   make(map[topology.NodeID]bool),
-		linkCells:   make([]int64, cfg.Topology.NumLinks()),
+		cfg:            cfg,
+		g:              cfg.Topology,
+		switches:       make(map[topology.NodeID]*switchnode.Switch),
+		switchOrder:    cfg.Topology.Switches(), // ascending NodeID
+		phase:          make(map[topology.NodeID]int64),
+		hosts:          make(map[topology.NodeID]*host),
+		circuits:       make(map[cell.VCI]*Circuit),
+		deadLinks:      make(map[topology.LinkID]bool),
+		deadNodes:      make(map[topology.NodeID]bool),
+		lastLinkChange: make(map[topology.LinkID]int64),
+		lastNodeChange: make(map[topology.NodeID]int64),
+		linkCells:      make([]int64, cfg.Topology.NumLinks()),
 	}
 	n.workers = cfg.Workers
 	if n.workers <= 0 {
@@ -474,8 +482,13 @@ func (n *Network) SendPacket(vc cell.VCI, packet []byte) error {
 }
 
 // KillLink fails a link: cells and credits in flight on it are lost.
+// Killing an already-dead link is a no-op.
 func (n *Network) KillLink(id topology.LinkID) {
+	if n.deadLinks[id] {
+		return
+	}
 	n.deadLinks[id] = true
+	n.lastLinkChange[id] = n.slot
 	n.trace(TraceKillLink, 0, -1, id, 0)
 	kept := n.inflight[:0]
 	for _, f := range n.inflight {
@@ -489,17 +502,33 @@ func (n *Network) KillLink(id topology.LinkID) {
 	n.inflight = kept
 }
 
-// RestoreLink revives a link.
+// RestoreLink revives a link. Restoring a live link is a no-op.
 func (n *Network) RestoreLink(id topology.LinkID) {
+	if !n.deadLinks[id] {
+		return
+	}
 	delete(n.deadLinks, id)
+	n.lastLinkChange[id] = n.slot
 	n.trace(TraceRestore, 0, -1, id, 0)
 }
 
 // KillSwitch fails a switch: it stops forwarding; its buffered cells are
-// lost; cells in flight toward it are lost.
+// lost (drained and counted in DroppedInFlight); its frame-schedule state
+// is lost, as crashed hardware loses its memory; cells in flight toward it
+// are lost. Killing an already-dead switch is a no-op.
 func (n *Network) KillSwitch(id topology.NodeID) {
+	sw, ok := n.switches[id]
+	if !ok || n.deadNodes[id] {
+		return
+	}
 	n.deadNodes[id] = true
+	n.lastNodeChange[id] = n.slot
 	n.trace(TraceKillNode, 0, id, -1, 0)
+	if purged := sw.Purge(); purged > 0 {
+		n.stats.DroppedInFlight += int64(purged)
+		n.trace(TracePurge, 0, id, -1, uint64(purged))
+	}
+	sw.ResetFrame()
 	kept := n.inflight[:0]
 	for _, f := range n.inflight {
 		if f.to == id {
@@ -512,10 +541,53 @@ func (n *Network) KillSwitch(id topology.NodeID) {
 	n.inflight = kept
 }
 
+// RestoreSwitch revives a dead switch, the pair to RestoreLink. The switch
+// comes back with empty buffers and an empty frame schedule (its crash
+// lost both); the reservations of guaranteed circuits still routed through
+// it are re-installed, modeling the circuit-setup replay switch software
+// performs when a neighbor returns. Restoring a live switch is a no-op.
+func (n *Network) RestoreSwitch(id topology.NodeID) {
+	sw, ok := n.switches[id]
+	if !ok || !n.deadNodes[id] {
+		return
+	}
+	delete(n.deadNodes, id)
+	n.lastNodeChange[id] = n.slot
+	n.trace(TraceRestoreNode, 0, id, -1, 0)
+	for _, c := range n.circOrder {
+		if c.Class != cell.Guaranteed {
+			continue
+		}
+		if h, onPath := c.hops[id]; onPath {
+			// The frame is empty and held these reservations before the
+			// crash, so re-insertion cannot fail.
+			_ = sw.Reserve(h.inPort, h.outPort, c.CellsPerFrame)
+		}
+	}
+}
+
+// pathSwitches returns the switch portion of a host-switch...-host path,
+// in path order — the deterministic iteration order for per-hop work.
+func pathSwitches(path []topology.NodeID) []topology.NodeID {
+	if len(path) < 3 {
+		return nil
+	}
+	return path[1 : len(path)-1]
+}
+
 // Reroute moves a circuit to a new path (the paper's local-repair
 // extension rerouted circuits around a failed link by sending a new setup
-// cell). Cells buffered at switches for this circuit are discarded and
-// counted — exactly the cells the paper says are dropped.
+// cell). Cells of the circuit inside the network — in flight on links and
+// buffered at old-path switches — are discarded and counted in
+// DroppedReroute: exactly the cells the paper says are dropped.
+//
+// For guaranteed circuits the move is all-or-nothing (make-before-break):
+// the new path is reserved first, walking it in path order, and a refused
+// admission unwinds the partial new reservations and returns an error with
+// the old path's reservations — and the circuit — untouched. Only after
+// the whole new path is admitted are the old reservations released on the
+// surviving switches. A switch shared by both paths therefore briefly
+// holds both reservations, so admission is conservative there.
 func (n *Network) Reroute(vc cell.VCI, newPath []topology.NodeID) error {
 	c, ok := n.circuits[vc]
 	if !ok {
@@ -526,22 +598,39 @@ func (n *Network) Reroute(vc cell.VCI, newPath []topology.NodeID) error {
 		return err
 	}
 	if c.Class == cell.Guaranteed {
-		// Release old reservations on surviving switches, then reserve on
-		// the new path.
-		for s, h := range c.hops {
-			if sw, live := n.switches[s]; live && !n.deadNodes[s] {
-				sw.Unreserve(h.inPort, h.outPort, c.CellsPerFrame)
-			}
-		}
-		for s, h := range hops {
+		var done []topology.NodeID
+		for _, s := range pathSwitches(newPath) {
+			h := hops[s]
 			if err := n.switches[s].Reserve(h.inPort, h.outPort, c.CellsPerFrame); err != nil {
+				for _, u := range done {
+					hu := hops[u]
+					n.switches[u].Unreserve(hu.inPort, hu.outPort, c.CellsPerFrame)
+				}
 				return fmt.Errorf("simnet: reroute admission failed at switch %d: %w", s, err)
 			}
+			done = append(done, s)
+		}
+		for _, s := range pathSwitches(c.Path) {
+			if n.deadNodes[s] {
+				continue // a dead switch's frame state was lost at the crash
+			}
+			h := c.hops[s]
+			n.switches[s].Unreserve(h.inPort, h.outPort, c.CellsPerFrame)
 		}
 	}
-	// In-network cells of this circuit cannot follow the new ports; they
-	// are dropped (buffered cells stay in old switch buffers and will be
-	// treated as stale: we simply count in-flight ones).
+	// Purge the circuit's stale cells from old-path switch buffers: they
+	// can no longer follow the circuit's ports and must not linger to
+	// inflate backlog or chase dead hops.
+	for _, s := range pathSwitches(c.Path) {
+		if n.deadNodes[s] {
+			continue // purged and counted when the switch died
+		}
+		if purged := n.switches[s].PurgeVC(vc); purged > 0 {
+			n.stats.DroppedReroute += int64(purged)
+			n.trace(TracePurge, vc, s, -1, uint64(purged))
+		}
+	}
+	// In-flight cells of this circuit cannot follow the new ports either.
 	kept := n.inflight[:0]
 	for _, f := range n.inflight {
 		if f.c.VC == vc {
@@ -556,6 +645,7 @@ func (n *Network) Reroute(vc cell.VCI, newPath []topology.NodeID) error {
 	c.Path = append([]topology.NodeID(nil), newPath...)
 	c.hops = hops
 	// Reset ingress window accounting: outstanding cells were dropped.
+	// (Callers modeling the credit protocol follow up with ResyncIngress.)
 	c.inUse = 0
 	return nil
 }
@@ -857,4 +947,143 @@ func (n *Network) TotalBestEffortBacklog() int {
 		}
 	}
 	return total
+}
+
+// Topology returns the graph the network was built over.
+func (n *Network) Topology() *topology.Graph { return n.g }
+
+// ProbeLink models the hardware liveness check behind the paper's
+// monitoring pings (§2): a probe across a link succeeds iff the link is
+// live and both endpoints are live (a crashed switch answers no pings, so
+// a switch death reads as every one of its links failing — exactly the
+// signal the skeptics consume). Probing an unknown link reports false.
+func (n *Network) ProbeLink(id topology.LinkID) bool {
+	l, ok := n.g.Link(id)
+	if !ok || n.deadLinks[id] {
+		return false
+	}
+	return !n.deadNodes[l.A] && !n.deadNodes[l.B]
+}
+
+// SwitchAlive reports whether a switch exists and is not killed.
+func (n *Network) SwitchAlive(id topology.NodeID) bool {
+	_, ok := n.switches[id]
+	return ok && !n.deadNodes[id]
+}
+
+// LastLinkChangeSlot returns the slot of the link's most recent kill or
+// restore — the hardware-truth timestamp recovery experiments measure
+// detection lag against. ok is false if the link never changed state.
+func (n *Network) LastLinkChangeSlot(id topology.LinkID) (int64, bool) {
+	s, ok := n.lastLinkChange[id]
+	return s, ok
+}
+
+// LastSwitchChangeSlot is LastLinkChangeSlot for switch kill/restore.
+func (n *Network) LastSwitchChangeSlot(id topology.NodeID) (int64, bool) {
+	s, ok := n.lastNodeChange[id]
+	return s, ok
+}
+
+// Circuits returns the open circuits in ascending VCI order (a copy of
+// the order, sharing the circuit structs).
+func (n *Network) Circuits() []*Circuit {
+	return append([]*Circuit(nil), n.circOrder...)
+}
+
+// InFlightCells returns the number of cells currently on links.
+func (n *Network) InFlightCells() int { return len(n.inflight) }
+
+// TotalBufferedCells returns every cell buffered inside live switches,
+// both classes. Dead switches hold nothing: their buffers were purged and
+// counted at the kill.
+func (n *Network) TotalBufferedCells() int {
+	total := 0
+	for _, s := range n.switchOrder {
+		if n.deadNodes[s] {
+			continue
+		}
+		sw := n.switches[s]
+		for i := 0; i < sw.N(); i++ {
+			total += sw.BufferedBestEffort(i) + sw.BufferedGuaranteed(i)
+		}
+	}
+	return total
+}
+
+// ResyncIngress re-synchronizes a best-effort circuit's ingress credit
+// window after a reroute, the way flowcontrol's epoch resync recovers a
+// credit loop: credits still in flight from the old path are discarded and
+// the outstanding count is recomputed from the cells actually between the
+// source and its first switch. Without this the window would trust
+// pre-failure credits and could overshoot or stall.
+func (n *Network) ResyncIngress(vc cell.VCI) error {
+	c, ok := n.circuits[vc]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoCircuit, vc)
+	}
+	if c.Class != cell.BestEffort || c.window <= 0 {
+		return nil
+	}
+	kept := n.credits[:0]
+	for _, cr := range n.credits {
+		if cr.vc == vc {
+			continue
+		}
+		kept = append(kept, cr)
+	}
+	n.credits = kept
+	outstanding := 0
+	first := c.Path[1]
+	for _, f := range n.inflight {
+		if f.c.VC == vc && !f.isHost && f.to == first {
+			outstanding++
+		}
+	}
+	c.inUse = outstanding
+	n.trace(TraceResync, vc, -1, -1, uint64(outstanding))
+	return nil
+}
+
+// Snapshot is an instantaneous accounting cut of the network. The
+// conservation invariant every fault path must preserve is
+//
+//	Sent == Delivered + DroppedInFlight + DroppedReroute + Buffered + InFlight
+//
+// (cells still pending at source hosts are excluded: CellsSent counts at
+// injection). Recovery experiments difference two snapshots to attribute
+// deliveries and losses to an outage window.
+type Snapshot struct {
+	Slot            int64
+	Sent            int64
+	Delivered       int64
+	DroppedInFlight int64
+	DroppedReroute  int64
+	Buffered        int64
+	InFlight        int64
+}
+
+// Lost returns the cells this cut has counted as dropped on any fault path.
+func (s Snapshot) Lost() int64 { return s.DroppedInFlight + s.DroppedReroute }
+
+// Conserved reports whether the accounting identity holds for this cut.
+func (s Snapshot) Conserved() bool {
+	return s.Sent == s.Delivered+s.DroppedInFlight+s.DroppedReroute+s.Buffered+s.InFlight
+}
+
+// Snapshot takes the accounting cut at the current slot.
+func (n *Network) Snapshot() Snapshot {
+	var sent int64
+	for _, h := range n.hosts {
+		sent += h.stats.CellsSent
+	}
+	return Snapshot{
+		Slot:            n.slot,
+		Sent:            sent,
+		Delivered:       n.stats.DeliveredCells,
+		DroppedInFlight: n.stats.DroppedInFlight,
+		DroppedReroute:  n.stats.DroppedReroute,
+		Buffered:        int64(n.TotalBufferedCells()),
+		InFlight:        int64(len(n.inflight)),
+	}
 }

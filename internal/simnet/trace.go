@@ -32,6 +32,17 @@ const (
 	TraceKillLink  = "kill-link"
 	TraceKillNode  = "kill-switch"
 	TraceRestore   = "restore-link"
+	// Fault-path accounting events.
+	TraceRestoreNode = "restore-switch" // crashed switch brought back
+	TracePurge       = "purge"          // buffered cells drained (Seq = count)
+	TraceResync      = "resync"         // ingress credit window resynced
+	// TraceRecovery event family: emitted by the recovery control loop
+	// (internal/recovery) via EmitTrace, so a single trace stream shows
+	// hardware faults, the loop's beliefs, and the data-plane consequences
+	// on one timeline.
+	TraceRecoveryDetect   = "recovery-detect"   // skeptic believed a transition
+	TraceRecoveryReconfig = "recovery-reconfig" // reconfiguration round done
+	TraceRecoveryReroute  = "recovery-reroute"  // circuit moved by the loop
 )
 
 // Tracer receives trace events. Implementations must be fast; they run
@@ -92,6 +103,13 @@ func (t *CollectTracer) Count(kind string) int {
 		}
 	}
 	return n
+}
+
+// EmitTrace lets cooperating control-plane packages (the recovery loop)
+// stamp their own events into the network's trace stream at the current
+// slot, keeping one totally ordered timeline across planes.
+func (n *Network) EmitTrace(kind string, vc cell.VCI, node topology.NodeID, link topology.LinkID, seq uint64) {
+	n.trace(kind, vc, node, link, seq)
 }
 
 // trace emits an event if a tracer is configured.

@@ -84,13 +84,13 @@ type Departure struct {
 
 // Stats counts switch activity.
 type Stats struct {
-	ArrivedBestEffort    int64
-	ArrivedGuaranteed    int64
-	DroppedBestEffort    int64
-	DroppedGuaranteed    int64
-	DepartedBestEffort   int64
-	DepartedGuaranteed   int64
-	Slots                int64
+	ArrivedBestEffort  int64
+	ArrivedGuaranteed  int64
+	DroppedBestEffort  int64
+	DroppedGuaranteed  int64
+	DepartedBestEffort int64
+	DepartedGuaranteed int64
+	Slots              int64
 	// PIMIterationsTotal sums the best-effort scheduler's per-slot
 	// iteration counts (named for the default PIM scheduler; iSLIP and
 	// other sched.Scheduler implementations report here too).
@@ -259,6 +259,47 @@ func (s *Switch) BufferedBestEffort(input int) int { return s.be[input].Len() }
 // BufferedGuaranteed returns the number of guaranteed cells queued at
 // input.
 func (s *Switch) BufferedGuaranteed(input int) int { return s.gtd[input].Len() }
+
+// BufferedVC returns the number of cells (both classes) buffered for
+// circuit vc across all inputs.
+func (s *Switch) BufferedVC(vc cell.VCI) int {
+	total := 0
+	for i := 0; i < s.n; i++ {
+		total += s.be[i].CountVC(vc) + s.gtd[i].CountVC(vc)
+	}
+	return total
+}
+
+// PurgeVC drains every buffered cell of circuit vc from the best-effort
+// and guaranteed buffers of all inputs — the stale cells a reroute leaves
+// behind on the old path. The eligible-output bitsets stay consistent.
+// It returns the number of cells discarded.
+func (s *Switch) PurgeVC(vc cell.VCI) int {
+	total := 0
+	for i := 0; i < s.n; i++ {
+		total += s.be[i].Drop(vc) + s.gtd[i].Drop(vc)
+	}
+	return total
+}
+
+// Purge drains every buffered cell of every circuit — a crashed switch
+// losing its buffer memory. It returns the number of cells discarded.
+func (s *Switch) Purge() int {
+	total := 0
+	for i := 0; i < s.n; i++ {
+		total += s.be[i].DropAll() + s.gtd[i].DropAll()
+	}
+	return total
+}
+
+// ResetFrame clears the guaranteed frame schedule — the reservation state
+// a switch crash destroys. The port count and frame size are preserved.
+func (s *Switch) ResetFrame() {
+	// New cannot fail: the dimensions were validated at construction.
+	if f, err := schedule.New(s.n, s.frame.Slots()); err == nil {
+		s.frame = f
+	}
+}
 
 // Step advances the switch one cell slot and returns the departures.
 //
