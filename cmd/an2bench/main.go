@@ -1,5 +1,5 @@
 // Command an2bench regenerates every experiment in the AN2 reproduction
-// (the registry in internal/exp, currently E1–E27; `-list` enumerates it):
+// (the registry in internal/exp, currently E1–E28; `-list` enumerates it):
 // the paper's figures, worked examples, and quantitative claims, printed
 // as tables.
 //

@@ -1,0 +1,115 @@
+package chaos
+
+import "fmt"
+
+// maxShrinkRuns bounds the total Run calls one Shrink may spend.
+const maxShrinkRuns = 300
+
+// Shrink reduces a failing schedule to a (locally) minimal reproducer.
+// It repeatedly tries simplifications — drop an outage, strip a burst,
+// shorten an outage, truncate the horizon, halve a fault rate — and
+// keeps each one only if the candidate still fails with the SAME
+// invariant (any other outcome, including a different violation, rejects
+// the candidate: the reproducer must reproduce the original bug, not
+// some other one). It returns the minimal schedule, its violation, and
+// how many candidate runs were spent. Shrink errors only if the input
+// schedule does not fail at all.
+func Shrink(s Schedule) (Schedule, *Violation, int, error) {
+	res, err := Run(s)
+	if err != nil {
+		return s, nil, 1, err
+	}
+	if res.Violation == nil {
+		return s, nil, 1, fmt.Errorf("chaos: Shrink called on a passing schedule")
+	}
+	want := res.Violation.Invariant
+	cur, v := s, res.Violation
+	runs := 1
+
+	// try runs a candidate; if it still fails the same way, adopt it.
+	try := func(c Schedule) bool {
+		if runs >= maxShrinkRuns {
+			return false
+		}
+		runs++
+		r, err := Run(c)
+		if err != nil || r.Violation == nil || r.Violation.Invariant != want {
+			return false
+		}
+		cur, v = c, r.Violation
+		return true
+	}
+
+	for improved := true; improved && runs < maxShrinkRuns; {
+		improved = false
+
+		// 1. Drop whole outages, one at a time.
+		for i := 0; i < len(cur.Outages); i++ {
+			c := cur
+			c.Outages = append(append([]Outage(nil), cur.Outages[:i]...), cur.Outages[i+1:]...)
+			if try(c) {
+				improved = true
+				i-- // the slice shifted; retry this index
+			}
+		}
+		// 2. Strip bursts.
+		for i := range cur.Outages {
+			if cur.Outages[i].Burst == 0 {
+				continue
+			}
+			c := cur
+			c.Outages = append([]Outage(nil), cur.Outages...)
+			c.Outages[i].Burst = 0
+			if try(c) {
+				improved = true
+			}
+		}
+		// 3. Halve outage durations (floor 40 slots — below that the
+		// skeptics smooth the fault over and nothing triggers).
+		for i := range cur.Outages {
+			o := cur.Outages[i]
+			if o.End-o.Start <= 40 {
+				continue
+			}
+			c := cur
+			c.Outages = append([]Outage(nil), cur.Outages...)
+			c.Outages[i].End = o.Start + (o.End-o.Start)/2
+			if try(c) {
+				improved = true
+			}
+		}
+		// 4. Truncate the horizon to just past the violation (mid-run
+		// violations replay identically on a shorter run; end-state
+		// violations reject the truncation because the invariant name
+		// changes or the failure disappears).
+		if v.Slot+1 < cur.Horizon {
+			c := cur
+			c.Horizon = v.Slot + 1
+			if try(c) {
+				improved = true
+			}
+		}
+		// 5. Halve baseline fault rates (rates under 1% round to zero so
+		// this pass terminates).
+		for _, rate := range []func(*Schedule) *float64{
+			func(c *Schedule) *float64 { return &c.Faults.DropProb },
+			func(c *Schedule) *float64 { return &c.Faults.DupProb },
+			func(c *Schedule) *float64 { return &c.Faults.ReorderProb },
+			func(c *Schedule) *float64 { return &c.Faults.CorruptProb },
+		} {
+			c := cur
+			c.Outages = append([]Outage(nil), cur.Outages...)
+			p := rate(&c)
+			if *p == 0 {
+				continue
+			}
+			if *p /= 2; *p < 0.01 {
+				*p = 0
+			}
+			if try(c) {
+				improved = true
+			}
+		}
+	}
+	return cur, v, runs, nil
+}

@@ -176,6 +176,8 @@ type e27Row struct {
 	reroute   int64
 	outage    int64
 	rerouted  int64
+	retries   int
+	refused   int
 	lost      int64
 	delivered int64
 }
@@ -229,6 +231,8 @@ func runE27Class(seed int64, faults []recovery.FaultEvent) (*e27Row, error) {
 		if inc.Kind != "link-down" && inc.Kind != "switch-down" {
 			continue
 		}
+		row.retries += inc.RetryPasses
+		row.refused += inc.RefusedReroutes
 		if lag := inc.DetectionLagSlots(); inc.HardwareSlot >= 0 && lag > row.detectLag {
 			row.detectLag = lag
 		}
@@ -271,14 +275,14 @@ func runE27(seed int64) ([]*metrics.Table, error) {
 	}
 	t := metrics.NewTable(
 		"E27 — autonomous recovery on a 3×3 torus, 12 BE + 2 gtd circuits, saturating sources, all repair driven by the loop (slots)",
-		"failure class", "hw events", "believed", "detect-lag", "reconfig", "reroute", "outage", "rerouted", "cells lost", "delivered")
+		"failure class", "hw events", "believed", "detect-lag", "reconfig", "reroute", "outage", "rerouted", "retries", "refused", "cells lost", "delivered")
 	for _, cl := range classes {
 		row, err := runE27Class(seed, cl.faults)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cl.name, err)
 		}
 		t.AddRow(cl.name, row.hwEvents, row.believed, row.detectLag, row.reconfig,
-			row.reroute, row.outage, row.rerouted, row.lost, row.delivered)
+			row.reroute, row.outage, row.rerouted, row.retries, row.refused, row.lost, row.delivered)
 	}
 	return []*metrics.Table{t}, nil
 }

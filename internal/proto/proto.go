@@ -3,8 +3,12 @@
 // reports, and distributions. On real AN1/AN2 hardware these travel as
 // packets between line-card processors; encoding them gives the simulated
 // control plane a faithful serialization boundary (and the reconfiguration
-// runner round-trips every message through this codec, so a malformed
-// message can never be "accidentally" understood).
+// runners round-trip every message through this codec, so a malformed
+// message can never be "accidentally" understood). The control links the
+// encoded messages cross are NOT reliable — package ctrlnet injects loss,
+// duplication, reordering, and bit corruption — so the trailing CRC is
+// load-bearing: a corrupted-in-flight image must fail Unmarshal, and the
+// unreliable runner counts each rejection.
 //
 // Wire format (big-endian):
 //

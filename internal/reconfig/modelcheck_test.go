@@ -24,6 +24,18 @@ import (
 //  3. Agreement: all switches finished the SAME configuration — the one
 //     with the largest epoch tag — with identical topology views.
 //  4. Accuracy: that view is exactly the live topology.
+//
+// The checker also models an UNRELIABLE control channel, bounded so the
+// space stays finite: a loss budget lets any in-flight message be dropped,
+// a duplication budget lets any in-flight message be redelivered later
+// (the copy re-queues at the tail, so it also arrives out of order), and a
+// timeout transition lets any still-obligated machine fire its
+// retransmission timer. Timeouts are enabled only once the network has
+// drained — the standard abstraction that timers are much slower than
+// links, which is exactly how the unreliable runner tunes them. Under
+// faults, a state is terminal only when the network is drained AND no
+// machine is obligated (an obligated machine can always time out), so the
+// contract above must survive EVERY bounded loss/duplication interleaving.
 
 // chanKey identifies a FIFO link direction.
 type chanKey struct {
@@ -36,13 +48,19 @@ type mcState struct {
 	channels map[chanKey][]message
 	// triggers not yet fired, per node (count).
 	triggers map[topology.NodeID]int
+	// lossBudget / dupBudget bound how many adversarial drops and
+	// duplications remain available.
+	lossBudget int
+	dupBudget  int
 }
 
 func (s *mcState) clone() *mcState {
 	c := &mcState{
-		machines: make(map[topology.NodeID]*machine, len(s.machines)),
-		channels: make(map[chanKey][]message, len(s.channels)),
-		triggers: make(map[topology.NodeID]int, len(s.triggers)),
+		machines:   make(map[topology.NodeID]*machine, len(s.machines)),
+		channels:   make(map[chanKey][]message, len(s.channels)),
+		triggers:   make(map[topology.NodeID]int, len(s.triggers)),
+		lossBudget: s.lossBudget,
+		dupBudget:  s.dupBudget,
 	}
 	for id, m := range s.machines {
 		c.machines[id] = m.clone()
@@ -60,8 +78,8 @@ func (s *mcState) clone() *mcState {
 	return c
 }
 
-// quiescent reports no deliverable work.
-func (s *mcState) quiescent() bool {
+// drained reports no deliverable messages and no unfired triggers.
+func (s *mcState) drained() bool {
 	for _, q := range s.channels {
 		if len(q) > 0 {
 			return false
@@ -75,11 +93,34 @@ func (s *mcState) quiescent() bool {
 	return true
 }
 
+// quiescent reports no enabled transition at all: the network is drained
+// and no machine is obligated (an obligated machine can fire a timeout).
+func (s *mcState) quiescent() bool {
+	if !s.drained() {
+		return false
+	}
+	for _, m := range s.machines {
+		if m.obligated() {
+			return false
+		}
+	}
+	return true
+}
+
+// Transition kinds.
+const (
+	chDeliver = iota // deliver the head of a channel
+	chDrop           // drop the head of a channel (consumes lossBudget)
+	chDup            // redeliver the head later (consumes dupBudget)
+	chTrigger        // fire a pending trigger
+	chTimeout        // an obligated machine's retransmission timer fires
+)
+
 // choice is one enabled transition.
 type choice struct {
-	isTrigger bool
-	node      topology.NodeID // trigger target
-	ch        chanKey         // channel whose head is delivered
+	kind int
+	node topology.NodeID // trigger / timeout target
+	ch   chanKey         // channel whose head is affected
 }
 
 func (s *mcState) choices() []choice {
@@ -97,7 +138,13 @@ func (s *mcState) choices() []choice {
 		return keys[i].to < keys[j].to
 	})
 	for _, k := range keys {
-		out = append(out, choice{ch: k})
+		out = append(out, choice{kind: chDeliver, ch: k})
+		if s.lossBudget > 0 {
+			out = append(out, choice{kind: chDrop, ch: k})
+		}
+		if s.dupBudget > 0 {
+			out = append(out, choice{kind: chDup, ch: k})
+		}
 	}
 	var tnodes []topology.NodeID
 	for id, n := range s.triggers {
@@ -107,38 +154,71 @@ func (s *mcState) choices() []choice {
 	}
 	sort.Slice(tnodes, func(i, j int) bool { return tnodes[i] < tnodes[j] })
 	for _, id := range tnodes {
-		out = append(out, choice{isTrigger: true, node: id})
+		out = append(out, choice{kind: chTrigger, node: id})
+	}
+	// Timeouts only once the network drains: timers run far slower than
+	// links. Without this fairness abstraction the space is infinite.
+	if s.drained() {
+		var onodes []topology.NodeID
+		for id, m := range s.machines {
+			if m.obligated() {
+				onodes = append(onodes, id)
+			}
+		}
+		sort.Slice(onodes, func(i, j int) bool { return onodes[i] < onodes[j] })
+		for _, id := range onodes {
+			out = append(out, choice{kind: chTimeout, node: id})
+		}
 	}
 	return out
 }
 
 // apply executes a choice in place.
 func (s *mcState) apply(c choice) {
-	var target topology.NodeID
-	var msg message
-	if c.isTrigger {
-		target = c.node
-		s.triggers[c.node]--
-		msg = message{kind: kindTrigger}
-	} else {
-		q := s.channels[c.ch]
-		msg = q[0]
-		if len(q) == 1 {
-			delete(s.channels, c.ch)
-		} else {
-			s.channels[c.ch] = q[1:]
+	emitFrom := func(mc *machine) emitFunc {
+		return func(to topology.NodeID, out message) {
+			if _, ok := s.machines[to]; !ok {
+				return
+			}
+			out.from = mc.id
+			k := chanKey{from: mc.id, to: to}
+			s.channels[k] = append(s.channels[k], out)
 		}
-		target = c.ch.to
 	}
-	mc := s.machines[target]
-	mc.handle(msg, func(to topology.NodeID, out message) {
-		if _, ok := s.machines[to]; !ok {
-			return
-		}
-		out.from = mc.id
-		k := chanKey{from: mc.id, to: to}
-		s.channels[k] = append(s.channels[k], out)
-	})
+	switch c.kind {
+	case chDrop:
+		s.popHead(c.ch)
+		s.lossBudget--
+	case chDup:
+		// Redeliver a copy later: re-queue at the tail, so the duplicate
+		// also overtakes nothing and arrives behind younger messages.
+		q := s.channels[c.ch]
+		s.channels[c.ch] = append(q, q[0])
+		s.dupBudget--
+	case chTrigger:
+		s.triggers[c.node]--
+		mc := s.machines[c.node]
+		mc.handle(message{kind: kindTrigger}, emitFrom(mc))
+	case chTimeout:
+		mc := s.machines[c.node]
+		mc.retransmit(emitFrom(mc))
+	case chDeliver:
+		msg := s.popHead(c.ch)
+		mc := s.machines[c.ch.to]
+		mc.handle(msg, emitFrom(mc))
+	}
+}
+
+// popHead removes and returns the head of a channel queue.
+func (s *mcState) popHead(k chanKey) message {
+	q := s.channels[k]
+	msg := q[0]
+	if len(q) == 1 {
+		delete(s.channels, k)
+	} else {
+		s.channels[k] = q[1:]
+	}
+	return msg
 }
 
 // checker runs the DFS with state memoization: interleavings that converge
@@ -232,6 +312,7 @@ func (s *mcState) fingerprint() string {
 			b = fmt.Appendf(b, "t%d:%d", id, n)
 		}
 	}
+	b = fmt.Appendf(b, "L%d,D%d", s.lossBudget, s.dupBudget)
 	return string(b)
 }
 
@@ -308,18 +389,20 @@ func (ck *checker) validate(s *mcState) {
 	}
 }
 
-// buildState constructs the initial model state for a topology and trigger
-// multiset.
-func buildState(t *testing.T, g *topology.Graph, triggers map[topology.NodeID]int) (*mcState, []LinkRec) {
+// buildState constructs the initial model state for a topology, trigger
+// multiset, and adversarial fault budgets.
+func buildState(t *testing.T, g *topology.Graph, triggers map[topology.NodeID]int, lossBudget, dupBudget int) (*mcState, []LinkRec) {
 	t.Helper()
 	r, err := New(Config{Topology: g})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := &mcState{
-		machines: make(map[topology.NodeID]*machine),
-		channels: make(map[chanKey][]message),
-		triggers: make(map[topology.NodeID]int),
+		machines:   make(map[topology.NodeID]*machine),
+		channels:   make(map[chanKey][]message),
+		triggers:   make(map[topology.NodeID]int),
+		lossBudget: lossBudget,
+		dupBudget:  dupBudget,
 	}
 	for _, sw := range r.LiveSwitches() {
 		node, _ := g.Node(sw)
@@ -338,7 +421,13 @@ func buildState(t *testing.T, g *topology.Graph, triggers map[topology.NodeID]in
 
 func modelCheck(t *testing.T, g *topology.Graph, triggers map[topology.NodeID]int, cap_ int) (steps, terminals int, capped bool) {
 	t.Helper()
-	s, expected := buildState(t, g, triggers)
+	return modelCheckFaulty(t, g, triggers, 0, 0, cap_)
+}
+
+// modelCheckFaulty explores with adversarial loss and duplication budgets.
+func modelCheckFaulty(t *testing.T, g *topology.Graph, triggers map[topology.NodeID]int, loss, dup, cap_ int) (steps, terminals int, capped bool) {
+	t.Helper()
+	s, expected := buildState(t, g, triggers, loss, dup)
 	ck := &checker{t: t, expected: expected, cap: cap_}
 	ck.explore(s)
 	return ck.stateSteps, ck.terminals, ck.capped
@@ -444,7 +533,7 @@ func TestModelCheckRepeatedTriggerSameNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, expected := buildState(t, g, map[topology.NodeID]int{0: 2})
+	s, expected := buildState(t, g, map[topology.NodeID]int{0: 2}, 0, 0)
 	ck := &checker{t: t, expected: expected, cap: 2_000_000}
 	ck.explore(s)
 	if ck.capped {
@@ -455,6 +544,150 @@ func TestModelCheckRepeatedTriggerSameNode(t *testing.T) {
 	}
 }
 
+// Every interleaving of up to two message losses on a two-switch network:
+// retransmission (timeout transitions) must always restore agreement.
+func TestModelCheckTwoSwitchesWithLoss(t *testing.T) {
+	g, err := topology.Line(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, terminals, capped := modelCheckFaulty(t, g, map[topology.NodeID]int{0: 1}, 2, 0, 2_000_000)
+	if capped {
+		t.Fatal("2-switch with loss budget 2 should be exhaustively explored")
+	}
+	if terminals == 0 {
+		t.Fatal("no terminal states reached")
+	}
+	t.Logf("2-switch loss=2: %d steps, %d terminals — all recover and agree", steps, terminals)
+}
+
+// Every interleaving of up to two duplicated messages: idempotent receipt
+// must make every duplicate a no-op.
+func TestModelCheckTwoSwitchesWithDuplication(t *testing.T) {
+	g, err := topology.Line(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, terminals, capped := modelCheckFaulty(t, g, map[topology.NodeID]int{0: 1}, 0, 2, 2_000_000)
+	if capped {
+		t.Fatal("2-switch with dup budget 2 should be exhaustively explored")
+	}
+	if terminals == 0 {
+		t.Fatal("no terminal states reached")
+	}
+	t.Logf("2-switch dup=2: %d steps, %d terminals — duplicates are no-ops", steps, terminals)
+}
+
+// Loss and duplication together, with concurrent competing triggers — the
+// hardest small case: supersession, retransmission, and idempotent receipt
+// all interact.
+func TestModelCheckConcurrentTriggersLossAndDup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("state space exploration")
+	}
+	g, err := topology.Line(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, terminals, capped := modelCheckFaulty(t, g, map[topology.NodeID]int{0: 1, 1: 1}, 1, 1, 6_000_000)
+	if capped {
+		t.Fatal("2-switch concurrent loss=1 dup=1 should be exhaustive")
+	}
+	if terminals == 0 {
+		t.Fatal("no terminal states reached")
+	}
+	t.Logf("2-switch concurrent loss=1 dup=1: %d steps, %d terminals", steps, terminals)
+}
+
+// Three switches in a line with one loss anywhere: the dropped message may
+// be an invite, ack, report, or distribute — each repair path (re-invite,
+// re-accept, re-report, re-distribute) is exercised by some branch.
+func TestModelCheckLineOfThreeWithLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("state space exploration")
+	}
+	g, err := topology.Line(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, terminals, capped := modelCheckFaulty(t, g, map[topology.NodeID]int{1: 1}, 1, 0, 6_000_000)
+	if capped {
+		t.Fatal("3-switch line loss=1 should be exhaustive")
+	}
+	if terminals == 0 {
+		t.Fatal("no terminal states reached")
+	}
+	t.Logf("3-switch line loss=1: %d steps, %d terminals", steps, terminals)
+}
+
+// With the duplicate-invite re-accept guard removed (the chaos harness's
+// deliberate-bug hook), a lost ack followed by a retransmitted invite
+// orphans the child: the checker must find a drained state where the
+// orphan is still obligated and can never finish in that epoch. This
+// guards the guard — if the model checker stops being able to see the
+// bug, the chaos harness's self-check is meaningless.
+func TestModelCheckDupGuardRemovalBreaksRepair(t *testing.T) {
+	g, err := topology.Line(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := buildState(t, g, map[topology.NodeID]int{0: 1}, 1, 0)
+	for _, m := range s.machines {
+		m.dupGuardOff = true
+	}
+	// Hand-drive the orphaning interleaving: trigger 0, deliver the
+	// invite, DROP the accept-ack, then let 0's timeout re-invite; the
+	// broken machine declines and 0 completes alone while 1 stays
+	// obligated forever.
+	mustApply := func(want choice) {
+		t.Helper()
+		for _, c := range s.choices() {
+			if c == want {
+				s.apply(c)
+				return
+			}
+		}
+		t.Fatalf("choice %+v not enabled; have %+v", want, s.choices())
+	}
+	// Node 1 is a leaf: accepting makes its subtree complete, so its ack
+	// and its report are queued back-to-back. Drop the ack, let the
+	// (premature) report be ignored, then retransmit the invite.
+	mustApply(choice{kind: chTrigger, node: 0})
+	mustApply(choice{kind: chDeliver, ch: chanKey{from: 0, to: 1}}) // invite
+	mustApply(choice{kind: chDrop, ch: chanKey{from: 1, to: 0}})    // the accept-ack, lost
+	mustApply(choice{kind: chDeliver, ch: chanKey{from: 1, to: 0}}) // report: not a child yet, ignored
+	mustApply(choice{kind: chTimeout, node: 0})
+	mustApply(choice{kind: chDeliver, ch: chanKey{from: 0, to: 1}}) // re-invite: DECLINED (guard off)
+	mustApply(choice{kind: chDeliver, ch: chanKey{from: 1, to: 0}}) // the decline
+	if !s.drained() {
+		t.Fatalf("expected drained network, still have %+v", s.choices())
+	}
+	if s.machines[0].obligated() {
+		t.Fatal("switch 0 should have completed alone (1's accept was lost)")
+	}
+	if !s.machines[1].obligated() {
+		t.Fatal("switch 1 should be orphaned: accepted, then declined the retransmit")
+	}
+	if s.quiescent() {
+		t.Fatal("orphaned state must not count as quiescent")
+	}
+	// Sanity: with the guard ON the same loss heals through retransmission.
+	s, _ = buildState(t, g, map[topology.NodeID]int{0: 1}, 1, 0)
+	mustApply(choice{kind: chTrigger, node: 0})
+	mustApply(choice{kind: chDeliver, ch: chanKey{from: 0, to: 1}})
+	mustApply(choice{kind: chDrop, ch: chanKey{from: 1, to: 0}})
+	mustApply(choice{kind: chDeliver, ch: chanKey{from: 1, to: 0}})
+	mustApply(choice{kind: chTimeout, node: 0})
+	mustApply(choice{kind: chDeliver, ch: chanKey{from: 0, to: 1}}) // re-invite: re-accepted
+	mustApply(choice{kind: chDeliver, ch: chanKey{from: 1, to: 0}}) // the re-accept
+	mustApply(choice{kind: chTimeout, node: 1})                     // 1 re-sends its report
+	mustApply(choice{kind: chDeliver, ch: chanKey{from: 1, to: 0}}) // report lands, 0 completes
+	mustApply(choice{kind: chDeliver, ch: chanKey{from: 0, to: 1}}) // distribute
+	if !s.quiescent() {
+		t.Fatalf("hardened machines should have converged; choices: %+v", s.choices())
+	}
+}
+
 // Sanity for the harness itself: a deliberately broken validation must be
 // able to fire (guard against a checker that vacuously passes).
 func TestModelCheckerReachesStates(t *testing.T) {
@@ -462,7 +695,7 @@ func TestModelCheckerReachesStates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, _ := buildState(t, g, map[topology.NodeID]int{0: 1})
+	s, _ := buildState(t, g, map[topology.NodeID]int{0: 1}, 0, 0)
 	if s.quiescent() {
 		t.Fatal("initial state with pending trigger reported quiescent")
 	}

@@ -9,11 +9,22 @@ import (
 // machine is the pure protocol state machine of one switch: the three
 // phases, the epoch-tag rules, and nothing else. It performs no I/O —
 // every outgoing message goes through the emit callback — and keeps no
-// clocks, so the same code runs under the goroutine runtime (process) and
-// under the exhaustive model checker (modelcheck_test.go), which explores
-// every message interleaving. The paper notes that program verification
-// caught flaws in early versions of this algorithm; the model checker is
-// this reproduction's version of that discipline.
+// clocks, so the same code runs under the goroutine runtime (process),
+// under the deterministic unreliable runner (unreliable.go), and under
+// the exhaustive model checker (modelcheck_test.go), which explores every
+// message interleaving, including bounded loss and duplication. The paper
+// notes that program verification caught flaws in early versions of this
+// algorithm; the model checker is this reproduction's version of that
+// discipline.
+//
+// The machine is hardened against an unreliable control channel:
+// duplicate and stale-epoch messages are no-ops (idempotent receipt keyed
+// by (epoch, initiator) tags), a duplicate invite from the current parent
+// re-sends the accept (the original ack may have been lost), a duplicate
+// report arriving after completion re-sends the distribute (the original
+// may have been lost), and retransmit re-sends everything unacknowledged.
+// Timers live in the runners; the machine only exposes what to retransmit
+// and whether it is still obligated.
 type machine struct {
 	id  topology.NodeID
 	uid uint64
@@ -26,6 +37,12 @@ type machine struct {
 	active *configState
 	// view is the latest completed view (nil until first completion).
 	view *View
+
+	// dupGuardOff disables the duplicate-invite re-accept — the chaos
+	// harness's self-check hook (Hardening.UnsafeNoDupGuard): with the
+	// guard off, a retransmitted invite is declined and the child is
+	// orphaned, which the harness must catch.
+	dupGuardOff bool
 }
 
 // emitFunc carries an outgoing protocol message.
@@ -87,6 +104,14 @@ func (mc *machine) onInvite(m message, emit emitFunc) {
 		mc.startConfig(m.tag, m.from, m.depth+1, emit)
 		return
 	}
+	// Duplicate invite from our parent in the current configuration: our
+	// accept was lost or the invite was duplicated — re-send the accept
+	// (idempotent receipt). Without this guard a retransmitted invite is
+	// declined below and the child is orphaned from the tree.
+	if !mc.dupGuardOff && mc.active != nil && mc.active.tag == m.tag && mc.active.parent == m.from {
+		emit(m.from, message{kind: kindAck, tag: m.tag, accept: true})
+		return
+	}
 	// Equal or smaller tag: decline. (The paper "ignores" stale
 	// invitations; declining is equivalent but lets the stale inviter's
 	// bookkeeping terminate instead of relying on supersession.)
@@ -111,7 +136,15 @@ func (mc *machine) onAck(m message, emit emitFunc) {
 
 func (mc *machine) onReport(m message, emit emitFunc) {
 	cs := mc.active
-	if cs == nil || cs.tag != m.tag || cs.done {
+	if cs == nil || cs.tag != m.tag {
+		return
+	}
+	if cs.done {
+		// A report arriving after we completed is a child retransmitting
+		// because its distribute was lost — re-send it (idempotent).
+		if mc.view != nil && cs.isChild(m.from) {
+			emit(m.from, message{kind: kindDistribute, tag: cs.tag, links: mc.view.Links, depth: cs.depth})
+		}
 		return
 	}
 	if !cs.pendRep[m.from] {
@@ -171,15 +204,61 @@ func (mc *machine) complete(links []LinkRec, emit emitFunc) {
 	mc.view = v
 }
 
+// isChild reports whether n accepted this node's invitation.
+func (cs *configState) isChild(n topology.NodeID) bool {
+	for _, c := range cs.children {
+		if c == n {
+			return true
+		}
+	}
+	return false
+}
+
+// obligated reports whether the machine still has protocol work pending —
+// invitations awaiting acknowledgment, children yet to report, or (as a
+// non-root with a complete subtree) a report awaiting its implicit ack,
+// the parent's distribute. The runners keep a retransmission timer armed
+// exactly while this holds, and the model checker treats a state as
+// quiescent only when no machine is obligated (an obligated machine can
+// always fire a timeout).
+func (mc *machine) obligated() bool {
+	return mc.active != nil && !mc.active.done
+}
+
+// retransmit re-sends everything unacknowledged in the active
+// configuration: invites still awaiting an ack, and — once this node's
+// subtree is complete — the report awaiting the parent's distribute.
+// Reliable delivery never needs it; the unreliable runner and the model
+// checker drive it via timeouts. Receipt is idempotent (see onInvite,
+// onAck, onReport), so retransmission is always safe.
+func (mc *machine) retransmit(emit emitFunc) {
+	cs := mc.active
+	if cs == nil || cs.done {
+		return
+	}
+	pend := make([]topology.NodeID, 0, len(cs.pendAck))
+	for nb := range cs.pendAck {
+		pend = append(pend, nb)
+	}
+	sort.Slice(pend, func(i, j int) bool { return pend[i] < pend[j] })
+	for _, nb := range pend {
+		emit(nb, message{kind: kindInvite, tag: cs.tag, depth: cs.depth})
+	}
+	if len(cs.pendAck) == 0 && len(cs.pendRep) == 0 && cs.parent != topology.None {
+		emit(cs.parent, message{kind: kindReport, tag: cs.tag, links: recSet(cs.collected)})
+	}
+}
+
 // clone deep-copies the machine (for state-space exploration).
 func (mc *machine) clone() *machine {
 	c := &machine{
-		id:     mc.id,
-		uid:    mc.uid,
-		adj:    mc.adj, // immutable
-		own:    mc.own, // immutable
-		stored: mc.stored,
-		view:   mc.view, // views are immutable once created
+		id:          mc.id,
+		uid:         mc.uid,
+		adj:         mc.adj, // immutable
+		own:         mc.own, // immutable
+		stored:      mc.stored,
+		view:        mc.view, // views are immutable once created
+		dupGuardOff: mc.dupGuardOff,
 	}
 	if mc.active != nil {
 		cs := &configState{

@@ -18,11 +18,23 @@
 // seen, joins only configurations with a strictly larger tag (aborting its
 // current activity), and ignores the rest.
 //
-// Each switch runs as its own goroutine; links are modeled as messages
-// between inboxes. Latency is tracked with virtual timestamps: a message
-// carries the sender's virtual clock plus link delay, and a receiver
-// advances its clock to max(local, message) plus a processing delay —
-// giving a deterministic-in-shape estimate of real convergence time that
+// The protocol logic lives in a pure, I/O-free machine (protocol.go) that
+// is hardened for an unreliable control plane: receipt is idempotent, so
+// duplicates and stale epochs are no-ops and retransmission is always
+// safe. Two runners drive it. This file's goroutine runner models each
+// switch as its own process with links as messages between inboxes —
+// delivery there happens to be reliable and in order, which measures
+// fault-free convergence but is NOT a protocol assumption. The
+// deterministic runner in unreliable.go threads every message through
+// package ctrlnet's fault injector (loss, duplication, reordering, delay,
+// corruption, partition) and layers on retransmission with backoff plus a
+// stall watchdog; the model checker (modelcheck_test.go) explores message
+// interleavings exhaustively, including bounded loss and duplication.
+//
+// Latency is tracked with virtual timestamps: a message carries the
+// sender's virtual clock plus link delay, and a receiver advances its
+// clock to max(local, message) plus a processing delay — giving a
+// deterministic-in-shape estimate of real convergence time that
 // corresponds to the paper's sub-200 ms pull-the-plug demo.
 package reconfig
 

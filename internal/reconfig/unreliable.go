@@ -1,0 +1,501 @@
+package reconfig
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/ctrlnet"
+	"repro/internal/topology"
+)
+
+// This file runs the reconfiguration protocol over an UNRELIABLE control
+// channel (package ctrlnet): messages are dropped, duplicated, reordered,
+// delayed, bit-corrupted, and partitioned according to a seeded fault
+// model, exactly as the paper's §2/§6 control plane — which shares links
+// with the data plane — can misbehave. Where the goroutine runner
+// (reconfig.go) trades determinism for concurrency, this runner is a
+// single-threaded virtual-time event simulation: events are processed in
+// (time, sequence) order and every fault decision comes from one seeded
+// RNG, so a run is exactly reproducible — the property the chaos harness's
+// shrinking depends on.
+//
+// Protocol hardening on top of the pure machine:
+//
+//   - Retransmission: while a node is obligated (invites unacked, children
+//     unreported, or a report awaiting its distribute) a retransmission
+//     timer re-sends everything unacknowledged, with exponential backoff.
+//   - Idempotent receipt: duplicates and stale epochs are no-ops in the
+//     machine itself (see protocol.go), so retransmission is always safe.
+//   - Watchdog: a node stuck in the same incomplete configuration for
+//     WatchdogUS re-triggers with a fresh epoch — the liveness backstop
+//     for pathologies retransmission cannot fix (e.g. a partition that
+//     healed after the inviter gave up).
+//
+// CRC rejection is real here: a corrupted wire image fails
+// proto.Unmarshal at the receiver and is counted in CRCRejects.
+
+// Hardening tunes the retransmission and watchdog layer.
+type Hardening struct {
+	// RetxTimeoutUS is the initial retransmission timeout for invites
+	// awaiting their ack — a single round-trip exchange (default 60 µs,
+	// a few link round-trips).
+	RetxTimeoutUS int64
+	// RetxMaxUS caps the invite backoff (default 480 µs).
+	RetxMaxUS int64
+	// ReportRetxUS is the initial retransmission timeout for a report
+	// awaiting its implicit ack, the parent's distribute. That wait
+	// legitimately spans the whole tree's collection and distribution, so
+	// it runs on a slower clock than the invite round-trip (default
+	// 600 µs; backoff capped at 2×).
+	ReportRetxUS int64
+	// WatchdogUS is how long a node may sit in the same incomplete
+	// configuration before re-triggering (default 15000 µs — comfortably
+	// above the deepest retransmission-repair chain, so it fires only for
+	// pathologies retransmission cannot fix).
+	WatchdogUS int64
+	// MaxRetriggersPerNode caps watchdog re-triggers so a permanently
+	// partitioned node cannot spin forever (default 8).
+	MaxRetriggersPerNode int
+	// MaxVirtualUS bounds the run in virtual time; past it the run stops
+	// and reports Converged=false (default 1_000_000 µs).
+	MaxVirtualUS int64
+	// MaxEvents is a safety valve on total processed events (default 1<<21).
+	MaxEvents int
+	// UnsafeNoDupGuard disables the duplicate-invite re-accept guard in
+	// the machine. It exists ONLY so the chaos harness can verify it
+	// catches a reintroduced protocol bug; never set it otherwise.
+	UnsafeNoDupGuard bool
+}
+
+func (h Hardening) withDefaults() Hardening {
+	if h.RetxTimeoutUS <= 0 {
+		h.RetxTimeoutUS = 60
+	}
+	if h.RetxMaxUS <= 0 {
+		h.RetxMaxUS = 480
+	}
+	if h.ReportRetxUS <= 0 {
+		h.ReportRetxUS = 600
+	}
+	if h.WatchdogUS <= 0 {
+		h.WatchdogUS = 15000
+	}
+	if h.MaxRetriggersPerNode <= 0 {
+		h.MaxRetriggersPerNode = 8
+	}
+	if h.MaxVirtualUS <= 0 {
+		h.MaxVirtualUS = 1_000_000
+	}
+	if h.MaxEvents <= 0 {
+		h.MaxEvents = 1 << 21
+	}
+	return h
+}
+
+// UnreliableResult extends Result with the fault-model accounting.
+type UnreliableResult struct {
+	Result
+	// Channel is the injector's decision counters.
+	Channel ctrlnet.Stats
+	// CRCRejects counts delivered wire images the codec rejected
+	// (corruption detected by the CRC — the receiver's view of Corrupted).
+	CRCRejects int64
+	// Retransmits counts retransmission timer firings that re-sent
+	// something.
+	Retransmits int64
+	// Retriggers counts watchdog re-triggers (fresh epochs started
+	// because a configuration stalled).
+	Retriggers int64
+	// Converged reports whether every participant completed the winning
+	// configuration with identical views before the virtual-time bound.
+	Converged bool
+}
+
+// event kinds for the virtual-time simulation.
+const (
+	uevTrigger = iota
+	uevDeliver
+	uevRetx
+	uevWatchdog
+)
+
+type uevent struct {
+	atUS int64
+	seq  int64
+	kind int
+	node topology.NodeID
+	wire []byte
+}
+
+type ueventHeap []*uevent
+
+func (h ueventHeap) Len() int { return len(h) }
+func (h ueventHeap) Less(i, j int) bool {
+	if h[i].atUS != h[j].atUS {
+		return h[i].atUS < h[j].atUS
+	}
+	return h[i].seq < h[j].seq
+}
+func (h ueventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ueventHeap) Push(x interface{}) { *h = append(*h, x.(*uevent)) }
+func (h *ueventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Retransmission phases: what a still-obligated node is waiting for
+// determines which timescale its timer runs on.
+const (
+	phaseNone     = iota // nothing to retransmit
+	phaseInvite          // invites awaiting acks: one round-trip exchange
+	phaseChildren        // children owe reports; THEY retransmit, we wait
+	phaseReport          // report sent, awaiting the parent's distribute
+)
+
+// retxPhase classifies the machine's current wait.
+func retxPhase(mc *machine) int {
+	cs := mc.active
+	if cs == nil || cs.done {
+		return phaseNone
+	}
+	if len(cs.pendAck) > 0 {
+		return phaseInvite
+	}
+	if len(cs.pendRep) > 0 {
+		return phaseChildren
+	}
+	if cs.parent != topology.None {
+		return phaseReport
+	}
+	return phaseNone
+}
+
+// unode is one switch's runtime state under the unreliable runner.
+type unode struct {
+	mc     *machine
+	vclock int64
+	// retxAt is the armed retransmission deadline (-1 when disarmed);
+	// retxTimeout is the current backoff value; retxFor is the (tag,
+	// phase) the timer was armed for.
+	retxAt       int64
+	retxTimeout  int64
+	retxForTag   Tag
+	retxForPhase int
+	// watchAt / watchTag arm the stall watchdog for a configuration.
+	watchAt    int64
+	watchTag   Tag
+	retriggers int
+	lastView   *View
+}
+
+// RunUnreliable executes the protocol over the fault-injected control
+// channel among every live switch.
+func (r *Runner) RunUnreliable(triggers []Trigger, faults ctrlnet.Config, h Hardening) (*UnreliableResult, error) {
+	return r.runUnreliable(triggers, nil, faults, h)
+}
+
+// RunUnreliableScoped is RunUnreliable restricted to a region (the §2
+// "switches near the failing component" optimization under the same fault
+// model). Every trigger must lie inside the region.
+func (r *Runner) RunUnreliableScoped(triggers []Trigger, region Region, faults ctrlnet.Config, h Hardening) (*UnreliableResult, error) {
+	if len(region) == 0 {
+		return nil, fmt.Errorf("reconfig: empty region")
+	}
+	for _, tr := range triggers {
+		if !region[tr.Node] {
+			return nil, fmt.Errorf("%w: %d outside region", ErrBadTrigger, tr.Node)
+		}
+	}
+	return r.runUnreliable(triggers, region, faults, h)
+}
+
+func (r *Runner) runUnreliable(triggers []Trigger, region Region, faults ctrlnet.Config, h Hardening) (*UnreliableResult, error) {
+	if len(triggers) == 0 {
+		return nil, fmt.Errorf("reconfig: no triggers")
+	}
+	h = h.withDefaults()
+	chn, err := ctrlnet.New(faults)
+	if err != nil {
+		return nil, err
+	}
+
+	nodes := make(map[topology.NodeID]*unode)
+	var order []topology.NodeID
+	for _, s := range r.switches {
+		if region != nil && !region[s] {
+			continue
+		}
+		node, _ := r.cfg.Topology.Node(s)
+		var adj []topology.NodeID
+		for _, nb := range r.adj[s] {
+			if region == nil || region[nb] {
+				adj = append(adj, nb)
+			}
+		}
+		nodes[s] = &unode{
+			mc: &machine{
+				id:          s,
+				uid:         node.UID,
+				adj:         adj,
+				own:         r.own[s],
+				stored:      Tag{Epoch: r.cfg.BaseEpoch},
+				dupGuardOff: h.UnsafeNoDupGuard,
+			},
+			retxAt:  -1,
+			watchAt: -1,
+		}
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	ur := &UnreliableResult{Result: Result{Views: make(map[topology.NodeID]*View)}}
+	var (
+		events ueventHeap
+		seq    int64
+	)
+	push := func(ev *uevent) {
+		ev.seq = seq
+		seq++
+		heap.Push(&events, ev)
+	}
+
+	for _, tr := range triggers {
+		if _, ok := nodes[tr.Node]; !ok {
+			return nil, fmt.Errorf("%w: %d", ErrBadTrigger, tr.Node)
+		}
+		push(&uevent{atUS: tr.AtUS, kind: uevTrigger, node: tr.Node})
+	}
+
+	// emitFor builds the machine's emit callback for one node: encode,
+	// inject faults, schedule deliveries.
+	emitFor := func(id topology.NodeID, st *unode) emitFunc {
+		return func(to topology.NodeID, m message) {
+			if _, ok := nodes[to]; !ok {
+				return // out-of-region or dead neighbor: the link is down
+			}
+			m.from = id
+			m.vtime = st.vclock + r.cfg.LinkDelayUS
+			wire, err := encodeMessage(m)
+			if err != nil {
+				// Unencodable messages indicate a bug, as in the
+				// goroutine runner.
+				ur.CRCRejects++
+				return
+			}
+			ur.Bytes += int64(len(wire))
+			for _, d := range chn.Transmit(id, to, wire, m.vtime) {
+				push(&uevent{atUS: d.AtUS, kind: uevDeliver, node: to, wire: d.Wire})
+			}
+		}
+	}
+
+	// after a node handles anything: publish fresh views, arm timers.
+	postHandle := func(id topology.NodeID, st *unode) {
+		if st.mc.view != st.lastView {
+			st.lastView = st.mc.view
+			v := *st.mc.view
+			v.CompletedAtUS = st.vclock
+			ur.Views[id] = &v
+		}
+		if !st.mc.obligated() {
+			st.retxAt = -1
+			st.watchAt = -1
+			return
+		}
+		tag := st.mc.active.tag
+		if st.watchAt < 0 || st.watchTag != tag {
+			st.watchTag = tag
+			st.watchAt = st.vclock + h.WatchdogUS
+			push(&uevent{atUS: st.watchAt, kind: uevWatchdog, node: id})
+		}
+		// Re-arm the retransmission timer whenever the wait changes: a new
+		// configuration or a new phase gets a fresh timeout on that phase's
+		// timescale; an unchanged wait keeps its armed deadline (and its
+		// backoff).
+		ph := retxPhase(st.mc)
+		if st.retxAt >= 0 && st.retxForTag == tag && st.retxForPhase == ph {
+			return
+		}
+		st.retxForTag = tag
+		st.retxForPhase = ph
+		switch ph {
+		case phaseInvite:
+			st.retxTimeout = h.RetxTimeoutUS
+		case phaseReport:
+			st.retxTimeout = h.ReportRetxUS
+		default:
+			// phaseChildren: the children's own timers repair their
+			// subtrees; nothing for this node to retransmit.
+			st.retxAt = -1
+			return
+		}
+		st.retxAt = st.vclock + st.retxTimeout
+		push(&uevent{atUS: st.retxAt, kind: uevRetx, node: id})
+	}
+
+	processed := 0
+	for {
+		if len(events) == 0 {
+			// Release reordered messages still held by the channel; if
+			// nothing is held, the run has quiesced.
+			ds := chn.Flush()
+			if len(ds) == 0 {
+				break
+			}
+			for _, d := range ds {
+				if _, ok := nodes[d.To]; ok {
+					push(&uevent{atUS: d.AtUS, kind: uevDeliver, node: d.To, wire: d.Wire})
+				}
+			}
+			continue
+		}
+		ev := heap.Pop(&events).(*uevent)
+		processed++
+		if ev.atUS > h.MaxVirtualUS || processed > h.MaxEvents {
+			break
+		}
+		st := nodes[ev.node]
+		switch ev.kind {
+		case uevTrigger:
+			if ev.atUS > st.vclock {
+				st.vclock = ev.atUS
+			}
+			st.vclock += r.cfg.ProcessDelayUS
+			st.mc.handle(message{kind: kindTrigger}, emitFor(ev.node, st))
+			ur.Messages++
+			postHandle(ev.node, st)
+		case uevDeliver:
+			m, err := decodeMessage(ev.wire)
+			if err != nil {
+				ur.CRCRejects++
+				continue
+			}
+			if m.vtime > st.vclock {
+				st.vclock = m.vtime
+			}
+			if ev.atUS > st.vclock {
+				st.vclock = ev.atUS
+			}
+			st.vclock += r.cfg.ProcessDelayUS
+			st.mc.handle(m, emitFor(ev.node, st))
+			ur.Messages++
+			postHandle(ev.node, st)
+		case uevRetx:
+			if st.retxAt != ev.atUS {
+				continue // superseded timer
+			}
+			st.retxAt = -1
+			if ev.atUS > st.vclock {
+				st.vclock = ev.atUS
+			}
+			if !st.mc.obligated() || st.mc.active.tag != st.retxForTag ||
+				retxPhase(st.mc) != st.retxForPhase {
+				postHandle(ev.node, st)
+				continue
+			}
+			ur.Retransmits++
+			st.mc.retransmit(emitFor(ev.node, st))
+			st.retxTimeout *= 2
+			maxTO := h.RetxMaxUS
+			if st.retxForPhase == phaseReport {
+				maxTO = 2 * h.ReportRetxUS
+			}
+			if st.retxTimeout > maxTO {
+				st.retxTimeout = maxTO
+			}
+			st.retxAt = st.vclock + st.retxTimeout
+			push(&uevent{atUS: st.retxAt, kind: uevRetx, node: ev.node})
+		case uevWatchdog:
+			if st.watchAt != ev.atUS {
+				continue // superseded watchdog
+			}
+			st.watchAt = -1
+			if !st.mc.obligated() || st.mc.active.tag != st.watchTag {
+				postHandle(ev.node, st)
+				continue
+			}
+			if st.retriggers >= h.MaxRetriggersPerNode {
+				continue // give up: permanently stuck (e.g. partitioned)
+			}
+			st.retriggers++
+			ur.Retriggers++
+			if ev.atUS > st.vclock {
+				st.vclock = ev.atUS
+			}
+			st.vclock += r.cfg.ProcessDelayUS
+			st.mc.handle(message{kind: kindTrigger}, emitFor(ev.node, st))
+			postHandle(ev.node, st)
+		}
+	}
+
+	ur.Channel = chn.Stats()
+	var winner Tag
+	for _, v := range ur.Views {
+		if winner.Less(v.Tag) {
+			winner = v.Tag
+		}
+	}
+	for _, v := range ur.Views {
+		if v.CompletedAtUS > ur.MaxCompletionUS {
+			ur.MaxCompletionUS = v.CompletedAtUS
+		}
+		if v.Tag == winner && v.Depth > ur.TreeDepth {
+			ur.TreeDepth = v.Depth
+		}
+	}
+	ur.Converged = r.convergedAmong(order, ur.Views, region)
+	return ur, nil
+}
+
+// convergedAmong checks that, within every connected component of the
+// participant set that contains at least one completed switch, every
+// participant completed the same configuration with identical links.
+func (r *Runner) convergedAmong(participants []topology.NodeID, views map[topology.NodeID]*View, region Region) bool {
+	inRun := make(map[topology.NodeID]bool, len(participants))
+	for _, s := range participants {
+		inRun[s] = true
+	}
+	seen := make(map[topology.NodeID]bool)
+	for _, s := range participants {
+		if seen[s] {
+			continue
+		}
+		var comp []topology.NodeID
+		stack := []topology.NodeID{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for _, nb := range r.adj[n] {
+				if inRun[nb] && !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		var ref *View
+		for _, n := range comp {
+			if v := views[n]; v != nil {
+				if ref == nil || ref.Tag.Less(v.Tag) {
+					ref = v
+				}
+			}
+		}
+		if ref == nil {
+			continue // untriggered component: nothing to agree on
+		}
+		for _, n := range comp {
+			v := views[n]
+			if v == nil || v.Tag != ref.Tag || !equalRecs(v.Links, ref.Links) {
+				return false
+			}
+		}
+	}
+	return true
+}

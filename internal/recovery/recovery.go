@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"repro/internal/cell"
+	"repro/internal/ctrlnet"
 	"repro/internal/monitor"
 	"repro/internal/reconfig"
 	"repro/internal/routing"
@@ -61,6 +62,17 @@ type Config struct {
 	// If the root itself is believed dead the loop substitutes the lowest
 	// believed-live switch for that repair pass.
 	Root topology.NodeID
+	// CtrlFaults, when non-nil, runs every reconfiguration round over the
+	// fault-injected control channel (package ctrlnet) instead of the
+	// reliable goroutine runner. Each round derives its own seed from
+	// CtrlFaults.Seed and the round count, so a Loop run is reproducible
+	// from one seed. The pointed-to config is re-read at every round
+	// launch, so a caller (the chaos harness) may vary rates between
+	// ticks — e.g. a control-loss burst — and stay deterministic.
+	CtrlFaults *ctrlnet.Config
+	// CtrlHardening tunes the retransmission/watchdog layer used when
+	// CtrlFaults is set. Zero value = defaults.
+	CtrlHardening reconfig.Hardening
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +111,13 @@ type Incident struct {
 	RepairSlot int64
 	// Rerouted counts circuits moved by this incident's repair pass.
 	Rerouted int
+	// RetryPasses counts repair passes that ran for this incident but left
+	// at least one circuit stranded (no believed-live path, or admission
+	// refused), forcing a RetrySlots re-arm.
+	RetryPasses int
+	// RefusedReroutes totals the individual reroute attempts that failed
+	// across those passes.
+	RefusedReroutes int
 }
 
 // DetectionLagSlots is the monitoring delay: hardware change to belief.
@@ -133,6 +152,14 @@ type Stats struct {
 	Resyncs        int64 // ingress credit resyncs issued
 	UnroutedAtEnd  int   // circuits still crossing dead elements
 	MaxReconfigUS  int64 // slowest round's convergence time
+
+	// Control-plane fault accounting; populated only when Config.CtrlFaults
+	// runs rounds over the unreliable channel.
+	CtrlDropped     int64 // control messages destroyed by the channel
+	CtrlCRCRejects  int64 // delivered-but-corrupted messages the codec rejected
+	CtrlRetransmits int64 // retransmission timer firings across rounds
+	CtrlRetriggers  int64 // watchdog re-triggers across rounds
+	CtrlUnconverged int64 // rounds that missed agreement within their bound
 }
 
 // Loop is the recovery control loop for one network.
@@ -387,7 +414,31 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 		return 0
 	}
 	var res *reconfig.Result
-	if l.cfg.ReconfigRadius >= 0 {
+	if l.cfg.CtrlFaults != nil {
+		// Unreliable control plane: re-read the shared fault config (the
+		// chaos harness varies rates between ticks) and give the round its
+		// own deterministic seed.
+		faults := *l.cfg.CtrlFaults
+		faults.Seed = roundSeed(faults.Seed, l.stats.ReconfigRounds)
+		var ur *reconfig.UnreliableResult
+		if l.cfg.ReconfigRadius >= 0 {
+			region := runner.RegionOf(triggers, l.cfg.ReconfigRadius)
+			ur, err = runner.RunUnreliableScoped(triggers, region, faults, l.cfg.CtrlHardening)
+		} else {
+			ur, err = runner.RunUnreliable(triggers, faults, l.cfg.CtrlHardening)
+		}
+		if err != nil || ur == nil {
+			return 0
+		}
+		l.stats.CtrlDropped += ur.Channel.Lost()
+		l.stats.CtrlCRCRejects += ur.CRCRejects
+		l.stats.CtrlRetransmits += ur.Retransmits
+		l.stats.CtrlRetriggers += ur.Retriggers
+		if !ur.Converged {
+			l.stats.CtrlUnconverged++
+		}
+		res = &ur.Result
+	} else if l.cfg.ReconfigRadius >= 0 {
 		region := runner.RegionOf(triggers, l.cfg.ReconfigRadius)
 		res, err = runner.RunScoped(triggers, region)
 	} else {
@@ -409,6 +460,16 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 	}
 	l.net.EmitTrace(simnet.TraceRecoveryReconfig, 0, -1, -1, uint64(res.MaxCompletionUS))
 	return res.MaxCompletionUS
+}
+
+// roundSeed derives a per-round channel seed from the base seed, so every
+// reconfiguration round sees fresh fault decisions but the whole Loop run
+// replays exactly from one number (splitmix64 finalizer).
+func roundSeed(base, round int64) int64 {
+	z := uint64(base) + (uint64(round)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // scheduleRepair arms the repair pass, keeping the earliest requested slot
@@ -490,6 +551,9 @@ func (l *Loop) repair(slot int64) {
 			// Down-incidents stay open until every crossing circuit is
 			// handled, so the outage window keeps growing while any
 			// circuit is stranded.
+			inc.RetryPasses++
+			inc.RefusedReroutes += failed
+			inc.Rerouted += rerouted
 			stillOpen = append(stillOpen, idx)
 			continue
 		}

@@ -384,3 +384,106 @@ func TestRerouteDeadPathRejected(t *testing.T) {
 		t.Fatal("rejected reroute disturbed reservations")
 	}
 }
+
+// TestRestoreSwitchAfterRerouteAway: a guaranteed circuit is rerouted off
+// a crashed switch while it is down. The restored switch must come back
+// with NO reservation for that circuit — replaying the pre-crash setup
+// would leak capacity a future admission could then falsely refuse — and
+// the circuit must be admissible back onto it at full capacity.
+func TestRestoreSwitchAfterRerouteAway(t *testing.T) {
+	n, a, b, c, d, h0, h1 := diamondNet(t, Config{Switch: switchnode.Config{N: 4, FrameSlots: 8}})
+	if _, err := n.OpenGuaranteed(5, []topology.NodeID{h0, a, b, d, h1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	n.KillSwitch(b)
+	// Mid-outage: move the circuit to the surviving lower branch.
+	if err := n.Reroute(5, []topology.NodeID{h0, a, c, d, h1}); err != nil {
+		t.Fatal(err)
+	}
+	n.RestoreSwitch(b)
+	swB, _ := n.Switch(b)
+	if sum := reservationSum(swB); sum != 0 {
+		t.Fatalf("restored switch holds %d phantom reservation slots for a circuit routed elsewhere", sum)
+	}
+	swC, _ := n.Switch(c)
+	if sum := reservationSum(swC); sum != 2 {
+		t.Fatalf("reservations at c = %d, want 2", sum)
+	}
+	// The capacity b freed must be genuinely available: admit the circuit
+	// back through b (make-before-break briefly holds both paths, so this
+	// also proves no phantom occupancy inflates admission at b).
+	if err := n.Reroute(5, []topology.NodeID{h0, a, b, d, h1}); err != nil {
+		t.Fatalf("reroute back through restored switch refused: %v", err)
+	}
+	if sum := reservationSum(swB); sum != 2 {
+		t.Fatalf("reservations at b after return = %d, want 2", sum)
+	}
+	if sum := reservationSum(swC); sum != 0 {
+		t.Fatalf("old-path reservations at c not released: %d", sum)
+	}
+	if !n.Snapshot().Conserved() {
+		t.Fatalf("conservation broken: %+v", n.Snapshot())
+	}
+}
+
+// TestRestoreSwitchDoubleRestoreIdempotent: restoring a dead switch twice
+// must install its reservations exactly once, and the second call must be
+// a complete no-op (no double-reserve, no trace-visible state change).
+func TestRestoreSwitchDoubleRestoreIdempotent(t *testing.T) {
+	n, a, b, _, d, h0, h1 := diamondNet(t, Config{Switch: switchnode.Config{N: 4, FrameSlots: 8}})
+	if _, err := n.OpenGuaranteed(5, []topology.NodeID{h0, a, b, d, h1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	n.KillSwitch(b)
+	n.RestoreSwitch(b)
+	swB, _ := n.Switch(b)
+	first := reservationSum(swB)
+	if first != 2 {
+		t.Fatalf("restore replayed %d reservation slots, want 2", first)
+	}
+	before := reservationsOf(n, a, b, d)
+	beforeSnap := n.Snapshot()
+	n.RestoreSwitch(b)
+	if sum := reservationSum(swB); sum != first {
+		t.Fatalf("double restore changed reservations: %d -> %d", first, sum)
+	}
+	if !reflect.DeepEqual(before, reservationsOf(n, a, b, d)) {
+		t.Fatal("double restore disturbed some switch's reservation matrix")
+	}
+	if snap := n.Snapshot(); snap != beforeSnap {
+		t.Fatalf("double restore changed accounting: %+v -> %+v", beforeSnap, snap)
+	}
+	if !n.SwitchAlive(b) {
+		t.Fatal("switch dead after double restore")
+	}
+}
+
+// IngressWindow exposes the credit state invariant checkers assert on.
+func TestIngressWindowAccessor(t *testing.T) {
+	n, a, b, _, d, h0, h1 := diamondNet(t, Config{Switch: switchnode.Config{N: 4, FrameSlots: 8}, IngressWindow: 4})
+	if _, err := n.OpenBestEffort(1, []topology.NodeID{h0, a, b, d, h1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.OpenGuaranteed(5, []topology.NodeID{h0, a, b, d, h1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	w, inUse, ok := n.IngressWindow(1)
+	if !ok || w != 4 || inUse != 0 {
+		t.Fatalf("IngressWindow(1) = %d,%d,%v, want 4,0,true", w, inUse, ok)
+	}
+	for k := 0; k < 6; k++ {
+		if err := n.Send(1, [cell.PayloadSize]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		n.Step()
+	}
+	if _, inUse, _ := n.IngressWindow(1); inUse <= 0 || inUse > 4 {
+		t.Fatalf("inUse = %d outside (0, window]", inUse)
+	}
+	if _, _, ok := n.IngressWindow(5); ok {
+		t.Fatal("guaranteed circuit reported a credit window")
+	}
+	if _, _, ok := n.IngressWindow(99); ok {
+		t.Fatal("unknown circuit reported a credit window")
+	}
+}

@@ -1045,6 +1045,19 @@ func (n *Network) ResyncIngress(vc cell.VCI) error {
 	return nil
 }
 
+// IngressWindow reports a best-effort circuit's ingress credit window and
+// the number of credits currently outstanding. ok is false for unknown or
+// unwindowed circuits. Invariant checkers (the chaos harness) assert
+// 0 <= inUse <= window at every slot — a violation means credits were
+// minted or leaked across a fault path.
+func (n *Network) IngressWindow(vc cell.VCI) (window, inUse int, ok bool) {
+	c, found := n.circuits[vc]
+	if !found || c.Class != cell.BestEffort || c.window <= 0 {
+		return 0, 0, false
+	}
+	return c.window, c.inUse, true
+}
+
 // Snapshot is an instantaneous accounting cut of the network. The
 // conservation invariant every fault path must preserve is
 //
