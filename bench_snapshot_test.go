@@ -1,0 +1,73 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// benchSnapshot mirrors cmd/an2bench's -json record shape.
+type benchSnapshot struct {
+	ID         string `json:"id"`
+	WallMillis int64  `json:"wall_ms"`
+	Tables     []struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	} `json:"tables"`
+}
+
+func loadSnapshot(t *testing.T, path string) map[string]benchSnapshot {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []benchSnapshot
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	out := make(map[string]benchSnapshot, len(recs))
+	for _, r := range recs {
+		out[r.ID] = r
+	}
+	return out
+}
+
+// TestBenchTrajectoryNoE2Regression compares the committed an2bench
+// snapshots across PRs: the observability layer (BENCH_5) must not have
+// changed E2's measured results at all, and must not have slowed the
+// experiment by more than 5% — the hot path carries only nil-checked
+// instrument handles when obs is disabled, which an2bench's default run
+// is.
+func TestBenchTrajectoryNoE2Regression(t *testing.T) {
+	old := loadSnapshot(t, "BENCH_2.json")
+	cur := loadSnapshot(t, "BENCH_5.json")
+	prev, ok := old["E2"]
+	if !ok {
+		t.Fatal("BENCH_2.json has no E2 record")
+	}
+	now, ok := cur["E2"]
+	if !ok {
+		t.Fatal("BENCH_5.json has no E2 record")
+	}
+	if !reflect.DeepEqual(prev.Tables, now.Tables) {
+		t.Errorf("E2 tables changed between snapshots:\nold: %+v\nnew: %+v", prev.Tables, now.Tables)
+	}
+	if limit := prev.WallMillis + prev.WallMillis/20; now.WallMillis > limit {
+		t.Errorf("E2 wall time regressed: %d ms -> %d ms (limit %d)", prev.WallMillis, now.WallMillis, limit)
+	}
+	// The new snapshot must be a superset: every earlier experiment still
+	// present, plus the recovery/chaos/observability additions.
+	for id := range old {
+		if _, ok := cur[id]; !ok {
+			t.Errorf("experiment %s vanished from BENCH_5.json", id)
+		}
+	}
+	for _, id := range []string{"E27", "E28", "E29"} {
+		if _, ok := cur[id]; !ok {
+			t.Errorf("experiment %s missing from BENCH_5.json", id)
+		}
+	}
+}

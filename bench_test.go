@@ -1,5 +1,5 @@
 // Package repro's root benchmark harness: one testing.B benchmark per
-// experiment in DESIGN.md (E1–E26), each regenerating one of the paper's
+// experiment in DESIGN.md (E1–E29), each regenerating one of the paper's
 // figures, worked examples, or quantitative claims via internal/exp — the
 // same code cmd/an2bench runs.
 //
@@ -147,3 +147,9 @@ func BenchmarkE25ISLIPVsPIM(b *testing.B) { benchExperiment(b, "E25") }
 // matching problem into 2N independent round-robin arbiters; 1-cell
 // buffers already sustain full uniform load, at an N² memory cost.
 func BenchmarkE26CrosspointBuffering(b *testing.B) { benchExperiment(b, "E26") }
+
+// E29 — observability ablation: a disabled obs registry is free on the
+// hot path, sharded counters stay within a few percent, and only full
+// JSONL tracing with hop events costs measurable time — with results
+// bit-identical across all three modes.
+func BenchmarkE29ObservabilityOverhead(b *testing.B) { benchExperiment(b, "E29") }

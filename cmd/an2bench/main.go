@@ -1,5 +1,5 @@
 // Command an2bench regenerates every experiment in the AN2 reproduction
-// (the registry in internal/exp, currently E1–E28; `-list` enumerates it):
+// (the registry in internal/exp, currently E1–E29; `-list` enumerates it):
 // the paper's figures, worked examples, and quantitative claims, printed
 // as tables.
 //
@@ -11,6 +11,7 @@
 //	an2bench -seed 7         # change the seed
 //	an2bench -list           # list experiments and claims
 //	an2bench -json           # machine-readable results on stdout
+//	an2bench -run E2 -cpuprofile cpu.pprof -memprofile mem.pprof -trace run.trace
 //
 // With -json the output is one JSON array of objects, each carrying the
 // experiment id, title, claim, wall time in milliseconds, and its tables
@@ -24,6 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -62,9 +66,47 @@ func run(w io.Writer, args []string) error {
 		only     = fs.String("run", "", "comma-separated experiment ids (e.g. E2,E4)")
 		seed     = fs.Int64("seed", 42, "random seed")
 		jsonFlag = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
+		runTrace = fs.String("trace", "", "write a runtime execution trace of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *runTrace != "" {
+		f, err := os.Create(*runTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return err
+		}
+		defer trace.Stop()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "an2bench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	selected := map[string]bool{}

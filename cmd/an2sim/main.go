@@ -9,18 +9,29 @@
 //	an2sim -topology src -switches 12 -hosts 24 -slots 20000 -pullplug
 //	an2sim -topology torus -circuits 16 -guaranteed 4
 //	an2sim -topology file -file lan.json
+//
+// Observability (see DESIGN.md §11):
+//
+//	an2sim -http :8080 -hold        # live /metrics, /debug/vars, /debug/pprof
+//	an2sim -metrics-out run.prom    # final Prometheus exposition to a file
+//	an2sim -trace run.jsonl -trace-hops ... && an2trace run.jsonl
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/topology"
 )
@@ -47,6 +58,11 @@ func run(args []string) error {
 		pullplug   = fs.Bool("pullplug", false, "pull the plug on a random switch mid-run")
 		seed       = fs.Int64("seed", 1, "random seed")
 		traceFile  = fs.String("trace", "", "write a JSONL event trace to this file")
+		traceHops  = fs.Bool("trace-hops", false, "with -trace, also record per-switch hop events (enables an2trace's full latency decomposition)")
+		obsFlag    = fs.Bool("obs", false, "collect live instruments even without an export surface")
+		httpAddr   = fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (implies -obs)")
+		hold       = fs.Bool("hold", false, "with -http, keep serving after the run ends (stop with Ctrl-C)")
+		metricsOut = fs.String("metrics-out", "", "write the final Prometheus exposition to this file (implies -obs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,7 +90,34 @@ func run(args []string) error {
 		}()
 		tracer = jt
 	}
-	lan, err := core.New(core.Config{Topology: g, FrameSlots: *frame, Seed: *seed, Tracer: tracer})
+	var reg *obs.Registry
+	if *obsFlag || *httpAddr != "" || *metricsOut != "" {
+		reg = obs.NewRegistry(len(g.Switches()))
+		reg.PublishExpvar("an2")
+	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go func() {
+			if err := srv.Serve(ln); err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "an2sim: http:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (also /debug/vars, /debug/pprof)\n", ln.Addr())
+	}
+	lan, err := core.New(core.Config{Topology: g, FrameSlots: *frame, Seed: *seed, Tracer: tracer, TraceHops: *traceHops, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -184,6 +227,24 @@ func run(args []string) error {
 		na, _ := g.Node(l.A)
 		nb, _ := g.Node(l.B)
 		fmt.Printf("hottest link: %s--%s at %.2f cells/slot\n", na.Name, nb.Name, peak)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: Prometheus exposition written to %s\n", *metricsOut)
+	}
+	if *httpAddr != "" && *hold {
+		fmt.Println("run complete; holding the observability endpoint open (Ctrl-C to exit)")
+		select {}
 	}
 	return nil
 }

@@ -1,0 +1,153 @@
+// Command an2trace analyzes a JSONL event trace written by the simulator
+// (an2sim -trace, simnet.JSONLTracer, or chaos.RunObserved) entirely
+// offline: it reconstructs per-circuit latency breakdowns, recovery
+// incident timelines, and output-port contention from the event stream
+// alone — no access to the run that produced it.
+//
+// Usage:
+//
+//	an2trace run.jsonl             # full text report
+//	an2trace -top 5 run.jsonl      # only the 5 most contended ports
+//	an2trace -json run.jsonl       # the analysis as one JSON object
+//	an2trace -chrome out.json run.jsonl
+//	an2sim -trace - ... | an2trace # read the stream from stdin
+//
+// With -chrome the trace is converted to Chrome trace_event format and
+// written to the named file; load it in Perfetto (ui.perfetto.dev) or
+// chrome://tracing to see data-plane cells (pid 1, one track per VC) and
+// control-plane recovery spans (pid 2, one track per incident) on a single
+// correlated timeline. -slotus sets the microseconds per cell slot used
+// for that conversion (default 10, matching the recovery loop's SlotUS).
+//
+// The latency decomposition needs per-hop events (an2sim -trace-hops or
+// simnet.Config.TraceHops); without them the report still shows totals,
+// incidents, and drops, but queueing/head-of-line attribution collapses
+// into a single "queue" column.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "an2trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("an2trace", flag.ContinueOnError)
+	var (
+		chrome   = fs.String("chrome", "", "convert to Chrome trace_event JSON at this path (Perfetto-loadable)")
+		slotUS   = fs.Int64("slotus", 10, "microseconds per cell slot for -chrome timestamps")
+		top      = fs.Int("top", 10, "contended output ports to show (0 hides the table)")
+		jsonFlag = fs.Bool("json", false, "emit the analysis as JSON instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader
+	switch name := fs.Arg(0); name {
+	case "", "-":
+		r = os.Stdin
+	default:
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ReadJSONL(r)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("no events in trace")
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, events, *slotUS); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "chrome trace: %d events written to %s (load in ui.perfetto.dev)\n",
+			len(events), *chrome)
+		return nil
+	}
+
+	a := obs.Analyze(events)
+	if *jsonFlag {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(a)
+	}
+	report(w, a, *top)
+	return nil
+}
+
+// report renders the full text report.
+func report(w io.Writer, a *obs.Analysis, top int) {
+	fmt.Fprintf(w, "trace: %d events over %d slots", a.Events, a.Slots)
+	if !a.HasHops {
+		fmt.Fprint(w, " (no hop events: queue column holds all waiting)")
+	}
+	fmt.Fprintln(w)
+
+	vt := metrics.NewTable("per-circuit latency breakdown (slots)",
+		"vc", "injected", "delivered", "drop-fault", "drop-reroute",
+		"mean", "p99", "max", "transit", "queue", "hol", "outage")
+	for _, v := range a.VCs {
+		vt.AddRow(v.VC, v.Injected, v.Delivered, v.DroppedFault, v.DroppedReroute,
+			v.MeanLat, v.P99Lat, v.MaxLat, v.Transit, v.Queue, v.HOL, v.Outage)
+	}
+	fmt.Fprintln(w, vt.String())
+
+	if len(a.Incidents) > 0 {
+		it := metrics.NewTable("recovery incidents",
+			"id", "kind", "node", "link", "hw-slot", "detect", "reconfig", "repair", "outage", "rerouted", "epoch")
+		for _, inc := range a.Incidents {
+			repair, outage := "open", "open"
+			if inc.RepairSlot >= 0 {
+				repair = fmt.Sprint(inc.RepairSlot)
+				outage = fmt.Sprint(inc.OutageSlots)
+			}
+			it.AddRow(inc.ID, inc.Kind, inc.Node, inc.Link,
+				inc.HardwareSlot, inc.DetectSlot, inc.ReconfigSlots,
+				repair, outage, inc.Rerouted, inc.Epoch)
+		}
+		fmt.Fprintln(w, it.String())
+		if a.MaxOutageSlots >= 0 {
+			fmt.Fprintf(w, "worst outage: %d slots\n\n", a.MaxOutageSlots)
+		}
+	}
+
+	if top > 0 && len(a.Ports) > 0 {
+		n := top
+		if n > len(a.Ports) {
+			n = len(a.Ports)
+		}
+		pt := metrics.NewTable(fmt.Sprintf("top %d contended output ports", n),
+			"switch", "out-link", "departures", "wait-slots")
+		for _, p := range a.Ports[:n] {
+			pt.AddRow(p.Node, p.Link, p.Departures, p.WaitSlots)
+		}
+		fmt.Fprintln(w, pt.String())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"repro/internal/cell"
+	"repro/internal/obs"
 	"repro/internal/switchnode"
 )
 
@@ -47,6 +48,11 @@ type Config struct {
 	CrosspointDepth int
 	// BufferLimit bounds each input's virtual output queue; 0 = unbounded.
 	BufferLimit int
+	// Obs, if set, records the fabric's resident crosspoint-cell count into
+	// the slot-clock series cbsched_crosspoint_cells each Step — the
+	// distributed-arbiter occupancy view the centralized schedulers get from
+	// switch_matched_pairs. Nil disables at no cost.
+	Obs *obs.Registry
 }
 
 // Stats counts switch activity.
@@ -74,6 +80,7 @@ type Switch struct {
 	slot  int64
 	stats Stats
 	deps  []switchnode.Departure
+	obsOcc *obs.Series
 }
 
 // New creates a crosspoint-buffered switch.
@@ -95,6 +102,7 @@ func New(cfg Config) (*Switch, error) {
 		xpq:    make([][][]cell.Cell, cfg.N),
 		inPtr:  make([]int, cfg.N),
 		outPtr: make([]int, cfg.N),
+		obsOcc: cfg.Obs.Series("cbsched_crosspoint_cells", 0),
 	}
 	for i := 0; i < cfg.N; i++ {
 		s.voq[i] = make([][]cell.Cell, cfg.N)
@@ -178,6 +186,7 @@ func (s *Switch) Step() []switchnode.Departure {
 	if s.resident > s.stats.CrosspointOccupancyMax {
 		s.stats.CrosspointOccupancyMax = s.resident
 	}
+	s.obsOcc.Record(s.slot, s.resident)
 	s.slot++
 	s.stats.Slots++
 	return s.deps

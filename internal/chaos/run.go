@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/simnet"
 	"repro/internal/switchnode"
@@ -88,13 +89,17 @@ type fixture struct {
 	gtdVCs []cell.VCI
 }
 
-// build constructs the deterministic fixture for a schedule.
-func build(s Schedule) (*fixture, error) {
+// build constructs the deterministic fixture for a schedule. tracer and
+// reg are optional observability taps; neither changes the run's
+// behavior, only what it reports.
+func build(s Schedule, tracer simnet.Tracer, reg *obs.Registry) (*fixture, error) {
 	g := fixtureGraph()
 	n, err := simnet.New(simnet.Config{
 		Topology:      g,
 		Switch:        switchnode.Config{N: 8, FrameSlots: 64, Discipline: switchnode.DisciplinePerVC, Seed: s.Seed},
 		IngressWindow: 16,
+		Tracer:        tracer,
+		Obs:           reg,
 	})
 	if err != nil {
 		return nil, err
@@ -165,7 +170,16 @@ func burstDropAt(s Schedule, slot int64) float64 {
 // finding); invariant failures come back in Result.Violation, with the
 // run stopped at the failing slot.
 func Run(s Schedule) (*Result, error) {
-	f, err := build(s)
+	return RunObserved(s, nil, nil)
+}
+
+// RunObserved is Run with observability taps: tracer receives the full
+// correlated event stream (hardware faults, recovery spans, and
+// chaos-burst markers bracketing each control-loss window), and reg the
+// live instruments. Both may be nil; neither affects the run's outcome —
+// a schedule produces the identical Result traced or not.
+func RunObserved(s Schedule, tracer simnet.Tracer, reg *obs.Registry) (*Result, error) {
+	f, err := build(s, tracer, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +201,7 @@ func Run(s Schedule) (*Result, error) {
 		RetrySlots:     32,
 		CtrlFaults:     &ctrl,
 		CtrlHardening:  hardening,
+		Obs:            reg,
 	})
 	if err != nil {
 		return nil, err
@@ -204,12 +219,31 @@ func Run(s Schedule) (*Result, error) {
 	// long past the horizon before "not-quiescent" is a finding.
 	const settleSlots = 6000
 
+	// Chaos-burst markers bracket each control-loss window in the trace
+	// (Seq = drop probability in permille; the closing marker carries the
+	// window length in Dur).
+	prevDrop := s.Faults.DropProb
+	burstStart := int64(-1)
+
 	for i := int64(0); i < s.Horizon+settleSlots; i++ {
 		if i >= s.Horizon && f.loop.Quiescent() {
 			break
 		}
 		inj.Apply(f.net)
 		ctrl.DropProb = burstDropAt(s, f.net.Slot())
+		if ctrl.DropProb != prevDrop {
+			slot := f.net.Slot()
+			ev := simnet.TraceEvent{Kind: obs.KindChaosBurst, Node: -1, Link: -1,
+				Seq: uint64(ctrl.DropProb * 1000)}
+			if ctrl.DropProb > prevDrop {
+				burstStart = slot
+			} else if burstStart >= 0 {
+				ev.Dur = slot - burstStart
+				burstStart = -1
+			}
+			f.net.EmitEvent(ev)
+			prevDrop = ctrl.DropProb
+		}
 		f.loop.Tick()
 		slot := f.net.Slot()
 		if slot < sendUntil {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bwcentral"
 	"repro/internal/cell"
+	"repro/internal/obs"
 	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/simnet"
@@ -47,6 +48,13 @@ type Config struct {
 	Seed int64
 	// Tracer, if set, receives every data-plane event (see simnet).
 	Tracer simnet.Tracer
+	// TraceHops additionally traces every switch departure (see
+	// simnet.Config.TraceHops); cmd/an2trace uses hop events to decompose
+	// per-cell latency.
+	TraceHops bool
+	// Obs, if set, receives live instrument updates from the data plane
+	// (see simnet.Config.Obs). Nil disables observability at no cost.
+	Obs *obs.Registry
 }
 
 // LAN is a running AN2 network.
@@ -126,6 +134,8 @@ func New(cfg Config) (*LAN, error) {
 		},
 		IngressWindow: cfg.IngressWindow,
 		Tracer:        cfg.Tracer,
+		TraceHops:     cfg.TraceHops,
+		Obs:           cfg.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -150,14 +160,7 @@ func New(cfg Config) (*LAN, error) {
 // triggers over the surviving topology, then rebuilds routing (oriented by
 // the new spanning tree) and re-elects bandwidth central.
 func (l *LAN) Reconfigure(triggers []reconfig.Trigger) (*reconfig.Result, error) {
-	var baseEpoch uint64
-	if l.lastReconfig != nil {
-		for _, v := range l.lastReconfig.Views {
-			if v.Tag.Epoch > baseEpoch {
-				baseEpoch = v.Tag.Epoch
-			}
-		}
-	}
+	baseEpoch := l.lastReconfig.Epoch()
 	runner, err := reconfig.New(reconfig.Config{
 		Topology:  l.g,
 		DeadLinks: l.deadLinks,

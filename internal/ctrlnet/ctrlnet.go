@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -65,6 +66,11 @@ type Config struct {
 	Partitions []Partition
 	// Seed drives every fault decision.
 	Seed int64
+	// Obs, if set, counts offered and destroyed control messages into the
+	// shared registry (ctrl_msgs_total{kind="sent"|"lost"}), so a live
+	// /metrics endpoint shows control-plane loss next to the data plane it
+	// disturbs. Nil disables at no cost.
+	Obs *obs.Registry
 }
 
 // Window is a half-open virtual-time interval [FromUS, ToUS).
@@ -123,6 +129,10 @@ type Net struct {
 	// held stores at most one reordered message per directed link,
 	// released behind the next message on that link (or by Flush).
 	held map[pairKey]heldMsg
+
+	// Observability handles (nil without Config.Obs).
+	obsSent *obs.Counter
+	obsLost *obs.Counter
 }
 
 // New builds the injector. An invalid probability (outside [0,1]) errors.
@@ -143,9 +153,11 @@ func New(cfg Config) (*Net, error) {
 		cfg.MaxExtraDelayUS = 40
 	}
 	return &Net{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		held: make(map[pairKey]heldMsg),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		held:    make(map[pairKey]heldMsg),
+		obsSent: cfg.Obs.Counter("ctrl_msgs_total", "kind", "sent"),
+		obsLost: cfg.Obs.Counter("ctrl_msgs_total", "kind", "lost"),
 	}, nil
 }
 
@@ -184,6 +196,7 @@ func (n *Net) jitterUS() int64 { return 1 + n.rng.Int63n(n.cfg.MaxExtraDelayUS) 
 // not retained; delivered images are copies when mutated.
 func (n *Net) Transmit(from, to topology.NodeID, wire []byte, arriveUS int64) []Delivery {
 	n.stats.Sent++
+	n.obsSent.Inc(0)
 	key := pairKey{from, to}
 	var out []Delivery
 
@@ -201,14 +214,17 @@ func (n *Net) Transmit(from, to topology.NodeID, wire []byte, arriveUS int64) []
 
 	if n.partitioned(from, to, arriveUS) {
 		n.stats.PartitionDropped++
+		n.obsLost.Inc(0)
 		return nil
 	}
 	if n.inBurst(arriveUS) {
 		n.stats.BurstDropped++
+		n.obsLost.Inc(0)
 		return nil
 	}
 	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
 		n.stats.Dropped++
+		n.obsLost.Inc(0)
 		return nil
 	}
 	if n.cfg.CorruptProb > 0 && n.rng.Float64() < n.cfg.CorruptProb {

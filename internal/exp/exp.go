@@ -1,4 +1,4 @@
-// Package exp implements the paper-reproduction experiments (E1–E27 in
+// Package exp implements the paper-reproduction experiments (E1–E29 in
 // DESIGN.md): each function regenerates one of the paper's figures, worked
 // examples, or quantitative claims as a metrics.Table, so the experiment
 // output reads like the rows a paper's evaluation section reports.

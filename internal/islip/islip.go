@@ -107,6 +107,7 @@ func (s *Scheduler) Schedule(r *matching.Requests) sched.Result {
 	for iter := 0; s.iters == 0 || iter < s.iters; iter++ {
 		added := s.iterate(r, m, iter == 0)
 		res.Iterations++
+		res.Matched += added
 		if added == 0 {
 			break
 		}

@@ -1,10 +1,25 @@
-// Package metrics provides the measurement primitives used by the AN2
-// simulator: counters, latency histograms with percentiles, throughput
-// meters, and fixed-width table rendering for experiment output.
+// Package metrics provides the post-hoc measurement primitives used by
+// the AN2 simulator's experiments: counters, latency histograms with
+// exact percentiles, throughput meters, and fixed-width table rendering
+// for experiment output.
 //
-// All types are deliberately simple and single-goroutine: the data plane is
-// a deterministic slotted simulation, so no synchronization is needed. The
-// control plane aggregates into metrics only after goroutines join.
+// The repo's instrumentation is split in two by concurrency contract:
+//
+//   - This package is single-goroutine and exact. Its types keep every
+//     sample, so quantiles are true order statistics — but nothing here
+//     may be touched from inside simnet.Network.Step, whose worker pool
+//     steps switches in parallel. Experiments record into metrics only
+//     after Step returns (or after goroutines join), which is why every
+//     experiment table is built post-hoc.
+//
+//   - Package obs is the live, shard-per-worker collector. Its Registry
+//     hands out cache-line-padded sharded counters/gauges/histograms that
+//     workers update concurrently (each switch writes its own shard, reads
+//     sum all shards), plus slot-clock ring-buffer series, at the price of
+//     power-of-two histogram resolution. It is safe under the parallel
+//     stepper and free when disabled (nil registry, single-branch no-ops).
+//
+// Rule of thumb: inside the simulation, obs; after it, metrics.
 package metrics
 
 import (

@@ -1,0 +1,427 @@
+package obs
+
+import (
+	"sort"
+)
+
+// Offline trace analysis: answers "where did this cell's latency go?"
+// from a JSONL event stream alone — no access to the simulator state.
+//
+// With hop events present (simnet.Config.TraceHops) each delivered cell's
+// latency is decomposed exactly:
+//
+//   - transit: link propagation, inferred per link as the minimum gap any
+//     cell ever achieved across it (a tight floor as soon as any cell
+//     crosses uncontended);
+//   - queueing: slots the cell waited at a switch while its output port
+//     was busy carrying other cells — genuine contention;
+//   - head-of-line: slots the cell waited while its output port sat idle —
+//     blocked by the buffer discipline or an imperfect matching, not by
+//     load (the paper's §3 distinction);
+//   - outage: waiting by cells whose life overlapped a recovery incident's
+//     outage window — latency attributable to the reconfiguration, not
+//     the schedulers.
+//
+// Without hop events only the total and its floor are known, and the
+// excess is reported as queueing.
+
+// VCBreakdown is one circuit's delivery and latency decomposition.
+type VCBreakdown struct {
+	VC             uint32
+	Injected       int64
+	Delivered      int64
+	DroppedFault   int64
+	DroppedReroute int64
+	// MeanLat / P99Lat / MaxLat summarize end-to-end latency in slots.
+	MeanLat float64
+	P99Lat  int64
+	MaxLat  int64
+	// Mean per-delivered-cell decomposition, in slots. Transit + Queue +
+	// HOL + Outage == MeanLat when hop events are present.
+	Transit float64
+	Queue   float64
+	HOL     float64
+	Outage  float64
+}
+
+// IncidentSpan is one recovery incident reconstructed from the stream.
+type IncidentSpan struct {
+	ID   int64
+	Kind string // "link-down", "link-up", "switch-down", "switch-up", "believed"
+	Node int32  // -1 for link incidents
+	Link int32  // -1 for switch incidents
+	// HardwareSlot is the matching kill/restore event (-1 when the belief
+	// had no hardware cause in the stream, e.g. a smoothed flap).
+	HardwareSlot  int64
+	DetectSlot    int64
+	ReconfigSlots int64
+	RepairSlot    int64 // -1 when the incident never closed
+	OutageSlots   int64 // -1 when the incident never closed
+	Rerouted      uint64
+	Epoch         uint64
+}
+
+// PortContention ranks one output port (identified by switch + outgoing
+// link) by the queueing it caused.
+type PortContention struct {
+	Node       int32
+	Link       int32
+	Departures int64
+	// WaitSlots is the total cell-slots spent waiting for this port
+	// (queueing + head-of-line at this switch).
+	WaitSlots int64
+}
+
+// Analysis is the full offline report.
+type Analysis struct {
+	Events  int
+	Slots   int64 // highest slot observed
+	HasHops bool
+	VCs     []VCBreakdown
+	// Incidents are ordered by id; MaxOutageSlots is the worst closed
+	// down-incident's outage window — the number E27 reports.
+	Incidents      []IncidentSpan
+	MaxOutageSlots int64
+	// Ports is sorted by WaitSlots descending (then by departures).
+	Ports []PortContention
+}
+
+// cellRec accumulates one cell's life.
+type cellRec struct {
+	vc      uint32
+	seq     uint64
+	inject  int64
+	injLink int32
+	hops    []hopRec
+	end     int64 // deliver slot, -1 otherwise
+}
+
+type hopRec struct {
+	slot int64
+	node int32
+	link int32
+}
+
+type portKey struct {
+	node int32
+	link int32
+}
+
+// Analyze builds the offline report from an event stream (as read by
+// ReadJSONL). Events must be in slot order, as every tracer writes them.
+func Analyze(events []Event) *Analysis {
+	a := &Analysis{Events: len(events), MaxOutageSlots: -1}
+
+	type cellKey struct {
+		vc  uint32
+		seq uint64
+	}
+	cells := make(map[cellKey]*cellRec)
+	var done []*cellRec
+	type vcCounts struct {
+		injected, delivered, dropFault, dropRoute int64
+	}
+	counts := make(map[uint32]*vcCounts)
+	vcCount := func(vc uint32) *vcCounts {
+		c := counts[vc]
+		if c == nil {
+			c = &vcCounts{}
+			counts[vc] = c
+		}
+		return c
+	}
+
+	// Hardware state changes per element, in slot order.
+	type hwEvent struct {
+		slot int64
+		down bool
+	}
+	linkHW := make(map[int32][]hwEvent)
+	nodeHW := make(map[int32][]hwEvent)
+
+	incidents := make(map[int64]*IncidentSpan)
+	var incidentOrder []int64
+	// Reconfig completions: (slot, dur) pairs to join onto incidents.
+	type reconfigDone struct{ slot, dur int64 }
+	var reconfigs []reconfigDone
+
+	departures := make(map[portKey][]int64) // sorted slot lists per port
+
+	for i := range events {
+		ev := &events[i]
+		if ev.Slot > a.Slots {
+			a.Slots = ev.Slot
+		}
+		switch ev.Kind {
+		case KindInject:
+			vcCount(ev.VC).injected++
+			cells[cellKey{ev.VC, ev.Seq}] = &cellRec{
+				vc: ev.VC, seq: ev.Seq, inject: ev.Slot, injLink: ev.Link, end: -1,
+			}
+		case KindHop:
+			a.HasHops = true
+			if c := cells[cellKey{ev.VC, ev.Seq}]; c != nil {
+				c.hops = append(c.hops, hopRec{ev.Slot, ev.Node, ev.Link})
+			}
+			pk := portKey{ev.Node, ev.Link}
+			departures[pk] = append(departures[pk], ev.Slot)
+		case KindDeliver:
+			vcCount(ev.VC).delivered++
+			key := cellKey{ev.VC, ev.Seq}
+			if c := cells[key]; c != nil {
+				c.end = ev.Slot
+				done = append(done, c)
+				delete(cells, key)
+			}
+		case KindDropFault:
+			vcCount(ev.VC).dropFault++
+			delete(cells, cellKey{ev.VC, ev.Seq})
+		case KindDropRoute:
+			vcCount(ev.VC).dropRoute++
+			delete(cells, cellKey{ev.VC, ev.Seq})
+		case KindKillLink:
+			linkHW[ev.Link] = append(linkHW[ev.Link], hwEvent{ev.Slot, true})
+		case KindRestoreLink:
+			linkHW[ev.Link] = append(linkHW[ev.Link], hwEvent{ev.Slot, false})
+		case KindKillNode:
+			nodeHW[ev.Node] = append(nodeHW[ev.Node], hwEvent{ev.Slot, true})
+		case KindRestoreNode:
+			nodeHW[ev.Node] = append(nodeHW[ev.Node], hwEvent{ev.Slot, false})
+		case KindRecoveryDetect:
+			if ev.Incident > 0 {
+				if _, dup := incidents[ev.Incident]; !dup {
+					incidents[ev.Incident] = &IncidentSpan{
+						ID: ev.Incident, Kind: "believed", Node: ev.Node, Link: ev.Link,
+						HardwareSlot: -1, DetectSlot: ev.Slot, RepairSlot: -1,
+						OutageSlots: -1, Epoch: ev.Epoch,
+					}
+					incidentOrder = append(incidentOrder, ev.Incident)
+				}
+			}
+		case KindRecoveryReconfig:
+			reconfigs = append(reconfigs, reconfigDone{ev.Slot, ev.Dur})
+		case KindRecoveryRepair:
+			if inc := incidents[ev.Incident]; inc != nil {
+				inc.RepairSlot = ev.Slot
+				inc.Rerouted = ev.Seq
+				if ev.Epoch > inc.Epoch {
+					inc.Epoch = ev.Epoch
+				}
+			}
+		}
+	}
+
+	// Resolve each incident's hardware cause: the element's most recent
+	// state change at or before the detection — the same joint
+	// recovery.Incident records live.
+	hwBefore := func(hist []hwEvent, slot int64) (hwEvent, bool) {
+		best, ok := hwEvent{}, false
+		for _, h := range hist {
+			if h.slot <= slot {
+				best, ok = h, true
+			}
+		}
+		return best, ok
+	}
+	for _, id := range incidentOrder {
+		inc := incidents[id]
+		var hist []hwEvent
+		var elem string
+		if inc.Link >= 0 {
+			hist, elem = linkHW[inc.Link], "link"
+		} else if inc.Node >= 0 {
+			hist, elem = nodeHW[inc.Node], "switch"
+		}
+		if hw, ok := hwBefore(hist, inc.DetectSlot); ok {
+			inc.HardwareSlot = hw.slot
+			if hw.down {
+				inc.Kind = elem + "-down"
+			} else {
+				inc.Kind = elem + "-up"
+			}
+		}
+		// Reconfig round: the earliest completion at or after detection.
+		for _, rc := range reconfigs {
+			if rc.slot >= inc.DetectSlot {
+				inc.ReconfigSlots = rc.dur
+				break
+			}
+		}
+		if inc.RepairSlot >= 0 {
+			if inc.HardwareSlot >= 0 {
+				inc.OutageSlots = inc.RepairSlot - inc.HardwareSlot
+			} else {
+				inc.OutageSlots = inc.RepairSlot - inc.DetectSlot
+			}
+			down := inc.Kind == "link-down" || inc.Kind == "switch-down" || inc.Kind == "believed"
+			if down && inc.OutageSlots > a.MaxOutageSlots {
+				a.MaxOutageSlots = inc.OutageSlots
+			}
+		}
+		a.Incidents = append(a.Incidents, *inc)
+	}
+
+	// Outage windows for latency attribution: hardware slot (or detect)
+	// through repair, per closed incident.
+	type window struct{ from, to int64 }
+	var outages []window
+	for _, inc := range a.Incidents {
+		if inc.RepairSlot < 0 {
+			continue
+		}
+		from := inc.HardwareSlot
+		if from < 0 {
+			from = inc.DetectSlot
+		}
+		outages = append(outages, window{from, inc.RepairSlot})
+	}
+	inOutage := func(from, to int64) bool {
+		for _, w := range outages {
+			if from <= w.to && to >= w.from {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Link propagation floors, inferred from the minimum gap any cell
+	// achieved across each link (segment: previous event slot -> next
+	// event slot, crossing the previous event's link).
+	linkFloor := make(map[int32]int64)
+	observe := func(link int32, gap int64) {
+		if cur, ok := linkFloor[link]; !ok || gap < cur {
+			linkFloor[link] = gap
+		}
+	}
+	for _, c := range done {
+		prevSlot, prevLink := c.inject, c.injLink
+		for _, h := range c.hops {
+			observe(prevLink, h.slot-prevSlot)
+			prevSlot, prevLink = h.slot, h.link
+		}
+		observe(prevLink, c.end-prevSlot)
+	}
+
+	// busyOther counts departures on the port in [from, to] excluding the
+	// cell's own (its own departure is outside the waiting window anyway).
+	busyBetween := func(pk portKey, from, to int64) int64 {
+		slots := departures[pk]
+		lo := sort.Search(len(slots), func(i int) bool { return slots[i] >= from })
+		hi := sort.Search(len(slots), func(i int) bool { return slots[i] > to })
+		return int64(hi - lo)
+	}
+
+	// Per-VC accumulation.
+	type vcAcc struct {
+		lats                        []int64
+		sumLat                      int64
+		transit, queue, hol, outage int64
+	}
+	accs := make(map[uint32]*vcAcc)
+	waits := make(map[portKey]int64)
+	for _, c := range done {
+		acc := accs[c.vc]
+		if acc == nil {
+			acc = &vcAcc{}
+			accs[c.vc] = acc
+		}
+		lat := c.end - c.inject
+		acc.lats = append(acc.lats, lat)
+		acc.sumLat += lat
+		if len(c.hops) == 0 {
+			// No hop events: floor from the injection link only.
+			floor := linkFloor[c.injLink]
+			if floor > lat {
+				floor = lat
+			}
+			acc.transit += floor
+			if inOutage(c.inject, c.end) {
+				acc.outage += lat - floor
+			} else {
+				acc.queue += lat - floor
+			}
+			continue
+		}
+		outage := inOutage(c.inject, c.end)
+		prevSlot, prevLink := c.inject, c.injLink
+		var transit, queue, hol, out int64
+		for _, h := range c.hops {
+			floor := linkFloor[prevLink]
+			wait := h.slot - prevSlot - floor
+			transit += floor
+			if wait > 0 {
+				pk := portKey{h.node, h.link}
+				waits[pk] += wait
+				switch {
+				case outage:
+					out += wait
+				default:
+					busy := busyBetween(pk, prevSlot+floor, h.slot-1)
+					if busy > wait {
+						busy = wait
+					}
+					queue += busy
+					hol += wait - busy
+				}
+			}
+			prevSlot, prevLink = h.slot, h.link
+		}
+		transit += linkFloor[prevLink] // final hop to the host
+		acc.transit += transit
+		acc.queue += queue
+		acc.hol += hol
+		acc.outage += out
+	}
+
+	// Render per-VC rows in ascending VC order.
+	var vcs []uint32
+	for vc := range counts {
+		vcs = append(vcs, vc)
+	}
+	sort.Slice(vcs, func(i, j int) bool { return vcs[i] < vcs[j] })
+	for _, vc := range vcs {
+		cnt := counts[vc]
+		row := VCBreakdown{
+			VC: vc, Injected: cnt.injected, Delivered: cnt.delivered,
+			DroppedFault: cnt.dropFault, DroppedReroute: cnt.dropRoute,
+		}
+		if acc := accs[vc]; acc != nil && len(acc.lats) > 0 {
+			n := float64(len(acc.lats))
+			sort.Slice(acc.lats, func(i, j int) bool { return acc.lats[i] < acc.lats[j] })
+			row.MeanLat = float64(acc.sumLat) / n
+			idx := (len(acc.lats)*99 + 99) / 100
+			if idx >= len(acc.lats) {
+				idx = len(acc.lats) - 1
+			}
+			row.P99Lat = acc.lats[idx]
+			row.MaxLat = acc.lats[len(acc.lats)-1]
+			row.Transit = float64(acc.transit) / n
+			row.Queue = float64(acc.queue) / n
+			row.HOL = float64(acc.hol) / n
+			row.Outage = float64(acc.outage) / n
+		}
+		a.VCs = append(a.VCs, row)
+	}
+
+	// Contended ports, worst first.
+	for pk, slots := range departures {
+		a.Ports = append(a.Ports, PortContention{
+			Node: pk.node, Link: pk.link,
+			Departures: int64(len(slots)), WaitSlots: waits[pk],
+		})
+	}
+	sort.Slice(a.Ports, func(i, j int) bool {
+		pi, pj := a.Ports[i], a.Ports[j]
+		if pi.WaitSlots != pj.WaitSlots {
+			return pi.WaitSlots > pj.WaitSlots
+		}
+		if pi.Departures != pj.Departures {
+			return pi.Departures > pj.Departures
+		}
+		if pi.Node != pj.Node {
+			return pi.Node < pj.Node
+		}
+		return pi.Link < pj.Link
+	})
+	return a
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// syntheticRun builds a small self-consistent stream: VC 1 crosses links
+// 10 then 11 with hop events (one cell waits a slot at the second
+// switch), VC 3 crosses link 7 without hop events (one cell caught by a
+// link outage, one clean), VC 4 loses a cell to the fault, and one
+// recovery incident runs kill -> detect -> reconfig -> repair.
+func syntheticRun() []Event {
+	return []Event{
+		{Slot: 0, Kind: KindInject, VC: 1, Seq: 1, Link: 10},
+		{Slot: 1, Kind: KindInject, VC: 1, Seq: 2, Link: 10},
+		{Slot: 2, Kind: KindHop, VC: 1, Seq: 1, Node: 5, Link: 11},
+		{Slot: 4, Kind: KindHop, VC: 1, Seq: 2, Node: 5, Link: 11},
+		{Slot: 4, Kind: KindDeliver, VC: 1, Seq: 1},
+		{Slot: 6, Kind: KindDeliver, VC: 1, Seq: 2},
+		{Slot: 10, Kind: KindInject, VC: 4, Seq: 1, Link: 7},
+		{Slot: 12, Kind: KindDropFault, VC: 4, Seq: 1, Node: -1, Link: 7},
+		{Slot: 90, Kind: KindInject, VC: 3, Seq: 1, Link: 7},
+		{Slot: 100, Kind: KindKillLink, Node: -1, Link: 7},
+		{Slot: 120, Kind: KindRecoveryDetect, Node: -1, Link: 7, Incident: 1, Epoch: 2},
+		{Slot: 130, Kind: KindRecoveryReconfig, Dur: 10, Epoch: 3},
+		{Slot: 180, Kind: KindRecoveryRepair, Node: -1, Link: 7, Incident: 1,
+			Dur: 80, Seq: 3, Epoch: 3},
+		{Slot: 200, Kind: KindDeliver, VC: 3, Seq: 1},
+		{Slot: 300, Kind: KindInject, VC: 3, Seq: 2, Link: 7},
+		{Slot: 305, Kind: KindDeliver, VC: 3, Seq: 2},
+	}
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAnalyzeLatencyBreakdown(t *testing.T) {
+	a := Analyze(syntheticRun())
+	if !a.HasHops {
+		t.Fatal("hop events present, HasHops must be true")
+	}
+	if a.Slots != 305 {
+		t.Fatalf("Slots = %d, want 305", a.Slots)
+	}
+	byVC := map[uint32]VCBreakdown{}
+	for _, vc := range a.VCs {
+		byVC[vc.VC] = vc
+	}
+
+	// VC 1: link floors are 2 slots each (cell 1 crosses uncontended), so
+	// cell 2's extra slot at switch 5 is head-of-line wait (port idle).
+	vc1 := byVC[1]
+	if vc1.Injected != 2 || vc1.Delivered != 2 {
+		t.Fatalf("vc1 counts: %+v", vc1)
+	}
+	if !near(vc1.MeanLat, 4.5) || !near(vc1.Transit, 4) ||
+		!near(vc1.Queue, 0) || !near(vc1.HOL, 0.5) || !near(vc1.Outage, 0) {
+		t.Fatalf("vc1 breakdown: %+v", vc1)
+	}
+	if vc1.P99Lat != 5 || vc1.MaxLat != 5 {
+		t.Fatalf("vc1 tails: %+v", vc1)
+	}
+
+	// VC 3 has no hop events: floor comes from the clean cell (5 slots),
+	// and the slow cell's excess lands in outage because its life overlaps
+	// the incident window [100, 180].
+	vc3 := byVC[3]
+	if !near(vc3.Transit, 5) || !near(vc3.Outage, 105.0/2) || !near(vc3.Queue, 0) {
+		t.Fatalf("vc3 breakdown: %+v", vc3)
+	}
+
+	vc4 := byVC[4]
+	if vc4.Injected != 1 || vc4.DroppedFault != 1 || vc4.Delivered != 0 {
+		t.Fatalf("vc4 counts: %+v", vc4)
+	}
+
+	if len(a.Ports) != 1 || a.Ports[0].Node != 5 || a.Ports[0].Link != 11 ||
+		a.Ports[0].WaitSlots != 1 || a.Ports[0].Departures != 2 {
+		t.Fatalf("ports: %+v", a.Ports)
+	}
+}
+
+func TestAnalyzeIncidentTimeline(t *testing.T) {
+	a := Analyze(syntheticRun())
+	if len(a.Incidents) != 1 {
+		t.Fatalf("incidents: %+v", a.Incidents)
+	}
+	inc := a.Incidents[0]
+	if inc.ID != 1 || inc.Kind != "link-down" || inc.Link != 7 {
+		t.Fatalf("incident: %+v", inc)
+	}
+	if inc.HardwareSlot != 100 || inc.DetectSlot != 120 ||
+		inc.ReconfigSlots != 10 || inc.RepairSlot != 180 {
+		t.Fatalf("incident timeline: %+v", inc)
+	}
+	// Outage is repair - hardware, matching recovery.Incident.OutageSlots
+	// and the Dur the repair event carried.
+	if inc.OutageSlots != 80 || a.MaxOutageSlots != 80 {
+		t.Fatalf("outage: %+v max %d", inc, a.MaxOutageSlots)
+	}
+	if inc.Rerouted != 3 || inc.Epoch != 3 {
+		t.Fatalf("incident join: %+v", inc)
+	}
+}
+
+func TestAnalyzeOpenIncident(t *testing.T) {
+	events := []Event{
+		{Slot: 50, Kind: KindKillNode, Node: 4, Link: -1},
+		{Slot: 60, Kind: KindRecoveryDetect, Node: 4, Link: -1, Incident: 1, Epoch: 1},
+	}
+	a := Analyze(events)
+	if len(a.Incidents) != 1 {
+		t.Fatalf("incidents: %+v", a.Incidents)
+	}
+	inc := a.Incidents[0]
+	if inc.Kind != "switch-down" || inc.HardwareSlot != 50 ||
+		inc.RepairSlot != -1 || inc.OutageSlots != -1 {
+		t.Fatalf("open incident: %+v", inc)
+	}
+	if a.MaxOutageSlots != -1 {
+		t.Fatalf("no closed incidents, MaxOutageSlots = %d", a.MaxOutageSlots)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Events != 0 || len(a.VCs) != 0 || len(a.Incidents) != 0 || a.HasHops {
+		t.Fatalf("empty analysis: %+v", a)
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event rendering: one correlated Perfetto timeline for a
+// whole run. Process 1 is the data plane (one thread per virtual
+// circuit: cell lifetimes as complete spans, hops as instants); process 2
+// is the control plane (thread 0 carries hardware kill/restore instants,
+// thread i carries incident i's detect instant and outage span, plus the
+// reconfiguration rounds). Timestamps are slot * slotUS microseconds.
+
+const (
+	chromePidData = 1
+	chromePidCtrl = 2
+)
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the event stream as Chrome trace_event JSON
+// ({"traceEvents": [...]}), loadable in Perfetto or chrome://tracing.
+// slotUS scales slots to microseconds (<= 0 uses 10, the repo's standard
+// cell time).
+func WriteChromeTrace(w io.Writer, events []Event, slotUS int64) error {
+	if slotUS <= 0 {
+		slotUS = 10
+	}
+	ts := func(slot int64) int64 { return slot * slotUS }
+
+	var out []chromeEvent
+	meta := func(pid int, tid int64, what, name string) {
+		out = append(out, chromeEvent{Name: what, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name}})
+	}
+	meta(chromePidData, 0, "process_name", "data plane (cells by VC)")
+	meta(chromePidCtrl, 0, "process_name", "control plane (incidents)")
+	meta(chromePidCtrl, 0, "thread_name", "hardware")
+
+	// Pair cell injections with their terminal event per (vc, seq).
+	type cellKey struct {
+		vc  uint32
+		seq uint64
+	}
+	inject := make(map[cellKey]int64)
+	seenVC := make(map[uint32]bool)
+	vcThread := func(vc uint32) {
+		if !seenVC[vc] {
+			seenVC[vc] = true
+			meta(chromePidData, int64(vc), "thread_name", fmt.Sprintf("vc %d", vc))
+		}
+	}
+	seenIncident := make(map[int64]bool)
+	incidentThread := func(id int64) {
+		if id > 0 && !seenIncident[id] {
+			seenIncident[id] = true
+			meta(chromePidCtrl, id, "thread_name", fmt.Sprintf("incident %d", id))
+		}
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindInject:
+			vcThread(ev.VC)
+			inject[cellKey{ev.VC, ev.Seq}] = ev.Slot
+		case KindDeliver, KindDropFault, KindDropRoute:
+			vcThread(ev.VC)
+			key := cellKey{ev.VC, ev.Seq}
+			if start, ok := inject[key]; ok {
+				delete(inject, key)
+				name := "cell"
+				if ev.Kind != KindDeliver {
+					name = ev.Kind
+				}
+				dur := ts(ev.Slot) - ts(start)
+				if dur <= 0 {
+					dur = 1
+				}
+				out = append(out, chromeEvent{Name: name, Cat: "cell", Ph: "X",
+					TS: ts(start), Dur: dur, Pid: chromePidData, Tid: int64(ev.VC),
+					Args: map[string]any{"seq": ev.Seq}})
+			} else {
+				out = append(out, chromeEvent{Name: ev.Kind, Cat: "cell", Ph: "i",
+					TS: ts(ev.Slot), Pid: chromePidData, Tid: int64(ev.VC), S: "t",
+					Args: map[string]any{"seq": ev.Seq}})
+			}
+		case KindHop:
+			vcThread(ev.VC)
+			out = append(out, chromeEvent{Name: "hop", Cat: "hop", Ph: "i",
+				TS: ts(ev.Slot), Pid: chromePidData, Tid: int64(ev.VC), S: "t",
+				Args: map[string]any{"node": ev.Node, "link": ev.Link, "seq": ev.Seq}})
+		case KindOpen, KindClose, KindReroute, KindResync, KindPurge:
+			vcThread(ev.VC)
+			out = append(out, chromeEvent{Name: ev.Kind, Cat: "circuit", Ph: "i",
+				TS: ts(ev.Slot), Pid: chromePidData, Tid: int64(ev.VC), S: "t",
+				Args: map[string]any{"node": ev.Node, "link": ev.Link, "seq": ev.Seq}})
+		case KindKillLink, KindKillNode, KindRestoreLink, KindRestoreNode:
+			out = append(out, chromeEvent{Name: ev.Kind, Cat: "hardware", Ph: "i",
+				TS: ts(ev.Slot), Pid: chromePidCtrl, Tid: 0, S: "g",
+				Args: map[string]any{"node": ev.Node, "link": ev.Link}})
+		case KindRecoveryDetect:
+			incidentThread(ev.Incident)
+			out = append(out, chromeEvent{Name: "detect", Cat: "recovery", Ph: "i",
+				TS: ts(ev.Slot), Pid: chromePidCtrl, Tid: ev.Incident, S: "p",
+				Args: map[string]any{"node": ev.Node, "link": ev.Link, "epoch": ev.Epoch}})
+		case KindRecoveryReconfig, KindCtrlRound:
+			// Emitted at round launch; the round converges Dur slots later.
+			incidentThread(ev.Incident)
+			dur := ts(ev.Slot+ev.Dur) - ts(ev.Slot)
+			if dur <= 0 {
+				dur = 1
+			}
+			out = append(out, chromeEvent{Name: ev.Kind, Cat: "recovery", Ph: "X",
+				TS: ts(ev.Slot), Dur: dur, Pid: chromePidCtrl, Tid: ev.Incident,
+				Args: map[string]any{"epoch": ev.Epoch, "seq": ev.Seq}})
+		case KindRecoveryReroute:
+			incidentThread(ev.Incident)
+			out = append(out, chromeEvent{Name: fmt.Sprintf("reroute vc %d", ev.VC),
+				Cat: "recovery", Ph: "i", TS: ts(ev.Slot), Pid: chromePidCtrl,
+				Tid: ev.Incident, S: "p", Args: map[string]any{"epoch": ev.Epoch}})
+		case KindRecoveryRepair:
+			incidentThread(ev.Incident)
+			dur := ts(ev.Slot) - ts(ev.Slot-ev.Dur)
+			if dur <= 0 {
+				dur = 1
+			}
+			out = append(out, chromeEvent{Name: "outage", Cat: "recovery", Ph: "X",
+				TS: ts(ev.Slot - ev.Dur), Dur: dur, Pid: chromePidCtrl, Tid: ev.Incident,
+				Args: map[string]any{"rerouted": ev.Seq, "epoch": ev.Epoch,
+					"node": ev.Node, "link": ev.Link}})
+		case KindRecoveryRetry, KindChaosBurst:
+			out = append(out, chromeEvent{Name: ev.Kind, Cat: "recovery", Ph: "i",
+				TS: ts(ev.Slot), Pid: chromePidCtrl, Tid: ev.Incident, S: "p",
+				Args: map[string]any{"seq": ev.Seq}})
+		default:
+			out = append(out, chromeEvent{Name: ev.Kind, Cat: "other", Ph: "i",
+				TS: ts(ev.Slot), Pid: chromePidData, Tid: int64(ev.VC), S: "t"})
+		}
+	}
+	// Cells still in flight at trace end: open instants so they remain
+	// visible.
+	for key, start := range inject {
+		out = append(out, chromeEvent{Name: "in-flight", Cat: "cell", Ph: "i",
+			TS: ts(start), Pid: chromePidData, Tid: int64(key.vc), S: "t",
+			Args: map[string]any{"seq": key.seq}})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out, "displayTimeUnit": "ms"})
+}

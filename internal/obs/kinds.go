@@ -1,0 +1,53 @@
+package obs
+
+// Event kinds across all planes. The data-plane kinds are re-exported by
+// simnet under their historical Trace* names; the control-plane kinds are
+// emitted by the recovery loop and the chaos harness through
+// simnet.EmitEvent so all planes land in one stream.
+const (
+	// Data plane (simnet).
+	KindInject      = "inject"         // cell left its source host
+	KindDeliver     = "deliver"        // cell reached its destination host
+	KindHop         = "hop"            // cell departed a switch (Config.TraceHops)
+	KindDropFault   = "drop-fault"     // cell died on a failed link/switch
+	KindDropRoute   = "drop-route"     // cell discarded by a reroute
+	KindOpen        = "open"           // circuit established
+	KindClose       = "close"          // circuit torn down
+	KindReroute     = "reroute"        // circuit moved to a new path
+	KindKillLink    = "kill-link"      // hardware: link failed
+	KindKillNode    = "kill-switch"    // hardware: switch crashed
+	KindRestoreLink = "restore-link"   // hardware: link revived
+	KindRestoreNode = "restore-switch" // hardware: crashed switch brought back
+	KindPurge       = "purge"          // buffered cells drained (Seq = count)
+	KindResync      = "resync"         // ingress credit window resynced
+
+	// Control plane (recovery loop). Detect/reroute are instants; repair
+	// closes an incident and carries Dur = the incident's outage window in
+	// slots; reconfig carries Dur = the round's convergence time in slots.
+	KindRecoveryDetect   = "recovery-detect"
+	KindRecoveryReconfig = "recovery-reconfig"
+	KindRecoveryReroute  = "recovery-reroute"
+	KindRecoveryRepair   = "recovery-repair"
+	KindRecoveryRetry    = "recovery-retry" // a repair pass left circuits stranded (Seq = count)
+
+	// Unreliable-control-plane round summary (recovery over ctrlnet):
+	// Dur = convergence in slots, Seq = retransmissions + watchdog
+	// re-triggers inside the round.
+	KindCtrlRound = "ctrl-round"
+
+	// Chaos harness markers: a control-loss burst window opened/closed
+	// (Seq = drop probability in permille, Dur set on the closing event).
+	KindChaosBurst = "chaos-burst"
+)
+
+// AllKinds lists every kind above — the vocabulary round-trip tests and
+// analyzers iterate.
+var AllKinds = []string{
+	KindInject, KindDeliver, KindHop, KindDropFault, KindDropRoute,
+	KindOpen, KindClose, KindReroute,
+	KindKillLink, KindKillNode, KindRestoreLink, KindRestoreNode,
+	KindPurge, KindResync,
+	KindRecoveryDetect, KindRecoveryReconfig, KindRecoveryReroute,
+	KindRecoveryRepair, KindRecoveryRetry,
+	KindCtrlRound, KindChaosBurst,
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// splitIdent undoes ident: "name{inner}" -> ("name", "inner").
+func splitIdent(id string) (name, inner string) {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i], id[i+1 : len(id)-1]
+	}
+	return id, ""
+}
+
+// withLabel renders name{inner,extra} with any of inner/extra possibly
+// empty.
+func withLabel(name, inner, extra string) string {
+	switch {
+	case inner == "" && extra == "":
+		return name
+	case inner == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + inner + "}"
+	default:
+		return name + "{" + inner + "," + extra + "}"
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, deterministically (instruments sorted by identity; histogram
+// buckets are cumulative powers of two up to the highest occupied one).
+// Ring-buffer series export their most recent value as a gauge. A nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	series := make([]*Series, 0, len(r.series))
+	for _, s := range r.series {
+		series = append(series, s)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].id < counters[j].id })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].id < gauges[j].id })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].id < hists[j].id })
+	sort.Slice(series, func(i, j int) bool { return series[i].id < series[j].id })
+
+	lastType := ""
+	typeLine := func(name, typ string) {
+		if name != lastType {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+			lastType = name
+		}
+	}
+	for _, c := range counters {
+		name, _ := splitIdent(c.id)
+		typeLine(name, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.id, c.Value())
+	}
+	for _, g := range gauges {
+		name, _ := splitIdent(g.id)
+		typeLine(name, "gauge")
+		fmt.Fprintf(w, "%s %d\n", g.id, g.Value())
+	}
+	for _, s := range series {
+		name, _ := splitIdent(s.id)
+		typeLine(name, "gauge")
+		_, v, _ := s.Last()
+		fmt.Fprintf(w, "%s %d\n", s.id, v)
+	}
+	for _, h := range hists {
+		name, inner := splitIdent(h.id)
+		typeLine(name, "histogram")
+		buckets := h.Buckets()
+		top := 0
+		for k, c := range buckets {
+			if c > 0 {
+				top = k
+			}
+		}
+		var cum int64
+		for k := 0; k <= top; k++ {
+			cum += buckets[k]
+			le := int64(0)
+			if k > 0 {
+				le = int64(1)<<uint(k) - 1
+			}
+			fmt.Fprintf(w, "%s %d\n", withLabel(name+"_bucket", inner, fmt.Sprintf("le=%q", fmt.Sprint(le))), cum)
+		}
+		fmt.Fprintf(w, "%s %d\n", withLabel(name+"_bucket", inner, `le="+Inf"`), h.Count())
+		fmt.Fprintf(w, "%s %d\n", withLabel(name+"_sum", inner, ""), h.Sum())
+		fmt.Fprintf(w, "%s %d\n", withLabel(name+"_count", inner, ""), h.Count())
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving WritePrometheus — mount it at
+// /metrics. Works (serving an empty exposition) on a nil registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// PublishExpvar exposes the registry under the given expvar name (shown
+// at /debug/vars) as a map of instrument identity to current value.
+// Publishing the same name twice, or on a nil registry, is a no-op.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		out := make(map[string]int64)
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for id, c := range r.counters {
+			out[id] = c.Value()
+		}
+		for id, g := range r.gauges {
+			out[id] = g.Value()
+		}
+		for id, h := range r.hists {
+			out[id+"_count"] = h.Count()
+			out[id+"_sum"] = h.Sum()
+		}
+		for id, s := range r.series {
+			if _, v, ok := s.Last(); ok {
+				out[id] = v
+			}
+		}
+		return out
+	}))
+}

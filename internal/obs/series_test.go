@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+func TestSeriesRingBuffer(t *testing.T) {
+	r := NewRegistry(1)
+	s := r.Series("occ", 4, "node", "2")
+	if _, _, ok := s.Last(); ok {
+		t.Fatal("empty series must report not-ok")
+	}
+	for slot := int64(0); slot < 6; slot++ {
+		s.Record(slot, slot*10)
+	}
+	slots, vals := s.Samples()
+	wantSlots := []int64{2, 3, 4, 5}
+	wantVals := []int64{20, 30, 40, 50}
+	if len(slots) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(slots))
+	}
+	for i := range slots {
+		if slots[i] != wantSlots[i] || vals[i] != wantVals[i] {
+			t.Fatalf("sample %d = (%d,%d), want (%d,%d)",
+				i, slots[i], vals[i], wantSlots[i], wantVals[i])
+		}
+	}
+	slot, v, ok := s.Last()
+	if !ok || slot != 5 || v != 50 {
+		t.Fatalf("Last = (%d,%d,%v), want (5,50,true)", slot, v, ok)
+	}
+}
+
+func TestSeriesDefaultCapacity(t *testing.T) {
+	s := NewRegistry(1).Series("x", 0)
+	for i := int64(0); i < DefaultSeriesCapacity+5; i++ {
+		s.Record(i, i)
+	}
+	slots, _ := s.Samples()
+	if len(slots) != DefaultSeriesCapacity {
+		t.Fatalf("retained %d, want %d", len(slots), DefaultSeriesCapacity)
+	}
+	if slots[0] != 5 {
+		t.Fatalf("oldest retained slot = %d, want 5", slots[0])
+	}
+}

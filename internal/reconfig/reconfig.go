@@ -147,6 +147,23 @@ type Result struct {
 	TreeDepth int
 }
 
+// Epoch returns the winning configuration's epoch — the largest epoch any
+// completed switch adopted (0 with no views). Control loops stamp this
+// onto their trace events so offline analysis can correlate every action
+// with the configuration it ran under.
+func (r *Result) Epoch() uint64 {
+	if r == nil {
+		return 0
+	}
+	var max uint64
+	for _, v := range r.Views {
+		if v != nil && v.Tag.Epoch > max {
+			max = v.Tag.Epoch
+		}
+	}
+	return max
+}
+
 // message kinds.
 type msgKind uint8
 

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/ctrlnet"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/simnet"
@@ -73,6 +74,11 @@ type Config struct {
 	// CtrlHardening tunes the retransmission/watchdog layer used when
 	// CtrlFaults is set. Zero value = defaults.
 	CtrlHardening reconfig.Hardening
+	// Obs, if set, receives the loop's live instruments: probe/detection/
+	// reroute counters and the per-round watchdog-retry time series. Share
+	// the registry with the network being protected so /metrics shows both
+	// planes. Nil disables at no cost.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -192,6 +198,13 @@ type Loop struct {
 	openIncidents []int
 
 	stats Stats
+
+	// Observability handles (nil without Config.Obs; see obs).
+	obsProbes     *obs.Counter
+	obsDetections *obs.Counter
+	obsReroutes   *obs.Counter
+	obsFailed     *obs.Counter
+	obsRetries    *obs.Series
 }
 
 // New builds a Loop over the network's inter-switch topology. All links
@@ -221,6 +234,13 @@ func New(cfg Config) (*Loop, error) {
 	sort.Slice(l.links, func(i, j int) bool { return l.links[i].ID < l.links[j].ID })
 	if len(l.links) == 0 {
 		return nil, fmt.Errorf("recovery: topology has no inter-switch links to monitor")
+	}
+	if reg := cfg.Obs; reg != nil {
+		l.obsProbes = reg.Counter("recovery_probes_total")
+		l.obsDetections = reg.Counter("recovery_detections_total")
+		l.obsReroutes = reg.Counter("recovery_reroutes_total")
+		l.obsFailed = reg.Counter("recovery_failed_reroutes_total")
+		l.obsRetries = reg.Series("recovery_watchdog_retries", 0)
 	}
 	return l, nil
 }
@@ -273,6 +293,7 @@ func (l *Loop) probe(slot int64) []topology.Link {
 	for _, link := range l.links {
 		sk := l.skeptics[link.ID]
 		l.stats.Probes++
+		l.obsProbes.Inc(0)
 		if l.net.ProbeLink(link.ID) {
 			sk.PingOK(nowUS)
 		} else {
@@ -309,8 +330,13 @@ func (l *Loop) react(slot int64, changed []topology.Link) {
 			Kind: kind, Link: link.ID, Node: -1,
 			HardwareSlot: hw, DetectSlot: slot, RepairSlot: -1,
 		})
-		l.net.EmitTrace(simnet.TraceRecoveryDetect, 0, -1, link.ID, uint64(len(l.incidents)))
+		l.net.EmitEvent(simnet.TraceEvent{
+			Kind: simnet.TraceRecoveryDetect, Node: -1, Link: int32(link.ID),
+			Seq:      uint64(len(l.incidents)),
+			Incident: int64(len(l.incidents)), Epoch: l.epoch,
+		})
 		l.stats.Detections++
+		l.obsDetections.Inc(0)
 	}
 	l.refreshNodeBeliefs(slot)
 
@@ -374,8 +400,13 @@ func (l *Loop) refreshNodeBeliefs(slot int64) {
 			Kind: kind, Link: -1, Node: s,
 			HardwareSlot: hw, DetectSlot: slot, RepairSlot: -1,
 		})
-		l.net.EmitTrace(simnet.TraceRecoveryDetect, 0, s, -1, uint64(len(l.incidents)))
+		l.net.EmitEvent(simnet.TraceEvent{
+			Kind: simnet.TraceRecoveryDetect, Node: int32(s), Link: -1,
+			Seq:      uint64(len(l.incidents)),
+			Incident: int64(len(l.incidents)), Epoch: l.epoch,
+		})
 		l.stats.Detections++
+		l.obsDetections.Inc(0)
 	}
 }
 
@@ -414,12 +445,16 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 		return 0
 	}
 	var res *reconfig.Result
+	ctrlRetries := int64(-1) // >= 0 marks a round run over the faulty channel
 	if l.cfg.CtrlFaults != nil {
 		// Unreliable control plane: re-read the shared fault config (the
 		// chaos harness varies rates between ticks) and give the round its
 		// own deterministic seed.
 		faults := *l.cfg.CtrlFaults
 		faults.Seed = roundSeed(faults.Seed, l.stats.ReconfigRounds)
+		if faults.Obs == nil {
+			faults.Obs = l.cfg.Obs // control-plane loss lands in the shared registry
+		}
 		var ur *reconfig.UnreliableResult
 		if l.cfg.ReconfigRadius >= 0 {
 			region := runner.RegionOf(triggers, l.cfg.ReconfigRadius)
@@ -437,6 +472,7 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 		if !ur.Converged {
 			l.stats.CtrlUnconverged++
 		}
+		ctrlRetries = ur.Retransmits + ur.Retriggers
 		res = &ur.Result
 	} else if l.cfg.ReconfigRadius >= 0 {
 		region := runner.RegionOf(triggers, l.cfg.ReconfigRadius)
@@ -453,12 +489,26 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 	if res.MaxCompletionUS > l.stats.MaxReconfigUS {
 		l.stats.MaxReconfigUS = res.MaxCompletionUS
 	}
-	for _, v := range res.Views {
-		if v != nil && v.Tag.Epoch > l.epoch {
-			l.epoch = v.Tag.Epoch
-		}
+	if e := res.Epoch(); e > l.epoch {
+		l.epoch = e
 	}
-	l.net.EmitTrace(simnet.TraceRecoveryReconfig, 0, -1, -1, uint64(res.MaxCompletionUS))
+	// The round launches now and converges delaySlots later; the repair
+	// pass waits exactly that long, and the span [Slot, Slot+Dur] is what
+	// the Chrome timeline draws.
+	delaySlots := (res.MaxCompletionUS + l.cfg.SlotUS - 1) / l.cfg.SlotUS
+	l.net.EmitEvent(simnet.TraceEvent{
+		Kind: simnet.TraceRecoveryReconfig, Node: -1, Link: -1,
+		Seq: uint64(res.MaxCompletionUS), Dur: delaySlots,
+		Incident: int64(len(l.incidents)), Epoch: l.epoch,
+	})
+	if ctrlRetries >= 0 {
+		l.net.EmitEvent(simnet.TraceEvent{
+			Kind: obs.KindCtrlRound, Node: -1, Link: -1,
+			Seq: uint64(ctrlRetries), Dur: delaySlots,
+			Incident: int64(len(l.incidents)), Epoch: l.epoch,
+		})
+		l.obsRetries.Record(l.net.Slot(), ctrlRetries)
+	}
 	return res.MaxCompletionUS
 }
 
@@ -515,6 +565,11 @@ func (l *Loop) repair(slot int64) {
 	l.repairAtSlot = -1
 	crossing := l.crossingCircuits()
 	rerouted, failed := 0, 0
+	// Span attribution: the pass serves the oldest open incident.
+	serving := int64(0)
+	if len(l.openIncidents) > 0 {
+		serving = int64(l.openIncidents[0] + 1)
+	}
 	if len(crossing) > 0 {
 		router := l.buildRouter()
 		for _, c := range crossing {
@@ -534,7 +589,12 @@ func (l *Loop) repair(slot int64) {
 			}
 			rerouted++
 			l.stats.Reroutes++
-			l.net.EmitTrace(simnet.TraceRecoveryReroute, c.VC, -1, -1, uint64(slot))
+			l.obsReroutes.Inc(0)
+			l.net.EmitEvent(simnet.TraceEvent{
+				Kind: simnet.TraceRecoveryReroute, VC: uint32(c.VC),
+				Node: -1, Link: -1, Seq: uint64(slot),
+				Incident: serving, Epoch: l.epoch,
+			})
 			if c.Class == cell.BestEffort {
 				if l.net.ResyncIngress(c.VC) == nil {
 					l.stats.Resyncs++
@@ -542,6 +602,7 @@ func (l *Loop) repair(slot int64) {
 			}
 		}
 		l.stats.FailedReroutes += int64(failed)
+		l.obsFailed.Add(0, int64(failed))
 	}
 	// Close the incidents this pass served.
 	var stillOpen []int
@@ -559,9 +620,22 @@ func (l *Loop) repair(slot int64) {
 		}
 		inc.RepairSlot = slot
 		inc.Rerouted += rerouted
+		// The closing event carries the whole incident on its span fields:
+		// Dur is the outage window (the number E27 reports), Seq the
+		// circuits moved — an2trace rebuilds the incident from this alone.
+		l.net.EmitEvent(simnet.TraceEvent{
+			Kind: simnet.TraceRecoveryRepair,
+			Node: int32(inc.Node), Link: int32(inc.Link),
+			Seq: uint64(inc.Rerouted), Incident: int64(idx + 1),
+			Dur: inc.OutageSlots(), Epoch: l.epoch,
+		})
 	}
 	l.openIncidents = stillOpen
 	if failed > 0 {
+		l.net.EmitEvent(simnet.TraceEvent{
+			Kind: simnet.TraceRecoveryRetry, Node: -1, Link: -1,
+			Seq: uint64(failed), Incident: serving, Epoch: l.epoch,
+		})
 		l.scheduleRepair(slot + l.cfg.RetrySlots)
 	}
 }

@@ -28,6 +28,10 @@ type Result struct {
 	// Iterations is the number of request/grant/accept (or equivalent)
 	// rounds the scheduler ran this slot; 1 for single-shot schedulers.
 	Iterations int
+	// Matched is the number of input/output pairs in Match — the arbiter
+	// outcome the observability layer exports per slot, so matching quality
+	// is visible live without re-scanning Match.
+	Matched int
 }
 
 // Scheduler computes one matching per cell slot. Implementations are
@@ -71,7 +75,7 @@ func (p *PIM) Name() string { return "pim" }
 // Schedule implements Scheduler.
 func (p *PIM) Schedule(r *matching.Requests) Result {
 	res := p.eng.Match(r, p.iters)
-	return Result{Match: res.Match, Iterations: res.Iterations}
+	return Result{Match: res.Match, Iterations: res.Iterations, Matched: res.Match.Size()}
 }
 
 // Maximum is the deterministic maximum-matching scheduler (Hopcroft–Karp).
@@ -85,7 +89,8 @@ func (Maximum) Name() string { return "maximum" }
 
 // Schedule implements Scheduler.
 func (Maximum) Schedule(r *matching.Requests) Result {
-	return Result{Match: matching.HopcroftKarp(r), Iterations: 1}
+	m := matching.HopcroftKarp(r)
+	return Result{Match: m, Iterations: 1, Matched: m.Size()}
 }
 
 // Greedy is the fixed-scan-order maximal-matching scheduler. Like Maximum
@@ -98,5 +103,6 @@ func (Greedy) Name() string { return "greedy" }
 
 // Schedule implements Scheduler.
 func (Greedy) Schedule(r *matching.Requests) Result {
-	return Result{Match: matching.GreedyMaximal(r), Iterations: 1}
+	m := matching.GreedyMaximal(r)
+	return Result{Match: m, Iterations: 1, Matched: m.Size()}
 }

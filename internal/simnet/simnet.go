@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/switchnode"
 	"repro/internal/topology"
 )
@@ -50,6 +51,19 @@ type Config struct {
 	// Tracer, if set, receives an event for every observable network
 	// action (injections, deliveries, drops, circuit and fault events).
 	Tracer Tracer
+	// TraceHops additionally emits a hop event for every switch departure
+	// (Node = the switch, Link = the outgoing link), letting offline
+	// analysis (cmd/an2trace) decompose per-cell latency into transit,
+	// queueing and head-of-line waiting. Off by default: hop events
+	// dominate trace volume on long runs.
+	TraceHops bool
+	// Obs, if set, receives live instrument updates: cell counters,
+	// per-class latency histograms, per-switch occupancy and per-VC
+	// credit-window time series, matching-iteration stats. The registry is
+	// shared with the switches (each gets its build-order index as its
+	// writer shard) and with any control loops watching the same network.
+	// Nil disables all of it at the cost of one pointer check per site.
+	Obs *obs.Registry
 	// Workers bounds the worker pool that steps switches in parallel
 	// within each slot. 0 picks min(GOMAXPROCS, switch count); 1 forces
 	// sequential stepping. Results are byte-identical at any setting:
@@ -180,6 +194,26 @@ type Network struct {
 	stepDeps [][]switchnode.Departure
 
 	stats NetStats
+
+	// Observability handles, all nil when Config.Obs is nil (their methods
+	// are then single-branch no-ops). Counter updates for drops are synced
+	// as deltas from stats once per slot; injections and deliveries update
+	// at the event site. Series sampling happens in observeSlot, guarded by
+	// the registry so the disabled path never enters the loop.
+	obsInjected  *obs.Counter
+	obsDelivered *obs.Counter
+	obsDropF     *obs.Counter
+	obsDropR     *obs.Counter
+	obsLatBE     *obs.Histogram
+	obsLatG      *obs.Histogram
+	obsSlot      *obs.Gauge
+	obsInFlight  *obs.Gauge
+	obsOcc       []*obs.Series // by switchOrder index
+	obsCredit    map[cell.VCI]*obs.Series
+	obsMatch     *obs.Series
+	obsPrevDropF int64
+	obsPrevDropR int64
+	obsPrevIters int64
 }
 
 // NetStats aggregates network-wide counters.
@@ -229,9 +263,11 @@ func New(cfg Config) (*Network, error) {
 		n.workers = len(n.switchOrder)
 	}
 	n.stepDeps = make([][]switchnode.Departure, len(n.switchOrder))
-	for _, s := range cfg.Topology.Switches() {
+	for idx, s := range n.switchOrder {
 		sc := cfg.Switch
 		sc.Seed = cfg.Switch.Seed + int64(s)*7919
+		sc.Obs = cfg.Obs
+		sc.Shard = idx
 		sw, err := switchnode.New(sc)
 		if err != nil {
 			return nil, fmt.Errorf("simnet: switch %d: %w", s, err)
@@ -260,6 +296,23 @@ func New(cfg Config) (*Network, error) {
 				},
 			},
 		}
+	}
+	if reg := cfg.Obs; reg != nil {
+		n.obsInjected = reg.Counter("net_cells_total", "kind", "inject")
+		n.obsDelivered = reg.Counter("net_cells_total", "kind", "deliver")
+		n.obsDropF = reg.Counter("net_cells_total", "kind", "drop-fault")
+		n.obsDropR = reg.Counter("net_cells_total", "kind", "drop-route")
+		n.obsLatBE = reg.Histogram("net_latency_slots", "class", "best-effort")
+		n.obsLatG = reg.Histogram("net_latency_slots", "class", "guaranteed")
+		n.obsSlot = reg.Gauge("net_slot")
+		n.obsInFlight = reg.Gauge("net_inflight_cells")
+		n.obsOcc = make([]*obs.Series, len(n.switchOrder))
+		for idx, s := range n.switchOrder {
+			n.obsOcc[idx] = reg.Series("switch_occupancy_cells", 0,
+				"node", fmt.Sprint(int64(s)))
+		}
+		n.obsCredit = make(map[cell.VCI]*obs.Series)
+		n.obsMatch = reg.Series("net_match_iterations_per_slot", 0)
 	}
 	return n, nil
 }
@@ -744,6 +797,9 @@ func (n *Network) Step() {
 				isHost: h.nextIsHost,
 			})
 			n.linkCells[h.linkID]++
+			if n.cfg.TraceHops {
+				n.trace(TraceHop, d.Cell.VC, s, h.linkID, d.Cell.Stamp.Seq)
+			}
 			// First-switch departure returns an ingress credit.
 			if c.Class == cell.BestEffort && c.window > 0 && s == c.Path[1] {
 				firstLink, _ := n.g.LinkBetween(c.Path[0], c.Path[1])
@@ -757,6 +813,53 @@ func (n *Network) Step() {
 
 	n.slot++
 	n.stats.Slots++
+	if n.cfg.Obs != nil {
+		n.observeSlot(now)
+	}
+}
+
+// observeSlot updates the registry at the end of one slot: drop-counter
+// deltas, instantaneous gauges, and the ring-buffer series. Only called
+// with a registry configured, so none of the handles are nil.
+func (n *Network) observeSlot(now int64) {
+	if d := n.stats.DroppedInFlight - n.obsPrevDropF; d > 0 {
+		n.obsDropF.Add(0, d)
+		n.obsPrevDropF += d
+	}
+	if d := n.stats.DroppedReroute - n.obsPrevDropR; d > 0 {
+		n.obsDropR.Add(0, d)
+		n.obsPrevDropR += d
+	}
+	n.obsSlot.Set(n.slot)
+	n.obsInFlight.Set(int64(len(n.inflight)))
+	var iters int64
+	for idx, s := range n.switchOrder {
+		if n.deadNodes[s] {
+			n.obsOcc[idx].Record(now, 0)
+			continue
+		}
+		sw := n.switches[s]
+		occ := 0
+		for i := 0; i < sw.N(); i++ {
+			occ += sw.BufferedBestEffort(i) + sw.BufferedGuaranteed(i)
+		}
+		n.obsOcc[idx].Record(now, int64(occ))
+		iters += sw.Stats().PIMIterationsTotal
+	}
+	n.obsMatch.Record(now, iters-n.obsPrevIters)
+	n.obsPrevIters = iters
+	for _, c := range n.circOrder {
+		if c.Class != cell.BestEffort || c.window <= 0 {
+			continue
+		}
+		s, ok := n.obsCredit[c.VC]
+		if !ok {
+			s = n.cfg.Obs.Series("circuit_credit_in_use", 0,
+				"vc", fmt.Sprint(uint32(c.VC)))
+			n.obsCredit[c.VC] = s
+		}
+		s.Record(now, int64(c.inUse))
+	}
 }
 
 // stepSwitches advances every live switch one slot, filling stepDeps by
@@ -853,6 +956,7 @@ func (n *Network) inject(c *Circuit, now int64) {
 			isHost: false,
 		})
 		n.linkCells[link.ID]++
+		n.obsInjected.Inc(0)
 		n.trace(TraceInject, cl.VC, first, link.ID, cl.Stamp.Seq)
 	}
 }
@@ -865,6 +969,12 @@ func (n *Network) deliver(to topology.NodeID, cl cell.Cell, now int64) {
 	}
 	h.stats.CellsReceived++
 	n.stats.DeliveredCells++
+	n.obsDelivered.Inc(0)
+	if cl.Class == cell.Guaranteed {
+		n.obsLatG.Observe(0, now-cl.Stamp.EnqueuedAt)
+	} else {
+		n.obsLatBE.Observe(0, now-cl.Stamp.EnqueuedAt)
+	}
 	n.trace(TraceDeliver, cl.VC, to, -1, cl.Stamp.Seq)
 	if hist := h.stats.LatencyByClass[cl.Class]; hist != nil {
 		hist.Observe(now - cl.Stamp.EnqueuedAt)

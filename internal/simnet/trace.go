@@ -6,43 +6,45 @@ import (
 	"io"
 
 	"repro/internal/cell"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
 // TraceEvent is one observable network event, for debugging and for
-// offline analysis of simulation runs.
-type TraceEvent struct {
-	Slot int64  `json:"slot"`
-	Kind string `json:"kind"`
-	VC   uint32 `json:"vc,omitempty"`
-	Node int32  `json:"node,omitempty"`
-	Link int32  `json:"link,omitempty"`
-	Seq  uint64 `json:"seq,omitempty"`
-}
+// offline analysis of simulation runs. It is an alias of obs.Event — the
+// span model shared by every plane — so a tracer attached here also sees
+// the recovery loop's and the chaos harness's events with their Epoch /
+// Incident / Dur correlation fields, and the obs analyzers (Analyze,
+// WriteChromeTrace) consume simnet traces directly.
+type TraceEvent = obs.Event
 
-// Trace event kinds.
+// Trace event kinds, re-exported from obs under their historical names
+// (the JSONL vocabulary is shared across all planes; see obs.AllKinds).
 const (
-	TraceInject    = "inject"     // cell left its source host
-	TraceDeliver   = "deliver"    // cell reached its destination host
-	TraceDropFault = "drop-fault" // cell died on a failed link/switch
-	TraceDropRoute = "drop-route" // cell discarded by a reroute
-	TraceOpen      = "open"       // circuit established
-	TraceClose     = "close"      // circuit torn down
-	TraceReroute   = "reroute"    // circuit moved to a new path
-	TraceKillLink  = "kill-link"
-	TraceKillNode  = "kill-switch"
-	TraceRestore   = "restore-link"
+	TraceInject    = obs.KindInject    // cell left its source host
+	TraceDeliver   = obs.KindDeliver   // cell reached its destination host
+	TraceHop       = obs.KindHop       // cell departed a switch (Config.TraceHops)
+	TraceDropFault = obs.KindDropFault // cell died on a failed link/switch
+	TraceDropRoute = obs.KindDropRoute // cell discarded by a reroute
+	TraceOpen      = obs.KindOpen      // circuit established
+	TraceClose     = obs.KindClose     // circuit torn down
+	TraceReroute   = obs.KindReroute   // circuit moved to a new path
+	TraceKillLink  = obs.KindKillLink
+	TraceKillNode  = obs.KindKillNode
+	TraceRestore   = obs.KindRestoreLink
 	// Fault-path accounting events.
-	TraceRestoreNode = "restore-switch" // crashed switch brought back
-	TracePurge       = "purge"          // buffered cells drained (Seq = count)
-	TraceResync      = "resync"         // ingress credit window resynced
+	TraceRestoreNode = obs.KindRestoreNode // crashed switch brought back
+	TracePurge       = obs.KindPurge       // buffered cells drained (Seq = count)
+	TraceResync      = obs.KindResync      // ingress credit window resynced
 	// TraceRecovery event family: emitted by the recovery control loop
-	// (internal/recovery) via EmitTrace, so a single trace stream shows
-	// hardware faults, the loop's beliefs, and the data-plane consequences
-	// on one timeline.
-	TraceRecoveryDetect   = "recovery-detect"   // skeptic believed a transition
-	TraceRecoveryReconfig = "recovery-reconfig" // reconfiguration round done
-	TraceRecoveryReroute  = "recovery-reroute"  // circuit moved by the loop
+	// (internal/recovery) via EmitTrace/EmitEvent, so a single trace stream
+	// shows hardware faults, the loop's beliefs, and the data-plane
+	// consequences on one timeline.
+	TraceRecoveryDetect   = obs.KindRecoveryDetect   // skeptic believed a transition
+	TraceRecoveryReconfig = obs.KindRecoveryReconfig // reconfiguration round done
+	TraceRecoveryReroute  = obs.KindRecoveryReroute  // circuit moved by the loop
+	TraceRecoveryRepair   = obs.KindRecoveryRepair   // incident closed (Dur = outage slots)
+	TraceRecoveryRetry    = obs.KindRecoveryRetry    // repair pass left circuits stranded
 )
 
 // Tracer receives trace events. Implementations must be fast; they run
@@ -110,6 +112,18 @@ func (t *CollectTracer) Count(kind string) int {
 // slot, keeping one totally ordered timeline across planes.
 func (n *Network) EmitTrace(kind string, vc cell.VCI, node topology.NodeID, link topology.LinkID, seq uint64) {
 	n.trace(kind, vc, node, link, seq)
+}
+
+// EmitEvent stamps a fully formed event — including the span correlation
+// fields Epoch, Incident and Dur — into the trace stream. The event's
+// Slot is overwritten with the network's current slot so the stream stays
+// totally ordered.
+func (n *Network) EmitEvent(ev TraceEvent) {
+	if n.cfg.Tracer == nil {
+		return
+	}
+	ev.Slot = n.slot
+	n.cfg.Tracer.Trace(ev)
 }
 
 // trace emits an event if a tracer is configured.

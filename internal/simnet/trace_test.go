@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/switchnode"
 )
 
@@ -111,6 +113,98 @@ func TestJSONLTracer(t *testing.T) {
 		t.Fatalf("lines %d != events %d", lines, tr.Events())
 	}
 }
+
+// TestTraceKindsRoundTrip encodes one event of every kind through the
+// JSONL tracer, decodes with obs.ReadJSONL, and re-encodes: both the
+// decoded events and the second encoding must be identical to the first —
+// the property the offline analyzers and the CI fixture trace depend on.
+func TestTraceKindsRoundTrip(t *testing.T) {
+	if len(obs.AllKinds) == 0 {
+		t.Fatal("obs.AllKinds is empty")
+	}
+	var first bytes.Buffer
+	jt := NewJSONLTracer(&first)
+	var want []TraceEvent
+	for i, kind := range obs.AllKinds {
+		ev := TraceEvent{
+			Slot:     int64(100 + i),
+			Kind:     kind,
+			VC:       uint32(i),
+			Node:     int32(i) - 1, // exercise the -1 sentinel too
+			Link:     int32(2 * i),
+			Seq:      uint64(1000 + i),
+			Epoch:    uint64(i % 3),
+			Incident: int64(i % 2),
+			Dur:      int64(10 * i),
+		}
+		jt.Trace(ev)
+		want = append(want, ev)
+	}
+	if jt.Err() != nil {
+		t.Fatal(jt.Err())
+	}
+	if jt.Events() != int64(len(obs.AllKinds)) {
+		t.Fatalf("tracer wrote %d events, want %d", jt.Events(), len(obs.AllKinds))
+	}
+
+	got, err := obs.ReadJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("event %d (%s): decoded %+v, want %+v", i, want[i].Kind, got[i], want[i])
+		}
+	}
+
+	var second bytes.Buffer
+	re := NewJSONLTracer(&second)
+	for _, ev := range got {
+		re.Trace(ev)
+	}
+	if re.Err() != nil {
+		t.Fatal(re.Err())
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("re-encoding differs:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+}
+
+// TestTraceOmitEmpty pins the wire layout: zero-valued correlation fields
+// must vanish from the JSON so plain data-plane events stay as compact as
+// they were before the span model grew Epoch/Incident/Dur.
+func TestTraceOmitEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	jt := NewJSONLTracer(&buf)
+	jt.Trace(TraceEvent{Slot: 7, Kind: TraceInject, VC: 3, Node: 1, Link: 2, Seq: 9})
+	line := buf.String()
+	for _, forbidden := range []string{"epoch", "incident", "dur"} {
+		if bytes.Contains([]byte(line), []byte(forbidden)) {
+			t.Errorf("zero %s field serialized: %s", forbidden, line)
+		}
+	}
+}
+
+// TestJSONLTracerStickyError verifies a failed write poisons the tracer
+// instead of silently miscounting later events.
+func TestJSONLTracerStickyError(t *testing.T) {
+	jt := NewJSONLTracer(failWriter{})
+	jt.Trace(TraceEvent{Kind: TraceInject})
+	if jt.Err() == nil {
+		t.Fatal("write error not recorded")
+	}
+	jt.Trace(TraceEvent{Kind: TraceDeliver})
+	if jt.Events() != 0 {
+		t.Fatalf("events counted despite error: %d", jt.Events())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("short write") }
 
 func TestLinkUtilization(t *testing.T) {
 	n, _, _, path := lineNet(t, 2, 1, Config{Switch: switchnode.Config{N: 4, FrameSlots: 16}})

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/crossbar"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/sched"
 	"repro/internal/schedule"
@@ -73,6 +74,13 @@ type Config struct {
 	// schedule.DefaultFrameSlots). The frame schedule starts empty;
 	// reserve with Reserve.
 	FrameSlots int
+	// Obs, when non-nil, receives per-slot instrument updates (cells
+	// switched, matching iterations). Shard is this switch's writer shard
+	// in the registry — simnet assigns each switch its build-order index
+	// so concurrent switches in one Step never contend on a cache line.
+	// A nil Obs costs one pointer check per instrument site.
+	Obs   *obs.Registry
+	Shard int
 }
 
 // Departure is a cell leaving the switch in a slot.
@@ -115,6 +123,13 @@ type Switch struct {
 	hold []holdSlot
 	// deps backs the slice returned by Step, reused across slots.
 	deps []Departure
+
+	// Observability handles (nil when Config.Obs is nil — every call on
+	// them is then a single-branch no-op).
+	obsShard     int
+	obsDeparted  *obs.Counter
+	obsMatchIter *obs.Histogram
+	obsMatched   *obs.Histogram
 }
 
 type holdSlot struct {
@@ -161,6 +176,11 @@ func New(cfg Config) (*Switch, error) {
 		reqs:    matching.NewRequests(cfg.N),
 		hold:    make([]holdSlot, cfg.N),
 		deps:    make([]Departure, 0, cfg.N),
+
+		obsShard:     cfg.Shard,
+		obsDeparted:  cfg.Obs.Counter("switch_departed_cells_total"),
+		obsMatchIter: cfg.Obs.Histogram("switch_match_iterations"),
+		obsMatched:   cfg.Obs.Histogram("switch_matched_pairs"),
 	}
 	for i := 0; i < cfg.N; i++ {
 		switch cfg.Discipline {
@@ -357,6 +377,8 @@ func (s *Switch) Step() []Departure {
 	if any {
 		res := s.matcher.Schedule(s.reqs)
 		s.stats.PIMIterationsTotal += int64(res.Iterations)
+		s.obsMatchIter.Observe(s.obsShard, int64(res.Iterations))
+		s.obsMatched.Observe(s.obsShard, int64(res.Matched))
 		for i, j := range res.Match {
 			if j < 0 {
 				continue
@@ -395,6 +417,7 @@ func (s *Switch) Step() []Departure {
 	if len(out) == 0 {
 		return nil
 	}
+	s.obsDeparted.Add(s.obsShard, int64(len(out)))
 	return out
 }
 
