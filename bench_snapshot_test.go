@@ -70,4 +70,28 @@ func TestBenchTrajectoryNoE2Regression(t *testing.T) {
 			t.Errorf("experiment %s missing from BENCH_5.json", id)
 		}
 	}
+
+	// BENCH_6 (the fabric subsystem PR) extends the same trajectory: E2
+	// still bit-identical to the original snapshot and within the wall
+	// budget, nothing lost since BENCH_5, and the fabric experiment
+	// present — its numbers are the regression floor for the next PR.
+	fab := loadSnapshot(t, "BENCH_6.json")
+	now6, ok := fab["E2"]
+	if !ok {
+		t.Fatal("BENCH_6.json has no E2 record")
+	}
+	if !reflect.DeepEqual(prev.Tables, now6.Tables) {
+		t.Errorf("E2 tables changed in BENCH_6.json:\nold: %+v\nnew: %+v", prev.Tables, now6.Tables)
+	}
+	if limit := prev.WallMillis + prev.WallMillis/20; now6.WallMillis > limit {
+		t.Errorf("E2 wall time regressed in BENCH_6: %d ms -> %d ms (limit %d)", prev.WallMillis, now6.WallMillis, limit)
+	}
+	for id := range cur {
+		if _, ok := fab[id]; !ok {
+			t.Errorf("experiment %s vanished from BENCH_6.json", id)
+		}
+	}
+	if _, ok := fab["E30"]; !ok {
+		t.Error("experiment E30 missing from BENCH_6.json")
+	}
 }

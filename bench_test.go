@@ -153,3 +153,8 @@ func BenchmarkE26CrosspointBuffering(b *testing.B) { benchExperiment(b, "E26") }
 // JSONL tracing with hop events costs measurable time — with results
 // bit-identical across all three modes.
 func BenchmarkE29ObservabilityOverhead(b *testing.B) { benchExperiment(b, "E29") }
+
+// E30 — datacenter fabric: the same leaf crash recovered on growing
+// fat-trees; hierarchical scoping keeps cost O(pod) while global rounds
+// pay O(fabric).
+func BenchmarkE30HierarchicalFabricRecovery(b *testing.B) { benchExperiment(b, "E30") }

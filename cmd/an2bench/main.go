@@ -1,7 +1,8 @@
 // Command an2bench regenerates every experiment in the AN2 reproduction
-// (the registry in internal/exp, currently E1–E29; `-list` enumerates it):
+// (the registry in internal/exp, currently E1–E30; `-list` enumerates it):
 // the paper's figures, worked examples, and quantitative claims, printed
-// as tables.
+// as tables. E30 exercises the datacenter-fabric layer — fat-trees from
+// topology.FatTree recovered hierarchically via fabric.Partition.
 //
 // Usage:
 //

@@ -8,6 +8,8 @@
 //	an2topo -family src -switches 12 -hosts 8
 //	an2topo -family torus -switches 16 -dot
 //	an2topo -family random -switches 20 -json > lan.json
+//	an2topo -kind fattree -radix 8 -pods 4 -hosts 2 -dot   # pod-colored DOT
+//	an2topo -kind fattree -radix 24 -oversub 3
 package main
 
 import (
@@ -33,20 +35,55 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("an2topo", flag.ContinueOnError)
 	var (
 		family   = fs.String("family", "src", "src, torus, ring, line, tree, random")
-		switches = fs.Int("switches", 12, "switch count")
-		hosts    = fs.Int("hosts", 8, "host count")
+		kind     = fs.String("kind", "", "generator kind; overrides -family (adds: fattree)")
+		switches = fs.Int("switches", 12, "switch count (ignored by fattree)")
+		hosts    = fs.Int("hosts", -1, "host count (default 8); for fattree: hosts per edge switch (default radix/2, 0 = switches only)")
+		radix    = fs.Int("radix", 8, "fattree: ports per switch")
+		pods     = fs.Int("pods", 0, "fattree: pod count (default radix)")
+		oversub  = fs.Float64("oversub", 1, "fattree: edge-layer oversubscription ratio")
 		seed     = fs.Int64("seed", 1, "random seed")
-		root     = fs.Int("root", 0, "orientation root switch")
-		dot      = fs.Bool("dot", false, "emit Graphviz DOT and exit")
+		root     = fs.Int("root", -1, "orientation root switch (-1: switch 0, or the first spine for fattree)")
+		dot      = fs.Bool("dot", false, "emit Graphviz DOT and exit (fattree nodes are pod-colored)")
 		jsonOut  = fs.Bool("json", false, "emit topology JSON and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	g, err := build(rng, *family, *switches, *hosts)
-	if err != nil {
-		return err
+	what := *kind
+	if what == "" {
+		what = *family
+	}
+	var g *topology.Graph
+	var info *topology.FatTreeInfo
+	if what == "fattree" {
+		cfg := topology.FatTreeConfig{
+			Radix:   *radix,
+			Pods:    *pods,
+			Oversub: *oversub,
+			NoHosts: *hosts == 0,
+		}
+		if *hosts > 0 {
+			cfg.HostsPerEdge = *hosts // unset (-1) lets the generator default to radix/2
+		}
+		if cfg.Pods == 0 {
+			cfg.Pods = cfg.Radix
+		}
+		var err error
+		g, info, err = topology.FatTree(cfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		nhosts := *hosts
+		if nhosts < 0 {
+			nhosts = 8
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		var err error
+		g, err = build(rng, what, *switches, nhosts)
+		if err != nil {
+			return err
+		}
 	}
 	if *dot {
 		fmt.Print(g.DOT())
@@ -64,6 +101,16 @@ func run(args []string) error {
 	fmt.Printf("topology: %d switches, %d hosts, %d links\n",
 		len(g.Switches()), len(g.Hosts()), g.NumLinks())
 	fmt.Printf("connected: %v, diameter: %d\n", g.Connected(nil), g.Diameter())
+	if info != nil {
+		if err := info.Validate(g); err != nil {
+			return err
+		}
+		fmt.Printf("fat-tree: %d pods x (%d edge + %d agg), %d spines (%d planes), %d uplinks/edge\n",
+			info.Config.Pods, info.EdgesPerPod, info.AggsPerPod,
+			len(info.Spines), info.AggsPerPod, info.EdgeUplinks)
+		fmt.Printf("bisection: %.3f of full (oversub %g requested)\n",
+			info.Bisection(g, nil), info.Config.Oversub)
+	}
 	cuts := g.ArticulationSwitches()
 	if len(cuts) == 0 {
 		fmt.Println("fault tolerance: no single switch failure partitions the network")
@@ -71,7 +118,14 @@ func run(args []string) error {
 		fmt.Printf("WARNING: articulation switches (single points of failure): %v\n", cuts)
 	}
 
-	r, err := routing.NewRouter(g, topology.NodeID(*root), nil)
+	orientRoot := topology.NodeID(*root)
+	if *root < 0 {
+		orientRoot = 0
+		if info != nil {
+			orientRoot = info.Root
+		}
+	}
+	r, err := routing.NewRouter(g, orientRoot, nil)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,22 @@ func TestDOTAndJSON(t *testing.T) {
 	}
 }
 
+func TestFatTreeKind(t *testing.T) {
+	if err := run([]string{"-kind", "fattree", "-radix", "8", "-pods", "4", "-hosts", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Switch-only fabric, pod-colored DOT.
+	if err := run([]string{"-kind", "fattree", "-radix", "6", "-pods", "3", "-hosts", "0", "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "fattree", "-radix", "8", "-oversub", "3", "-hosts", "6", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "fattree", "-radix", "3"}); err == nil {
+		t.Fatal("infeasible radix accepted")
+	}
+}
+
 func TestUnknownFamily(t *testing.T) {
 	if err := run([]string{"-family", "hypercube9000"}); err == nil {
 		t.Fatal("unknown family accepted")

@@ -1,0 +1,439 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/ctrlnet"
+	"repro/internal/monitor"
+	"repro/internal/recovery"
+	"repro/internal/simnet"
+	"repro/internal/switchnode"
+	"repro/internal/topology"
+)
+
+// fabricSkeptic tunes per-link skeptics to slot time (SlotUS=10): believe
+// a death after 3 failed pings, a recovery after 40 clean slots.
+var fabricSkeptic = monitor.Config{
+	FailThreshold: 3,
+	BaseWaitUS:    400,
+	MaxWaitUS:     8_000,
+	DecayUS:       20_000,
+	Skeptical:     true,
+}
+
+func TestPartitionFromLabels(t *testing.T) {
+	g, info, err := topology.FatTree(topology.FatTreeConfig{Radix: 8, Pods: 4, HostsPerEdge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPods() != 4 {
+		t.Fatalf("NumPods = %d, want 4", p.NumPods())
+	}
+	for pd := 0; pd < 4; pd++ {
+		want := append(append([]topology.NodeID{}, info.Edges[pd]...), info.Aggs[pd]...)
+		if !reflect.DeepEqual(p.Pod(pd), want) {
+			t.Fatalf("pod %d = %v, want %v", pd, p.Pod(pd), want)
+		}
+	}
+	if !reflect.DeepEqual(p.Spines(), info.Spines) {
+		t.Fatalf("spines = %v, want %v", p.Spines(), info.Spines)
+	}
+	if got := p.PodOf(info.Edges[2][1]); got != 2 {
+		t.Fatalf("PodOf(edge in pod 2) = %d", got)
+	}
+	if !p.IsSpine(info.Spines[3]) || p.PodOf(info.Spines[3]) != -1 {
+		t.Fatal("spine misclassified")
+	}
+	// Step groups are the simnet partition: pods then spines.
+	groups := p.StepGroups()
+	if len(groups) != 5 || len(groups[4]) != len(info.Spines) {
+		t.Fatalf("StepGroups shape wrong: %d groups", len(groups))
+	}
+	// Unlabeled graphs are rejected.
+	plain, _ := topology.Torus(3, 3, 1)
+	if _, err := NewPartition(plain); err == nil {
+		t.Fatal("NewPartition accepted an unlabeled graph")
+	}
+}
+
+func TestScopeRule(t *testing.T) {
+	g, info, err := topology.FatTree(topology.FatTreeConfig{Radix: 8, Pods: 4, NoHosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf death: triggers are the pod's aggs — pod-local.
+	region, spine := p.Scope(info.Aggs[1])
+	if spine {
+		t.Fatal("intra-pod triggers escalated")
+	}
+	if !reflect.DeepEqual(region, p.Pod(1)) {
+		t.Fatalf("pod-local region = %v, want pod 1", region)
+	}
+	// Agg-spine link: one trigger is a spine — escalate to pod + spines.
+	region, spine = p.Scope([]topology.NodeID{info.Aggs[2][0], info.Spines[0]})
+	if !spine {
+		t.Fatal("spine trigger did not escalate")
+	}
+	want := append(append([]topology.NodeID{}, p.Pod(2)...), p.Spines()...)
+	if !reflect.DeepEqual(region, want) {
+		t.Fatalf("escalated region = %v, want pod 2 + spines", region)
+	}
+	// Triggers spanning two pods escalate even with no spine trigger.
+	_, spine = p.Scope([]topology.NodeID{info.Edges[0][0], info.Edges[3][0]})
+	if !spine {
+		t.Fatal("cross-pod triggers did not escalate")
+	}
+	// Spine-only triggers fall back to a global round.
+	region, spine = p.Scope([]topology.NodeID{info.Spines[1]})
+	if !spine || len(region) != len(g.Switches()) {
+		t.Fatalf("spine-only scope: spine=%v, |region|=%d, want all %d", spine, len(region), len(g.Switches()))
+	}
+}
+
+// TestControllerHierarchicalEpochs drives the controller directly: a leaf
+// failure moves only its pod's epoch; an inter-pod fault moves the spine
+// epoch; the uninvolved pods' epochs never move.
+func TestControllerHierarchicalEpochs(t *testing.T) {
+	g, info, err := topology.FatTree(topology.FatTreeConfig{Radix: 8, Pods: 4, NoHosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewController(g, part, ControllerConfig{Faults: ctrlnet.Config{Seed: 11}})
+
+	// Leaf (edge switch) death in pod 0: triggers are pod 0's aggs.
+	victim := info.Edges[0][0]
+	dead := map[topology.NodeID]bool{victim: true}
+	ur, spine, err := c.React(nil, dead, info.Aggs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spine {
+		t.Fatal("leaf death escalated to the spine")
+	}
+	if !ur.Converged {
+		t.Fatal("pod round did not converge")
+	}
+	// Participants = pod 0 minus the victim: O(pod), not O(fabric).
+	if want := len(part.Pod(0)) - 1; len(ur.Views) != want {
+		t.Fatalf("pod round had %d participants, want %d", len(ur.Views), want)
+	}
+	if c.PodEpoch(0) != 1 || c.PodEpoch(1) != 0 || c.SpineEpoch() != 0 {
+		t.Fatalf("epochs after leaf death: pod0=%d pod1=%d spine=%d", c.PodEpoch(0), c.PodEpoch(1), c.SpineEpoch())
+	}
+
+	// Agg-spine link cut: escalates, spine epoch bumps, pod 3 untouched.
+	link, ok := g.LinkBetween(info.Aggs[1][0], info.Spines[0])
+	if !ok {
+		t.Fatal("no agg-spine link where expected")
+	}
+	deadLinks := map[topology.LinkID]bool{link.ID: true}
+	ur, spine, err = c.React(deadLinks, dead, []topology.NodeID{info.Aggs[1][0], info.Spines[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spine || !ur.Converged {
+		t.Fatalf("inter-pod fault: spine=%v converged=%v", spine, ur.Converged)
+	}
+	if c.SpineEpoch() != 1 || c.PodEpoch(1) != 1 || c.PodEpoch(3) != 0 {
+		t.Fatalf("epochs after spine fault: spine=%d pod1=%d pod3=%d", c.SpineEpoch(), c.PodEpoch(1), c.PodEpoch(3))
+	}
+	st := c.Stats()
+	if st.PodRounds != 1 || st.SpineRounds != 1 {
+		t.Fatalf("round tally: %+v", st)
+	}
+}
+
+// fabricRun is everything observable from one recovered-fabric scenario.
+type fabricRun struct {
+	events    []simnet.TraceEvent
+	net       simnet.NetStats
+	loop      recovery.Stats
+	incidents []recovery.Incident
+}
+
+// runLeafKillScenario boots a radix-8 / 4-pod fabric with cross-pod
+// traffic avoiding the victim leaf, hands fault handling to a
+// recovery.Loop in hierarchical mode (Scoper = the pod partition, rounds
+// on the deterministic event-driven channel), crashes edge p0e0 at slot
+// 100, and runs 200 more slots.
+func runLeafKillScenario(t *testing.T, workers int) fabricRun {
+	t.Helper()
+	tracer := &simnet.CollectTracer{}
+	n, err := NewNet(NetConfig{
+		Fabric:        topology.FatTreeConfig{Radix: 8, Pods: 4, HostsPerEdge: 1},
+		Switch:        switchnode.Config{FrameSlots: 32, Discipline: switchnode.DisciplinePerVC, Seed: 5},
+		IngressWindow: 16,
+		Workers:       workers,
+		Tracer:        tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := n.Router(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := func(pod, i int) topology.NodeID { return n.Info.Hosts[pod][i] }
+	victim := n.Info.Edges[0][0] // strands only h(0,0), which carries nothing
+	pairs := [][2]topology.NodeID{
+		{h(0, 1), h(1, 0)},
+		{h(1, 0), h(2, 0)},
+		{h(2, 0), h(3, 0)},
+		{h(3, 0), h(0, 2)},
+		{h(1, 1), h(1, 2)}, // intra-pod control group
+	}
+	var vcs []cell.VCI
+	for i, pr := range pairs {
+		path, err := router.ShortestLegal(pr[0], pr[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc := cell.VCI(i + 1)
+		if _, err := n.Sim.OpenBestEffort(vc, path); err != nil {
+			t.Fatal(err)
+		}
+		vcs = append(vcs, vc)
+	}
+	loop, err := recovery.New(recovery.Config{
+		Net:        n.Sim,
+		SlotUS:     10,
+		Skeptic:    fabricSkeptic,
+		Scoper:     n.Part,
+		CtrlFaults: &ctrlnet.Config{Seed: 21},
+		RetrySlots: 32,
+		Root:       n.Info.Root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := recovery.NewInjector([]recovery.FaultEvent{recovery.CrashSwitch(100, victim)})
+	for s := int64(0); s < 300; s++ {
+		inj.Apply(n.Sim)
+		loop.Tick()
+		if s < 260 {
+			for _, vc := range vcs {
+				if err := n.Sim.Send(vc, [cell.PayloadSize]byte{byte(vc), byte(s)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		n.Sim.Step()
+	}
+	if !inj.Done() {
+		t.Fatal("fault never fired")
+	}
+	if snap := n.Sim.Snapshot(); !snap.Conserved() {
+		t.Fatalf("conservation broken: %+v", snap)
+	}
+	return fabricRun{
+		events:    tracer.Events,
+		net:       n.Sim.Stats(),
+		loop:      loop.Stats(),
+		incidents: loop.Incidents(),
+	}
+}
+
+// TestFabricLeafKillScopedRecovery is the CI fabric-smoke scenario: a leaf
+// death on a radix-8/4-pod fabric converges through pod-scoped rounds
+// only — the spine epoch never bumps — and the repair completes.
+func TestFabricLeafKillScopedRecovery(t *testing.T) {
+	run := runLeafKillScenario(t, 0)
+	if run.loop.ReconfigRounds == 0 {
+		t.Fatal("no reconfiguration rounds ran")
+	}
+	if run.loop.SpineRounds != 0 {
+		t.Fatalf("leaf death escalated: %d spine rounds", run.loop.SpineRounds)
+	}
+	if run.loop.PodRounds != run.loop.ReconfigRounds {
+		t.Fatalf("round tally inconsistent: %+v", run.loop)
+	}
+	if run.loop.CtrlUnconverged != 0 {
+		t.Fatalf("%d rounds missed agreement", run.loop.CtrlUnconverged)
+	}
+	if len(run.incidents) == 0 {
+		t.Fatal("no incidents recorded")
+	}
+	for _, inc := range run.incidents {
+		if inc.OutageSlots() < 0 {
+			t.Fatalf("outage never closed for %s incident", inc.Kind)
+		}
+	}
+}
+
+// TestFabricEscalatesOnInterPodFault: cutting an agg-spine link must
+// escalate — at least one spine round, spine epoch moves.
+func TestFabricEscalatesOnInterPodFault(t *testing.T) {
+	n, err := NewNet(NetConfig{
+		Fabric: topology.FatTreeConfig{Radix: 8, Pods: 4, HostsPerEdge: 1},
+		Switch: switchnode.Config{FrameSlots: 32, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, ok := n.G.LinkBetween(n.Info.Aggs[1][0], n.Info.Spines[0])
+	if !ok {
+		t.Fatal("no agg-spine link where expected")
+	}
+	if !n.Part.InterPod(link) {
+		t.Fatal("agg-spine link not classified inter-pod")
+	}
+	loop, err := recovery.New(recovery.Config{
+		Net:        n.Sim,
+		SlotUS:     10,
+		Skeptic:    fabricSkeptic,
+		Scoper:     n.Part,
+		CtrlFaults: &ctrlnet.Config{Seed: 7},
+		Root:       n.Info.Root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := recovery.NewInjector([]recovery.FaultEvent{recovery.CutLink(50, link.ID)})
+	for s := int64(0); s < 200; s++ {
+		inj.Apply(n.Sim)
+		loop.Tick()
+		n.Sim.Step()
+	}
+	st := loop.Stats()
+	if st.SpineRounds == 0 {
+		t.Fatalf("inter-pod fault never escalated: %+v", st)
+	}
+	if st.PodRounds != 0 {
+		t.Fatalf("inter-pod fault tallied pod-local rounds: %+v", st)
+	}
+}
+
+// TestFabricRecoveryDeterministic extends the worker-count determinism
+// contract through the whole hierarchical stack: fat-tree + pod-sharded
+// stepping + recovery loop + scoped rounds observe byte-identical
+// histories at 1 and 4 workers, and repeats replay exactly.
+func TestFabricRecoveryDeterministic(t *testing.T) {
+	base := runLeafKillScenario(t, 1)
+	for _, workers := range []int{4, 1} {
+		got := runLeafKillScenario(t, workers)
+		if !reflect.DeepEqual(base.events, got.events) {
+			t.Fatalf("workers=%d: trace diverged (%d vs %d events)", workers, len(base.events), len(got.events))
+		}
+		if base.net != got.net {
+			t.Fatalf("workers=%d: net stats diverged:\n%+v\n%+v", workers, base.net, got.net)
+		}
+		if base.loop != got.loop {
+			t.Fatalf("workers=%d: loop stats diverged:\n%+v\n%+v", workers, base.loop, got.loop)
+		}
+		if !reflect.DeepEqual(base.incidents, got.incidents) {
+			t.Fatalf("workers=%d: incident timelines diverged", workers)
+		}
+	}
+}
+
+// TestLargeFabricStepsUnderSaturation: the acceptance-scale check. A full
+// radix-24 1:1 fat-tree (720 switches, 3456 hosts) builds, validates,
+// and steps under saturating cross-pod traffic with conservation intact.
+func TestLargeFabricStepsUnderSaturation(t *testing.T) {
+	n, err := NewNet(NetConfig{
+		Fabric:        topology.FatTreeConfig{Radix: 24, Pods: 24},
+		Switch:        switchnode.Config{FrameSlots: 32, Seed: 3},
+		IngressWindow: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.G.Switches()); got != 720 {
+		t.Fatalf("radix-24 fat-tree has %d switches, want 720", got)
+	}
+	if err := n.Info.Validate(n.G); err != nil {
+		t.Fatal(err)
+	}
+	router, err := n.Router(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 cross-pod circuits, sources saturating every slot.
+	var vcs []cell.VCI
+	for i := 0; i < 48; i++ {
+		src := n.Info.Hosts[i%24][i]
+		dst := n.Info.Hosts[(i+7)%24][(i*3+1)%len(n.Info.Hosts[0])]
+		path, err := router.ShortestLegal(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc := cell.VCI(i + 1)
+		if _, err := n.Sim.OpenBestEffort(vc, path); err != nil {
+			t.Fatal(err)
+		}
+		vcs = append(vcs, vc)
+	}
+	for s := 0; s < 48; s++ {
+		for _, vc := range vcs {
+			if err := n.Sim.Send(vc, [cell.PayloadSize]byte{byte(vc)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Sim.Step()
+	}
+	n.Sim.Run(64)
+	snap := n.Sim.Snapshot()
+	if !snap.Conserved() {
+		t.Fatalf("conservation broken: %+v", snap)
+	}
+	if snap.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if n.Sim.Stats().IdleStepsSkipped == 0 {
+		t.Fatal("no idle pods skipped despite partial load")
+	}
+}
+
+// BenchmarkFatTreeStep measures one simulated slot on a radix-8/8-pod
+// fabric (80 switches) with 8 active cross-pod circuits — the number CI
+// tracks as the fabric's per-slot cost.
+func BenchmarkFatTreeStep(b *testing.B) {
+	n, err := NewNet(NetConfig{
+		Fabric:        topology.FatTreeConfig{Radix: 8, Pods: 8, HostsPerEdge: 1},
+		Switch:        switchnode.Config{FrameSlots: 32, Seed: 9},
+		IngressWindow: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	router, err := n.Router(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var vcs []cell.VCI
+	for i := 0; i < 8; i++ {
+		src := n.Info.Hosts[i][0]
+		dst := n.Info.Hosts[(i+3)%8][1%len(n.Info.Hosts[0])]
+		path, err := router.ShortestLegal(src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vc := cell.VCI(i + 1)
+		if _, err := n.Sim.OpenBestEffort(vc, path); err != nil {
+			b.Fatal(err)
+		}
+		vcs = append(vcs, vc)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vc := vcs[i%len(vcs)]
+		if err := n.Sim.Send(vc, [cell.PayloadSize]byte{byte(vc)}); err != nil {
+			b.Fatal(err)
+		}
+		n.Sim.Step()
+	}
+}

@@ -1,0 +1,70 @@
+package fabric
+
+import (
+	"repro/internal/obs"
+	"repro/internal/routing"
+	"repro/internal/simnet"
+	"repro/internal/switchnode"
+	"repro/internal/topology"
+)
+
+// NetConfig assembles a simulated fat-tree fabric.
+type NetConfig struct {
+	// Fabric dimensions the fat-tree (see topology.FatTreeConfig).
+	Fabric topology.FatTreeConfig
+	// Switch configures every switch. N defaults to the fabric radix so
+	// the crossbar matches the port count.
+	Switch switchnode.Config
+	// IngressWindow / Workers / Tracer / Obs pass through to simnet.
+	IngressWindow int
+	Workers       int
+	Tracer        simnet.Tracer
+	Obs           *obs.Registry
+}
+
+// Net is a fat-tree running on a pod-sharded simulator: the generated
+// graph, its pod/spine partition (which is also the simnet step
+// partition), and the live network.
+type Net struct {
+	G    *topology.Graph
+	Info *topology.FatTreeInfo
+	Part *Partition
+	Sim  *simnet.Network
+}
+
+// NewNet generates the fat-tree, derives its partition, and boots a
+// simnet.Network stepping pod-by-pod (StepGroups = pods + spines), so
+// quiescent pods cost O(switches-in-pod) pointer checks per slot instead
+// of full crossbar work.
+func NewNet(cfg NetConfig) (*Net, error) {
+	g, info, err := topology.FatTree(cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	part, err := NewPartition(g)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Switch.N == 0 {
+		cfg.Switch.N = info.Config.Radix
+	}
+	sim, err := simnet.New(simnet.Config{
+		Topology:      g,
+		Switch:        cfg.Switch,
+		IngressWindow: cfg.IngressWindow,
+		Workers:       cfg.Workers,
+		Tracer:        cfg.Tracer,
+		Obs:           cfg.Obs,
+		StepGroups:    part.StepGroups(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Net{G: g, Info: info, Part: part, Sim: sim}, nil
+}
+
+// Router builds an up*/down* router rooted at the fabric's canonical root
+// spine, excluding the given dead links (nil = all live).
+func (n *Net) Router(dead map[topology.LinkID]bool) (*routing.Router, error) {
+	return routing.NewRouter(n.G, n.Info.Root, dead)
+}

@@ -55,6 +55,14 @@ type Config struct {
 	// BFS radius of the trigger (§2's "restrict participation to switches
 	// near the failing component"). Negative runs global rounds.
 	ReconfigRadius int
+	// Scoper, when non-nil, replaces the radius-based region choice with a
+	// topology-aware hierarchical one (fabric.Partition implements it for
+	// fat-trees): the scoper maps each round's trigger switches to the
+	// participant set and reports whether the fault escalates past a
+	// single locality domain (e.g. touches the spine layer). Takes
+	// precedence over ReconfigRadius. Rounds are tallied in Stats as
+	// PodRounds vs SpineRounds.
+	Scoper Scoper
 	// RetrySlots is the delay before re-attempting repair when some
 	// circuit could not be rerouted — no path in the believed topology, or
 	// admission refused (default 64).
@@ -79,6 +87,17 @@ type Config struct {
 	// the registry with the network being protected so /metrics shows both
 	// planes. Nil disables at no cost.
 	Obs *obs.Registry
+}
+
+// Scoper chooses the participant set for a reconfiguration round from its
+// trigger switches. Implementations partition the fabric into locality
+// domains (pods) plus a shared core (spines): a fault confined to one
+// domain returns that domain with spine=false; anything touching the
+// core, or spanning domains, returns the affected domains plus the core
+// with spine=true. The returned region may include believed-dead switches
+// — the loop filters them before the round.
+type Scoper interface {
+	Scope(triggers []topology.NodeID) (region []topology.NodeID, spine bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +177,13 @@ type Stats struct {
 	Resyncs        int64 // ingress credit resyncs issued
 	UnroutedAtEnd  int   // circuits still crossing dead elements
 	MaxReconfigUS  int64 // slowest round's convergence time
+
+	// Hierarchical scope accounting; populated only when Config.Scoper is
+	// set. PodRounds are rounds confined to one locality domain;
+	// SpineRounds escalated to the shared core. Their sum equals
+	// ReconfigRounds in hierarchical mode.
+	PodRounds   int64
+	SpineRounds int64
 
 	// Control-plane fault accounting; populated only when Config.CtrlFaults
 	// runs rounds over the unreliable channel.
@@ -444,6 +470,7 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 	if err != nil {
 		return 0
 	}
+	region, scoped, spine := l.scopeRegion(runner, triggers)
 	var res *reconfig.Result
 	ctrlRetries := int64(-1) // >= 0 marks a round run over the faulty channel
 	if l.cfg.CtrlFaults != nil {
@@ -456,8 +483,7 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 			faults.Obs = l.cfg.Obs // control-plane loss lands in the shared registry
 		}
 		var ur *reconfig.UnreliableResult
-		if l.cfg.ReconfigRadius >= 0 {
-			region := runner.RegionOf(triggers, l.cfg.ReconfigRadius)
+		if scoped {
 			ur, err = runner.RunUnreliableScoped(triggers, region, faults, l.cfg.CtrlHardening)
 		} else {
 			ur, err = runner.RunUnreliable(triggers, faults, l.cfg.CtrlHardening)
@@ -474,8 +500,7 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 		}
 		ctrlRetries = ur.Retransmits + ur.Retriggers
 		res = &ur.Result
-	} else if l.cfg.ReconfigRadius >= 0 {
-		region := runner.RegionOf(triggers, l.cfg.ReconfigRadius)
+	} else if scoped {
 		res, err = runner.RunScoped(triggers, region)
 	} else {
 		res, err = runner.Run(triggers)
@@ -484,6 +509,13 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 		return 0
 	}
 	l.stats.ReconfigRounds++
+	if l.cfg.Scoper != nil {
+		if spine {
+			l.stats.SpineRounds++
+		} else {
+			l.stats.PodRounds++
+		}
+	}
 	l.stats.ReconfigMsgs += res.Messages
 	l.stats.ReconfigBytes += res.Bytes
 	if res.MaxCompletionUS > l.stats.MaxReconfigUS {
@@ -510,6 +542,35 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 		l.obsRetries.Record(l.net.Slot(), ctrlRetries)
 	}
 	return res.MaxCompletionUS
+}
+
+// scopeRegion picks this round's participant set: hierarchical (Scoper),
+// radius-based (ReconfigRadius >= 0), or global. scoped=false means run an
+// unscoped round; spine reports hierarchical escalation.
+func (l *Loop) scopeRegion(runner *reconfig.Runner, triggers []reconfig.Trigger) (region reconfig.Region, scoped, spine bool) {
+	if l.cfg.Scoper != nil {
+		nodes := make([]topology.NodeID, len(triggers))
+		for i, t := range triggers {
+			nodes[i] = t.Node
+		}
+		picked, esc := l.cfg.Scoper.Scope(nodes)
+		region = make(reconfig.Region, len(picked))
+		for _, s := range picked {
+			if !l.believedDeadNodes[s] {
+				region[s] = true
+			}
+		}
+		// Triggers are believed-live by construction; keep them in even if
+		// the scoper missed one.
+		for _, t := range triggers {
+			region[t.Node] = true
+		}
+		return region, true, esc
+	}
+	if l.cfg.ReconfigRadius >= 0 {
+		return runner.RegionOf(triggers, l.cfg.ReconfigRadius), true, false
+	}
+	return nil, false, false
 }
 
 // roundSeed derives a per-round channel seed from the base seed, so every

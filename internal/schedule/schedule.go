@@ -57,6 +57,9 @@ type Schedule struct {
 	// output j, for admissibility checks.
 	rowLoad []int
 	colLoad []int
+	// total = cells per frame scheduled overall, maintained at the single
+	// mutation points (place/unplace) so emptiness is O(1).
+	total int
 }
 
 // New creates an empty schedule for an n×n switch with the given frame
@@ -125,6 +128,11 @@ func (s *Schedule) N() int { return s.n }
 
 // Slots returns the frame size.
 func (s *Schedule) Slots() int { return s.slots }
+
+// Cells returns the number of cells per frame currently scheduled across
+// all pairs. 0 means the frame is empty: the guaranteed phase of a slot
+// is a no-op.
+func (s *Schedule) Cells() int { return s.total }
 
 // Load returns the reserved cells/frame on (input row, output column).
 func (s *Schedule) Load(input, output int) (rowLoad, colLoad int) {
@@ -263,11 +271,13 @@ func (s *Schedule) insert(P, Q int) (Trace, error) {
 func (s *Schedule) place(t, i, j int) {
 	s.outOf[t][i] = j
 	s.inOf[t][j] = i
+	s.total++
 }
 
 func (s *Schedule) unplace(t, i, j int) {
 	s.outOf[t][i] = -1
 	s.inOf[t][j] = -1
+	s.total--
 }
 
 // InsertK adds a k-cell-per-frame reservation, one cell at a time. The

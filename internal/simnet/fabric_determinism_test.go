@@ -1,0 +1,193 @@
+package simnet
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/routing"
+	"repro/internal/switchnode"
+	"repro/internal/topology"
+)
+
+// fabricScenarioResult is everything observable from one fat-tree run.
+type fabricScenarioResult struct {
+	events []TraceEvent
+	net    NetStats
+	hosts  []HostStats
+	util   map[topology.LinkID]float64
+}
+
+// runFabricScenario drives a fixed workload over a radix-6 / 3-pod
+// fat-tree: intra-pod and cross-pod best-effort circuits, a paced
+// guaranteed circuit, and a mid-run intra-pod link failure. Pod 2 carries
+// no traffic, so with idle-skip its switches advance through the O(1)
+// path. With grouped=true the network steps pod-by-pod (StepGroups =
+// pods + spines); with false it uses the flat path.
+func runFabricScenario(t *testing.T, workers int, grouped bool) fabricScenarioResult {
+	t.Helper()
+	g, info, err := topology.FatTree(topology.FatTreeConfig{Radix: 6, Pods: 3, HostsPerEdge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Topology: g,
+		Switch: switchnode.Config{
+			N:          6,
+			Discipline: switchnode.DisciplinePerVC,
+			FrameSlots: 16,
+			Seed:       99,
+		},
+		IngressWindow: 8,
+		Tracer:        &CollectTracer{},
+		Workers:       workers,
+	}
+	if grouped {
+		cfg.StepGroups = append(append([][]topology.NodeID{}, info.Pods...), info.Spines)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := routing.NewRouter(g, info.Root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := func(a, b topology.NodeID) []topology.NodeID {
+		p, err := router.ShortestLegal(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Traffic stays within pods 0 and 1 (and the spines); pod 2 is idle.
+	h := func(pod, i int) topology.NodeID { return info.Hosts[pod][i] }
+	ends := [][2]topology.NodeID{
+		{h(0, 0), h(0, 1)}, // intra-pod 0
+		{h(0, 1), h(1, 0)}, // cross-pod 0 -> 1
+		{h(1, 2), h(0, 2)}, // cross-pod 1 -> 0
+		{h(1, 0), h(1, 1)}, // intra-pod 1
+	}
+	for i, e := range ends {
+		if _, err := n.OpenBestEffort(cell.VCI(i+1), path(e[0], e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.OpenGuaranteed(10, path(h(0, 0), h(1, 2)), 4); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for slot := 0; slot < 400; slot++ {
+		for vc := cell.VCI(1); vc <= 4; vc++ {
+			if rng.Intn(3) == 0 {
+				if err := n.Send(vc, [cell.PayloadSize]byte{byte(vc), byte(slot)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if slot%5 == 0 {
+			if err := n.Send(10, [cell.PayloadSize]byte{0x47, byte(slot)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if slot == 150 {
+			link, _ := g.LinkBetween(info.Edges[0][0], info.Aggs[0][0])
+			n.KillLink(link.ID)
+		}
+		if slot == 250 {
+			link, _ := g.LinkBetween(info.Edges[0][0], info.Aggs[0][0])
+			n.RestoreLink(link.ID)
+		}
+		n.Step()
+	}
+	n.Run(200) // drain
+	res := fabricScenarioResult{
+		events: cfg.Tracer.(*CollectTracer).Events,
+		net:    n.Stats(),
+		util:   n.LinkUtilization(),
+	}
+	for _, e := range ends {
+		for _, hid := range []topology.NodeID{e[0], e[1]} {
+			hs, _ := n.HostStats(hid)
+			res.hosts = append(res.hosts, *hs)
+		}
+	}
+	return res
+}
+
+func requireFabricEqual(t *testing.T, want, got fabricScenarioResult, ctx string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.events, got.events) {
+		t.Fatalf("%s: trace diverged (%d vs %d events)", ctx, len(want.events), len(got.events))
+	}
+	if want.net != got.net {
+		t.Fatalf("%s: net stats diverged: %+v vs %+v", ctx, want.net, got.net)
+	}
+	if !reflect.DeepEqual(want.hosts, got.hosts) {
+		t.Fatalf("%s: host stats diverged", ctx)
+	}
+	if !reflect.DeepEqual(want.util, got.util) {
+		t.Fatalf("%s: link utilization diverged", ctx)
+	}
+}
+
+// TestParallelStepMatchesSequentialPodSharded extends the tentpole
+// determinism check to the pod-sharded path: grouped stepping must be
+// byte-identical across worker counts AND to the flat ungrouped path —
+// grouping and idle-skip change scheduling, never results.
+func TestParallelStepMatchesSequentialPodSharded(t *testing.T) {
+	seq := runFabricScenario(t, 1, true)
+	if seq.net.IdleStepsSkipped == 0 {
+		t.Fatal("idle pod was never skipped — idle-skip path not exercised")
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par := runFabricScenario(t, workers, true)
+		requireFabricEqual(t, seq, par, "grouped workers=1 vs more")
+	}
+	flat := runFabricScenario(t, 4, false)
+	requireFabricEqual(t, seq, flat, "grouped vs flat")
+}
+
+// TestSameSeedRepeatablePodSharded: two identical pod-sharded runs at the
+// default worker setting observe identical behavior.
+func TestSameSeedRepeatablePodSharded(t *testing.T) {
+	a := runFabricScenario(t, 0, true)
+	b := runFabricScenario(t, 0, true)
+	requireFabricEqual(t, a, b, "same-seed")
+}
+
+// TestStepGroupsValidation: StepGroups must be an exact partition of the
+// switches.
+func TestStepGroupsValidation(t *testing.T) {
+	g, info, err := topology.FatTree(topology.FatTreeConfig{Radix: 4, Pods: 2, NoHosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Topology: g, Switch: switchnode.Config{N: 4, FrameSlots: 8}}
+
+	missing := base
+	missing.StepGroups = info.Pods // spines missing
+	if _, err := New(missing); !errors.Is(err, ErrBadGroups) {
+		t.Fatalf("missing spines: err = %v, want ErrBadGroups", err)
+	}
+
+	dup := base
+	dup.StepGroups = append(append([][]topology.NodeID{}, info.Pods...), info.Spines, info.Pods[0])
+	if _, err := New(dup); !errors.Is(err, ErrBadGroups) {
+		t.Fatalf("duplicate switch: err = %v, want ErrBadGroups", err)
+	}
+
+	bogus := base
+	bogus.StepGroups = [][]topology.NodeID{{topology.NodeID(9999)}}
+	if _, err := New(bogus); !errors.Is(err, ErrBadGroups) {
+		t.Fatalf("unknown node: err = %v, want ErrBadGroups", err)
+	}
+
+	ok := base
+	ok.StepGroups = append(append([][]topology.NodeID{}, info.Pods...), info.Spines)
+	if _, err := New(ok); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+}

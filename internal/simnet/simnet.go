@@ -70,6 +70,16 @@ type Config struct {
 	// switches share no state during a slot, and departures are applied
 	// in canonical (ascending NodeID) order behind a slot barrier.
 	Workers int
+	// StepGroups, when non-nil, partitions the switches for pod-sharded
+	// stepping: each inner slice is one locality group (a fat-tree pod,
+	// or the spine set) and workers claim whole groups instead of single
+	// switches, so one pod's switches — typically id-contiguous and
+	// cache-warm — stay on one worker. Every switch must appear exactly
+	// once. Grouping changes scheduling only; results remain
+	// byte-identical to the ungrouped path at any worker count.
+	// Quiescent switches (no buffered cell, empty frame) are advanced
+	// with the O(1) idle step on every path, grouped or not.
+	StepGroups [][]topology.NodeID
 }
 
 // Circuit is an established virtual circuit.
@@ -192,6 +202,9 @@ type Network struct {
 	// canonical order after the slot barrier.
 	workers  int
 	stepDeps [][]switchnode.Departure
+	// groups maps Config.StepGroups to switchOrder indexes (nil when
+	// ungrouped).
+	groups [][]int
 
 	stats NetStats
 
@@ -222,11 +235,16 @@ type NetStats struct {
 	DroppedInFlight int64 // cells lost to link/switch failures
 	DroppedReroute  int64 // cells discarded when a circuit was rerouted
 	Slots           int64
+	// IdleStepsSkipped counts switch-slots advanced by the O(1) idle
+	// path instead of a full Step (quiescent switches: empty buffers and
+	// frame). Deterministic — identical at any worker count.
+	IdleStepsSkipped int64
 }
 
 // Errors.
 var (
 	ErrNoTopology    = errors.New("simnet: nil topology")
+	ErrBadGroups     = errors.New("simnet: StepGroups must partition the switches")
 	ErrBadPath       = errors.New("simnet: invalid circuit path")
 	ErrDupCircuit    = errors.New("simnet: circuit already open")
 	ErrNoCircuit     = errors.New("simnet: no such circuit")
@@ -263,6 +281,34 @@ func New(cfg Config) (*Network, error) {
 		n.workers = len(n.switchOrder)
 	}
 	n.stepDeps = make([][]switchnode.Departure, len(n.switchOrder))
+	if cfg.StepGroups != nil {
+		orderIdx := make(map[topology.NodeID]int, len(n.switchOrder))
+		for idx, s := range n.switchOrder {
+			orderIdx[s] = idx
+		}
+		seen := make(map[topology.NodeID]bool, len(n.switchOrder))
+		n.groups = make([][]int, 0, len(cfg.StepGroups))
+		for gi, grp := range cfg.StepGroups {
+			idxs := make([]int, 0, len(grp))
+			for _, s := range grp {
+				idx, ok := orderIdx[s]
+				if !ok {
+					return nil, fmt.Errorf("%w: group %d names non-switch node %d", ErrBadGroups, gi, s)
+				}
+				if seen[s] {
+					return nil, fmt.Errorf("%w: switch %d appears twice", ErrBadGroups, s)
+				}
+				seen[s] = true
+				idxs = append(idxs, idx)
+			}
+			if len(idxs) > 0 {
+				n.groups = append(n.groups, idxs)
+			}
+		}
+		if len(seen) != len(n.switchOrder) {
+			return nil, fmt.Errorf("%w: %d of %d switches grouped", ErrBadGroups, len(seen), len(n.switchOrder))
+		}
+	}
 	for idx, s := range n.switchOrder {
 		sc := cfg.Switch
 		sc.Seed = cfg.Switch.Seed + int64(s)*7919
@@ -872,36 +918,78 @@ func (n *Network) observeSlot(now int64) {
 // switch's next Step — i.e. for the rest of this slot.
 func (n *Network) stepSwitches() {
 	if n.workers <= 1 || len(n.switchOrder) < 2 {
-		for idx, s := range n.switchOrder {
-			if n.deadNodes[s] {
-				n.stepDeps[idx] = nil
-				continue
+		var skipped int64
+		if n.groups != nil {
+			for _, grp := range n.groups {
+				for _, idx := range grp {
+					skipped += n.stepOne(idx)
+				}
 			}
-			n.stepDeps[idx] = n.switches[s].Step()
+		} else {
+			for idx := range n.switchOrder {
+				skipped += n.stepOne(idx)
+			}
 		}
+		n.stats.IdleStepsSkipped += skipped
 		return
 	}
 	var next int64 = -1
+	var skipped int64
 	var wg sync.WaitGroup
 	wg.Add(n.workers)
 	for w := 0; w < n.workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
-				idx := int(atomic.AddInt64(&next, 1))
-				if idx >= len(n.switchOrder) {
-					return
+			var local int64
+			if n.groups != nil {
+				// Pod-sharded fan-out: workers claim whole groups, so a
+				// pod's (id-contiguous, cache-warm) switches stay on one
+				// worker and a fully quiescent pod costs one claim.
+				for {
+					gi := int(atomic.AddInt64(&next, 1))
+					if gi >= len(n.groups) {
+						break
+					}
+					for _, idx := range n.groups[gi] {
+						local += n.stepOne(idx)
+					}
 				}
-				s := n.switchOrder[idx]
-				if n.deadNodes[s] {
-					n.stepDeps[idx] = nil
-					continue
+			} else {
+				for {
+					idx := int(atomic.AddInt64(&next, 1))
+					if idx >= len(n.switchOrder) {
+						break
+					}
+					local += n.stepOne(idx)
 				}
-				n.stepDeps[idx] = n.switches[s].Step()
+			}
+			if local > 0 {
+				atomic.AddInt64(&skipped, local)
 			}
 		}()
 	}
 	wg.Wait()
+	n.stats.IdleStepsSkipped += skipped
+}
+
+// stepOne advances the switch at switchOrder position idx: dead switches
+// do nothing, quiescent switches take the O(1) idle step (observably
+// identical to a full Step — see switchnode.Quiescent), the rest run a
+// full Step. It returns 1 when the idle path was taken.
+func (n *Network) stepOne(idx int) int64 {
+	s := n.switchOrder[idx]
+	if n.deadNodes[s] {
+		n.stepDeps[idx] = nil
+		return 0
+	}
+	sw := n.switches[s]
+	if sw.Quiescent() {
+		sw.StepIdle()
+		n.stepDeps[idx] = nil
+		return 1
+	}
+	n.stepDeps[idx] = sw.Step()
+	return 0
 }
 
 // inject moves source-pending cells onto the first link.

@@ -1,0 +1,114 @@
+package switchnode
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func TestQuiescentTracksBuffersAndFrame(t *testing.T) {
+	s := newSwitch(t, Config{N: 4, Seed: 1, FrameSlots: 8})
+	if !s.Quiescent() || s.Buffered() != 0 {
+		t.Fatalf("fresh switch not quiescent: buffered=%d", s.Buffered())
+	}
+	// Best-effort cell makes it non-quiescent until it departs.
+	if !s.EnqueueBestEffort(0, cell.Cell{VC: 1}, 1) {
+		t.Fatal("enqueue rejected")
+	}
+	if s.Quiescent() || s.Buffered() != 1 {
+		t.Fatalf("buffered cell not seen: buffered=%d", s.Buffered())
+	}
+	s.Step()
+	if !s.Quiescent() {
+		t.Fatal("still non-quiescent after the cell departed")
+	}
+	// A frame reservation keeps the switch non-quiescent even with no
+	// cells (its reserved slots fire every frame).
+	if err := s.Reserve(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Quiescent() {
+		t.Fatal("quiescent despite a frame reservation")
+	}
+	s.Unreserve(2, 3, 1)
+	if !s.Quiescent() {
+		t.Fatal("not quiescent after unreserve")
+	}
+	// Guaranteed cells and purges.
+	if !s.EnqueueGuaranteed(1, cell.Cell{VC: 9}, 2) {
+		t.Fatal("guaranteed enqueue rejected")
+	}
+	if s.Quiescent() {
+		t.Fatal("quiescent despite a buffered guaranteed cell")
+	}
+	if got := s.PurgeVC(9); got != 1 {
+		t.Fatalf("PurgeVC = %d, want 1", got)
+	}
+	if !s.Quiescent() {
+		t.Fatal("not quiescent after purge")
+	}
+	// ResetFrame clears reservations.
+	if err := s.Reserve(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetFrame()
+	if !s.Quiescent() {
+		t.Fatal("not quiescent after ResetFrame")
+	}
+}
+
+// TestStepIdleMatchesStepWhenQuiescent pins the idle-skip contract: on a
+// quiescent switch, StepIdle and a full Step are indistinguishable — same
+// slot clock, same stats, no departures, and identical behavior afterwards
+// (including the matcher's private randomness, which a quiescent Step must
+// not consume).
+func TestStepIdleMatchesStepWhenQuiescent(t *testing.T) {
+	mk := func() *Switch {
+		s := newSwitch(t, Config{N: 4, Seed: 42, FrameSlots: 8})
+		// Warm up with real traffic so scheduler state is non-trivial.
+		s.EnqueueBestEffort(0, cell.Cell{VC: 1}, 1)
+		s.EnqueueBestEffort(1, cell.Cell{VC: 2}, 1)
+		s.EnqueueBestEffort(2, cell.Cell{VC: 3}, 1)
+		for i := 0; i < 4; i++ {
+			s.Step()
+		}
+		if !s.Quiescent() {
+			t.Fatal("warmup did not drain")
+		}
+		return s
+	}
+	full, idle := mk(), mk()
+	// Advance 10 idle slots, one with Step, one with StepIdle.
+	for k := 0; k < 10; k++ {
+		if deps := full.Step(); deps != nil {
+			t.Fatalf("quiescent Step produced departures: %+v", deps)
+		}
+		idle.StepIdle()
+	}
+	if full.Slot() != idle.Slot() {
+		t.Fatalf("slots diverged: %d vs %d", full.Slot(), idle.Slot())
+	}
+	if !reflect.DeepEqual(full.Stats(), idle.Stats()) {
+		t.Fatalf("stats diverged:\nfull %+v\nidle %+v", full.Stats(), idle.Stats())
+	}
+	// Now run identical contended traffic through both: if the quiescent
+	// Steps had consumed scheduler randomness, the matchings would differ.
+	feed := func(s *Switch) []Departure {
+		s.EnqueueBestEffort(0, cell.Cell{VC: 10}, 3)
+		s.EnqueueBestEffort(1, cell.Cell{VC: 11}, 3)
+		s.EnqueueBestEffort(2, cell.Cell{VC: 12}, 3)
+		var out []Departure
+		for i := 0; i < 6; i++ {
+			out = append(out, s.Step()...)
+		}
+		return out
+	}
+	df, di := feed(full), feed(idle)
+	if !reflect.DeepEqual(df, di) {
+		t.Fatalf("post-idle behavior diverged:\nfull %+v\nidle %+v", df, di)
+	}
+	if !reflect.DeepEqual(full.Stats(), idle.Stats()) {
+		t.Fatalf("final stats diverged:\nfull %+v\nidle %+v", full.Stats(), idle.Stats())
+	}
+}

@@ -118,7 +118,10 @@ type Switch struct {
 	frame   *schedule.Schedule
 	slot    int64
 	stats   Stats
-	reqs    *matching.Requests
+	// buffered counts cells queued across all inputs, both classes,
+	// maintained at every enqueue/pop/purge so Quiescent is O(1).
+	buffered int
+	reqs     *matching.Requests
 	// hold keeps the cell chosen for each connected input this slot.
 	hold []holdSlot
 	// deps backs the slice returned by Step, reused across slots.
@@ -253,6 +256,7 @@ func (s *Switch) EnqueueBestEffort(input int, c cell.Cell, output int) bool {
 		s.stats.DroppedBestEffort++
 		return false
 	}
+	s.buffered++
 	return true
 }
 
@@ -269,6 +273,7 @@ func (s *Switch) EnqueueGuaranteed(input int, c cell.Cell, output int) bool {
 		s.stats.DroppedGuaranteed++
 		return false
 	}
+	s.buffered++
 	return true
 }
 
@@ -299,6 +304,7 @@ func (s *Switch) PurgeVC(vc cell.VCI) int {
 	for i := 0; i < s.n; i++ {
 		total += s.be[i].Drop(vc) + s.gtd[i].Drop(vc)
 	}
+	s.buffered -= total
 	return total
 }
 
@@ -309,6 +315,7 @@ func (s *Switch) Purge() int {
 	for i := 0; i < s.n; i++ {
 		total += s.be[i].DropAll() + s.gtd[i].DropAll()
 	}
+	s.buffered -= total
 	return total
 }
 
@@ -319,6 +326,27 @@ func (s *Switch) ResetFrame() {
 	if f, err := schedule.New(s.n, s.frame.Slots()); err == nil {
 		s.frame = f
 	}
+}
+
+// Buffered returns the total number of cells queued across all inputs,
+// both traffic classes.
+func (s *Switch) Buffered() int { return s.buffered }
+
+// Quiescent reports whether a Step would be observably a no-op besides
+// advancing the slot clock: no cell is buffered in either class and the
+// guaranteed frame is empty. In that state phase 1 makes no connection and
+// updates no counter (GuaranteedSlotsFree counts only reserved slots), and
+// phase 2 raises no request, so the matcher — and its private randomness —
+// is never invoked. Pod-sharded simulation uses this to skip idle
+// switches while preserving byte-identical results.
+func (s *Switch) Quiescent() bool { return s.buffered == 0 && s.frame.Cells() == 0 }
+
+// StepIdle advances the slot clock exactly as a full Step of a quiescent
+// switch would: slot and Stats.Slots advance, nothing else changes, and no
+// departure is produced. Callers must check Quiescent first.
+func (s *Switch) StepIdle() {
+	s.slot++
+	s.stats.Slots++
 }
 
 // Step advances the switch one cell slot and returns the departures.
@@ -347,6 +375,7 @@ func (s *Switch) Step() []Departure {
 			continue
 		}
 		if c, ok := s.gtd[i].Pop(j); ok {
+			s.buffered--
 			// Hardware invariant: the schedule is a partial permutation,
 			// so ConnectOne cannot fail.
 			if err := s.xb.ConnectOne(i, j); err == nil {
@@ -387,6 +416,7 @@ func (s *Switch) Step() []Departure {
 			if !ok {
 				continue // cannot happen: requests mirror buffer state
 			}
+			s.buffered--
 			if err := s.xb.ConnectOne(i, j); err != nil {
 				continue // cannot happen: matching is legal
 			}

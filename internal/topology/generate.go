@@ -290,14 +290,19 @@ func SRCLike(rng *rand.Rand, coreSize, edgeSize, hostCount int, latency int64) (
 }
 
 // AttachHosts adds hostsPerSwitch hosts to every switch in g (single-homed,
-// for data-plane experiments where host redundancy is irrelevant).
+// for data-plane experiments where host redundancy is irrelevant). On port
+// exhaustion the error names the exhausted switch and its port budget so
+// asymmetric graphs (where only one switch is full) are diagnosable.
 func AttachHosts(g *Graph, hostsPerSwitch int, latency int64) error {
 	for _, s := range g.Switches() {
+		sn, _ := g.Node(s)
 		for i := 0; i < hostsPerSwitch; i++ {
 			name := fmt.Sprintf("h%d.%d", s, i)
 			h := g.AddHost(name)
 			if _, err := g.Connect(h, s, latency); err != nil {
-				return fmt.Errorf("attach %s: %w", name, err)
+				used := len(g.LinksOf(s))
+				return fmt.Errorf("topology: AttachHosts: switch %q out of ports attaching host %d of %d (%d of %d ports in use): %w",
+					sn.Name, i+1, hostsPerSwitch, used, sn.NumPorts(), err)
 			}
 		}
 	}

@@ -49,7 +49,44 @@ func (k Kind) String() string {
 
 // PortsPerSwitch is the AN1/AN2 switch port count. Each AN1 switch has 12
 // ports; the AN2 crossbar is 16×16 with one line card per port. We use 16.
+// Datacenter fat-trees need other radixes; see AddSwitchPorts.
 const PortsPerSwitch = 16
+
+// Tier labels a switch's role in a hierarchical fabric (fat-tree). The
+// zero value means the node has no fabric role (the classic AN2 mesh
+// topologies are unlayered).
+type Tier uint8
+
+const (
+	// TierNone marks a node outside any fabric hierarchy.
+	TierNone Tier = iota
+	// TierEdge is a leaf switch: hosts attach here.
+	TierEdge
+	// TierAgg is a pod aggregation switch: connects edges to spines.
+	TierAgg
+	// TierSpine is a top-of-fabric switch interconnecting pods.
+	TierSpine
+)
+
+// String returns the lowercase tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierNone:
+		return "none"
+	case TierEdge:
+		return "edge"
+	case TierAgg:
+		return "agg"
+	case TierSpine:
+		return "spine"
+	default:
+		return fmt.Sprintf("Tier(%d)", uint8(t))
+	}
+}
+
+// NoPod is the Pod value of nodes outside any pod (spines, and every node
+// of a non-fabric topology).
+const NoPod = -1
 
 // LinkID identifies a link within a Graph.
 type LinkID int
@@ -97,9 +134,17 @@ type Node struct {
 	// UID is the node's unique hardware identifier, used for tie-breaking
 	// in reconfiguration (epoch tags order by epoch, then initiator UID).
 	UID uint64
+	// Pod is the fabric pod this node belongs to, or NoPod. Set by the
+	// fat-tree generator; plain topologies leave every node at NoPod.
+	Pod int
+	// Tier is the node's fabric role (edge/agg/spine), or TierNone.
+	Tier Tier
 	// ports[i] is the link attached to port i, or -1.
 	ports []LinkID
 }
+
+// NumPorts returns the node's port count.
+func (n Node) NumPorts() int { return len(n.ports) }
 
 // Graph is a network topology. Build one with New and the Add* methods.
 // Graph is not safe for concurrent mutation; the simulators treat it as
@@ -115,6 +160,27 @@ func New() *Graph { return &Graph{} }
 // AddSwitch adds a switch with PortsPerSwitch ports and returns its id.
 func (g *Graph) AddSwitch(name string) NodeID {
 	return g.addNode(Switch, name, PortsPerSwitch)
+}
+
+// AddSwitchPorts adds a switch with an explicit port count (radix). The
+// classic AN2 topologies use the fixed 16-port crossbar via AddSwitch;
+// fat-tree fabrics are parametric in the radix.
+func (g *Graph) AddSwitchPorts(name string, ports int) (NodeID, error) {
+	if ports < 1 {
+		return None, fmt.Errorf("topology: switch %q needs ports >= 1, got %d", name, ports)
+	}
+	return g.addNode(Switch, name, ports), nil
+}
+
+// SetFabricRole labels a node with its pod and tier. The generator uses it
+// while building; it is exported so loaders and tests can relabel.
+func (g *Graph) SetFabricRole(n NodeID, pod int, tier Tier) error {
+	if !g.valid(n) {
+		return fmt.Errorf("%w: %d", ErrNoSuchNode, n)
+	}
+	g.nodes[n].Pod = pod
+	g.nodes[n].Tier = tier
+	return nil
 }
 
 // AddHost adds a host with two ports (AN1 hosts have links to two
@@ -137,6 +203,8 @@ func (g *Graph) addNode(kind Kind, name string, nports int) NodeID {
 		Kind:  kind,
 		Name:  name,
 		UID:   uint64(id) + 1,
+		Pod:   NoPod,
+		Tier:  TierNone,
 		ports: ports,
 	})
 	return id
@@ -440,7 +508,17 @@ func (g *Graph) ArticulationSwitches() []NodeID {
 	return cuts
 }
 
-// DOT renders the topology in Graphviz DOT format for inspection.
+// podPalette colors pods in DOT output; pod p gets podPalette[p % len].
+// Spines (NoPod, TierSpine) render in grey.
+var podPalette = []string{
+	"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+	"#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+	"#e31a1c", "#ff7f00", "#6a3d9a", "#b15928",
+}
+
+// DOT renders the topology in Graphviz DOT format for inspection. Nodes
+// labeled with a fabric pod are filled with a per-pod color so fat-tree
+// pods can be eyeballed; spines render grey.
 func (g *Graph) DOT() string {
 	var b strings.Builder
 	b.WriteString("graph an2 {\n")
@@ -449,7 +527,14 @@ func (g *Graph) DOT() string {
 		if n.Kind == Host {
 			shape = "ellipse"
 		}
-		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n.ID, n.Name, shape)
+		extra := ""
+		switch {
+		case n.Pod >= 0:
+			extra = fmt.Sprintf(" style=filled fillcolor=%q", podPalette[n.Pod%len(podPalette)])
+		case n.Tier == TierSpine:
+			extra = " style=filled fillcolor=\"#cccccc\""
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s%s];\n", n.ID, n.Name, shape, extra)
 	}
 	for _, l := range g.links {
 		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%d\"];\n", l.A, l.B, l.Latency)
@@ -467,6 +552,11 @@ type jsonGraph struct {
 type jsonNode struct {
 	Kind string `json:"kind"`
 	Name string `json:"name"`
+	// Fabric labeling; omitted for plain topologies so older files and
+	// older readers stay compatible.
+	Pod   *int   `json:"pod,omitempty"`
+	Tier  string `json:"tier,omitempty"`
+	Ports int    `json:"ports,omitempty"`
 }
 
 type jsonLink struct {
@@ -479,7 +569,18 @@ type jsonLink struct {
 func (g *Graph) MarshalJSON() ([]byte, error) {
 	jg := jsonGraph{}
 	for _, n := range g.nodes {
-		jg.Nodes = append(jg.Nodes, jsonNode{Kind: n.Kind.String(), Name: n.Name})
+		jn := jsonNode{Kind: n.Kind.String(), Name: n.Name}
+		if n.Pod != NoPod {
+			pod := n.Pod
+			jn.Pod = &pod
+		}
+		if n.Tier != TierNone {
+			jn.Tier = n.Tier.String()
+		}
+		if n.Kind == Switch && len(n.ports) != PortsPerSwitch {
+			jn.Ports = len(n.ports)
+		}
+		jg.Nodes = append(jg.Nodes, jn)
 	}
 	for _, l := range g.links {
 		jg.Links = append(jg.Links, jsonLink{A: int(l.A), B: int(l.B), Latency: l.Latency})
@@ -495,13 +596,35 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	}
 	*g = Graph{}
 	for _, n := range jg.Nodes {
+		var id NodeID
 		switch n.Kind {
 		case "switch":
-			g.AddSwitch(n.Name)
+			if n.Ports > 0 {
+				var err error
+				if id, err = g.AddSwitchPorts(n.Name, n.Ports); err != nil {
+					return err
+				}
+			} else {
+				id = g.AddSwitch(n.Name)
+			}
 		case "host":
-			g.AddHost(n.Name)
+			id = g.AddHost(n.Name)
 		default:
 			return fmt.Errorf("topology: unknown node kind %q", n.Kind)
+		}
+		if n.Pod != nil {
+			g.nodes[id].Pod = *n.Pod
+		}
+		switch n.Tier {
+		case "":
+		case "edge":
+			g.nodes[id].Tier = TierEdge
+		case "agg":
+			g.nodes[id].Tier = TierAgg
+		case "spine":
+			g.nodes[id].Tier = TierSpine
+		default:
+			return fmt.Errorf("topology: unknown tier %q", n.Tier)
 		}
 	}
 	for _, l := range jg.Links {
