@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"reflect"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -93,5 +95,64 @@ func TestBenchTrajectoryNoE2Regression(t *testing.T) {
 	}
 	if _, ok := fab["E30"]; !ok {
 		t.Error("experiment E30 missing from BENCH_6.json")
+	}
+
+	// BENCH_7 (the event-driven stepping PR): E2 still on trajectory, and
+	// — the engine-equivalence proof — E30's tables byte-identical to
+	// BENCH_6's even though the experiment now runs on the wake-set engine
+	// (the BENCH_6 tables were produced by flat stepping). E31 must be
+	// present with a ≥5× measured speedup on the 720-switch radix-24
+	// fat-tree at <1% activity.
+	ev := loadSnapshot(t, "BENCH_7.json")
+	now7, ok := ev["E2"]
+	if !ok {
+		t.Fatal("BENCH_7.json has no E2 record")
+	}
+	if !reflect.DeepEqual(prev.Tables, now7.Tables) {
+		t.Errorf("E2 tables changed in BENCH_7.json:\nold: %+v\nnew: %+v", prev.Tables, now7.Tables)
+	}
+	if limit := prev.WallMillis + prev.WallMillis/20; now7.WallMillis > limit {
+		t.Errorf("E2 wall time regressed in BENCH_7: %d ms -> %d ms (limit %d)", prev.WallMillis, now7.WallMillis, limit)
+	}
+	for id := range fab {
+		if _, ok := ev[id]; !ok {
+			t.Errorf("experiment %s vanished from BENCH_7.json", id)
+		}
+	}
+	e30old, e30new := fab["E30"], ev["E30"]
+	if !reflect.DeepEqual(e30old.Tables, e30new.Tables) {
+		t.Errorf("E30 tables changed between BENCH_6 (flat stepping) and BENCH_7 (wake-set engine) — the engines are supposed to be byte-identical:\nold: %+v\nnew: %+v",
+			e30old.Tables, e30new.Tables)
+	}
+	e31, ok := ev["E31"]
+	if !ok {
+		t.Fatal("experiment E31 missing from BENCH_7.json")
+	}
+	if len(e31.Tables) == 0 {
+		t.Fatal("E31 has no tables in BENCH_7.json")
+	}
+	best, found := 0.0, false
+	for _, row := range e31.Tables[0].Rows {
+		// topology | switches | active | workers | flat | wake | speedup | identical
+		if len(row) < 8 || !strings.Contains(row[0], "r24") {
+			continue
+		}
+		found = true
+		if row[7] != "yes" {
+			t.Errorf("E31 radix-24 row not byte-identical: %v", row)
+		}
+		sp, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Errorf("E31 radix-24 speedup column unparseable: %v", row)
+			continue
+		}
+		if sp > best {
+			best = sp
+		}
+	}
+	if !found {
+		t.Error("E31 snapshot has no radix-24 fat-tree rows")
+	} else if best < 5.0 {
+		t.Errorf("E31 radix-24 wake-set speedup %.2fx below the promised 5x", best)
 	}
 }

@@ -1,8 +1,9 @@
 // Command an2bench regenerates every experiment in the AN2 reproduction
-// (the registry in internal/exp, currently E1–E30; `-list` enumerates it):
+// (the registry in internal/exp, currently E1–E31; `-list` enumerates it):
 // the paper's figures, worked examples, and quantitative claims, printed
 // as tables. E30 exercises the datacenter-fabric layer — fat-trees from
-// topology.FatTree recovered hierarchically via fabric.Partition.
+// topology.FatTree recovered hierarchically via fabric.Partition; E31
+// measures the wake-set slot engine and flow-level fast-forward.
 //
 // Usage:
 //
@@ -15,9 +16,12 @@
 //	an2bench -run E2 -cpuprofile cpu.pprof -memprofile mem.pprof -trace run.trace
 //
 // With -json the output is one JSON array of objects, each carrying the
-// experiment id, title, claim, wall time in milliseconds, and its tables
-// as header/row string matrices — the format future sessions use to track
-// a benchmark trajectory across commits.
+// experiment id, title, claim, wall time in milliseconds, its tables as
+// header/row string matrices, and — for experiments that report their
+// simulated-slot count via exp.ReportSlots — the total slots simulated
+// ("slots") and the achieved stepping rate ("slots_per_sec"). This is the
+// format future sessions use to track a benchmark trajectory across
+// commits.
 package main
 
 import (
@@ -49,14 +53,18 @@ type jsonTable struct {
 	Rows    [][]string `json:"rows"`
 }
 
-// jsonResult is one experiment's -json record.
+// jsonResult is one experiment's -json record. Slots/SlotsPerSec are only
+// present for experiments that declare their simulated-slot count via
+// exp.ReportSlots.
 type jsonResult struct {
-	ID         string      `json:"id"`
-	Title      string      `json:"title"`
-	Claim      string      `json:"claim"`
-	Seed       int64       `json:"seed"`
-	WallMillis int64       `json:"wall_ms"`
-	Tables     []jsonTable `json:"tables"`
+	ID          string      `json:"id"`
+	Title       string      `json:"title"`
+	Claim       string      `json:"claim"`
+	Seed        int64       `json:"seed"`
+	WallMillis  int64       `json:"wall_ms"`
+	Slots       int64       `json:"slots,omitempty"`
+	SlotsPerSec float64     `json:"slots_per_sec,omitempty"`
+	Tables      []jsonTable `json:"tables"`
 }
 
 func run(w io.Writer, args []string) error {
@@ -137,16 +145,23 @@ func run(w io.Writer, args []string) error {
 			fmt.Fprintf(w, "### %s — %s\n", e.ID, e.Title)
 			fmt.Fprintf(w, "    paper: %s\n\n", e.Claim)
 		}
+		exp.TakeSlots() // discard strays from earlier experiments
 		start := time.Now()
 		tables, err := e.Run(*seed)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		elapsed := time.Since(start)
+		slots := exp.TakeSlots()
+		var rate float64
+		if slots > 0 && elapsed > 0 {
+			rate = float64(slots) / elapsed.Seconds()
+		}
 		if *jsonFlag {
 			r := jsonResult{
 				ID: e.ID, Title: e.Title, Claim: e.Claim,
 				Seed: *seed, WallMillis: elapsed.Milliseconds(),
+				Slots: slots, SlotsPerSec: rate,
 			}
 			for _, t := range tables {
 				r.Tables = append(r.Tables, jsonTable{
@@ -158,7 +173,12 @@ func run(w io.Writer, args []string) error {
 			for _, t := range tables {
 				fmt.Fprintln(w, t.String())
 			}
-			fmt.Fprintf(w, "(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+			if slots > 0 {
+				fmt.Fprintf(w, "(%s in %v — %d slots, %.0f slots/sec)\n\n",
+					e.ID, elapsed.Round(time.Millisecond), slots, rate)
+			} else {
+				fmt.Fprintf(w, "(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+			}
 		}
 		ran++
 	}

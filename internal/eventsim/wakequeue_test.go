@@ -1,0 +1,177 @@
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEveryStopReentrancy: calling the stop function from inside the
+// ticking callback itself must take effect immediately — the callback
+// neither reschedules nor fires again, even when later events keep the
+// engine running.
+func TestEveryStopReentrancy(t *testing.T) {
+	e := New(1)
+	fired := 0
+	var stop func()
+	stop = e.Every(10, func() {
+		fired++
+		if fired == 3 {
+			stop() // re-entrant: stop from within the tick being stopped
+		}
+	})
+	e.After(1000, func() {}) // keep time advancing past the stop
+	e.Drain(1 << 20)
+	if fired != 3 {
+		t.Fatalf("ticker fired %d times after re-entrant stop at 3", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending; the stopped ticker left one queued live", e.Pending())
+	}
+}
+
+// TestEveryStopTwice: stopping an already-stopped ticker is a no-op.
+func TestEveryStopTwice(t *testing.T) {
+	e := New(1)
+	fired := 0
+	stop := e.Every(5, func() { fired++ })
+	e.Run(12)
+	stop()
+	stop()
+	e.Run(100)
+	if fired != 2 {
+		t.Fatalf("fired %d times, want exactly the 2 pre-stop ticks", fired)
+	}
+}
+
+// TestCancelAlreadyFired: canceling an event after it has fired must be a
+// no-op — it neither un-fires it, panics, nor perturbs later events.
+func TestCancelAlreadyFired(t *testing.T) {
+	e := New(1)
+	var order []int
+	ev, err := e.Schedule(5, func() { order = append(order, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.After(10, func() { order = append(order, 2) })
+	if !e.Step() {
+		t.Fatal("no event to fire")
+	}
+	ev.Cancel() // already fired
+	ev.Cancel() // and again
+	e.Drain(16)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+	if e.Fired() != 2 {
+		t.Fatalf("fired = %d, want 2", e.Fired())
+	}
+}
+
+// TestSameTimeOrderingUnderHeapChurn stresses the determinism contract's
+// tie rule: many events scheduled for the same instant, interleaved with
+// earlier and later ones so the heap reorders internally, must still fire
+// in scheduling order.
+func TestSameTimeOrderingUnderHeapChurn(t *testing.T) {
+	e := New(1)
+	var order []int
+	// Interleave ties at t=50 with noise at other times, so heap sifts
+	// move the tied entries around.
+	for i := 0; i < 64; i++ {
+		i := i
+		if _, err := e.Schedule(50, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+		e.After(Time(100+i), func() {})
+		if _, err := e.Schedule(Time(10+i%7), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain(1 << 20)
+	if len(order) != 64 {
+		t.Fatalf("fired %d tied events, want 64", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tied events fired out of scheduling order: position %d got %d\nfull order: %v", i, got, order)
+		}
+	}
+}
+
+// TestWakeQueueOrdering: entries pop in (time, push-order); ties FIFO.
+func TestWakeQueueOrdering(t *testing.T) {
+	var q WakeQueue
+	q.Push(30, 100)
+	q.Push(10, 200)
+	q.Push(10, 201)
+	q.Push(20, 300)
+	q.Push(10, 202)
+	var got []int
+	for {
+		id, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, id)
+	}
+	want := []int{200, 201, 202, 300, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWakeQueuePopDue: only entries at or before now pop; the rest stay.
+func TestWakeQueuePopDue(t *testing.T) {
+	var q WakeQueue
+	q.Push(5, 1)
+	q.Push(7, 2)
+	q.Push(9, 3)
+	if id, ok := q.PopDue(4); ok {
+		t.Fatalf("popped id %d before due time", id)
+	}
+	if id, ok := q.PopDue(7); !ok || id != 1 {
+		t.Fatalf("PopDue(7) = %d,%v want 1,true", id, ok)
+	}
+	if id, ok := q.PopDue(7); !ok || id != 2 {
+		t.Fatalf("PopDue(7) = %d,%v want 2,true", id, ok)
+	}
+	if _, ok := q.PopDue(7); ok {
+		t.Fatal("entry at t=9 popped at now=7")
+	}
+	if at, ok := q.NextAt(); !ok || at != 9 {
+		t.Fatalf("NextAt = %d,%v want 9,true", at, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+// TestWakeQueueRandomAgainstSort: heap order must match a stable sort by
+// (time, push order) on random input.
+func TestWakeQueueRandomAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q WakeQueue
+	type ent struct {
+		at  Time
+		id  int
+		seq int
+	}
+	var ref []ent
+	for i := 0; i < 500; i++ {
+		at := Time(rng.Intn(40))
+		q.Push(at, i)
+		ref = append(ref, ent{at: at, id: i, seq: i})
+	}
+	sort.SliceStable(ref, func(i, j int) bool { return ref[i].at < ref[j].at })
+	for i, want := range ref {
+		id, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue empty at %d", i)
+		}
+		if id != want.id {
+			t.Fatalf("pop %d = id %d, want %d", i, id, want.id)
+		}
+	}
+}

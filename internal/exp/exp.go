@@ -58,6 +58,30 @@ func Lookup(id string) (*Experiment, bool) {
 	return e, ok
 }
 
+// reportedSlots accumulates the simulated-slot count experiments declare
+// via ReportSlots since the last TakeSlots. Single-goroutine, like the
+// experiment runner itself.
+var reportedSlots int64
+
+// ReportSlots adds n simulated slots to the current experiment's tally.
+// Experiments that drive a simnet.Network (directly or through fabric /
+// workload) call it so an2bench can report slots/sec per experiment; an
+// experiment that never reports simply shows no rate.
+func ReportSlots(n int64) {
+	if n > 0 {
+		reportedSlots += n
+	}
+}
+
+// TakeSlots returns the slots reported since the last call and resets the
+// tally. an2bench calls it once before each experiment (discarding strays)
+// and once after (the experiment's count).
+func TakeSlots() int64 {
+	s := reportedSlots
+	reportedSlots = 0
+	return s
+}
+
 // idOrder sorts E2 before E10.
 func idOrder(id string) int {
 	n := 0

@@ -58,10 +58,14 @@ type e30Row struct {
 // runE30One recovers one leaf crash on a radix-8 fat-tree with the given
 // pod count, hierarchically scoped or global.
 func runE30One(seed int64, pods int, hier bool) (*e30Row, error) {
+	// EventDriven: the wake-set engine is byte-identical to flat stepping
+	// (the E30 tables pinned in BENCH_6 were produced flat and must not
+	// move), and quiescent pods here sleep instead of idle-stepping.
 	n, err := fabric.NewNet(fabric.NetConfig{
 		Fabric:        topology.FatTreeConfig{Radix: 8, Pods: pods, HostsPerEdge: 1},
 		Switch:        switchnode.Config{FrameSlots: 32, Discipline: switchnode.DisciplinePerVC, Seed: seed},
 		IngressWindow: 16,
+		EventDriven:   true,
 	})
 	if err != nil {
 		return nil, err
@@ -131,6 +135,7 @@ func runE30One(seed int64, pods int, hier bool) (*e30Row, error) {
 	if !loop.Quiescent() {
 		return nil, fmt.Errorf("E30: loop not quiescent (pods=%d hier=%v)", pods, hier)
 	}
+	ReportSlots(n.Sim.Slot())
 	st := loop.Stats()
 	row := &e30Row{
 		switches:   len(n.G.Switches()),

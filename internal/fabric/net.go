@@ -15,11 +15,14 @@ type NetConfig struct {
 	// Switch configures every switch. N defaults to the fabric radix so
 	// the crossbar matches the port count.
 	Switch switchnode.Config
-	// IngressWindow / Workers / Tracer / Obs pass through to simnet.
+	// IngressWindow / Workers / Tracer / Obs / EventDriven pass through
+	// to simnet. EventDriven selects the wake-set slot engine: quiescent
+	// switches sleep instead of idle-stepping, byte-identical results.
 	IngressWindow int
 	Workers       int
 	Tracer        simnet.Tracer
 	Obs           *obs.Registry
+	EventDriven   bool
 }
 
 // Net is a fat-tree running on a pod-sharded simulator: the generated
@@ -55,6 +58,7 @@ func NewNet(cfg NetConfig) (*Net, error) {
 		Workers:       cfg.Workers,
 		Tracer:        cfg.Tracer,
 		Obs:           cfg.Obs,
+		EventDriven:   cfg.EventDriven,
 		StepGroups:    part.StepGroups(),
 	})
 	if err != nil {

@@ -1,0 +1,53 @@
+package recovery
+
+import "repro/internal/monitor"
+
+// FastForwardHealthy advances the control loop's bookkeeping over the
+// healthy quiescent span [fromSlot, toSlot) in one batch — the control-
+// plane counterpart of simnet.FastForward. Per-slot ticking over a healthy
+// span does exactly one thing per probe slot: ping every link, get an OK,
+// and let each Working skeptic's suspicion level decay. All of that is
+// collapsible: probe counters advance by the number of probe slots in the
+// span, and one PingOK at the span's last probe time leaves every skeptic
+// in the same state as one per probe slot, because level decay catches up
+// from the absolute time the link last entered Working.
+//
+// The batch is only equivalent when nothing in the span could have changed
+// a belief, so FastForwardHealthy first checks that the loop is Quiescent,
+// holds no dead beliefs, every skeptic is Working, and every monitored
+// link answers a probe right now. If any check fails it returns false
+// having done nothing, and the caller must fall back to per-slot Tick —
+// the span wasn't healthy, and detection timing matters.
+//
+// Callers pair it with Network.FastForward: skip the data plane's steady
+// frames, then catch the control plane up over the same span.
+func (l *Loop) FastForwardHealthy(fromSlot, toSlot int64) bool {
+	if !l.Quiescent() || len(l.believedDeadLinks) > 0 || len(l.believedDeadNodes) > 0 {
+		return false
+	}
+	for _, link := range l.links {
+		if l.skeptics[link.ID].State() != monitor.Working || !l.net.ProbeLink(link.ID) {
+			return false
+		}
+	}
+	interval := l.cfg.ProbeIntervalSlots
+	// Multiples of interval in [fromSlot, toSlot).
+	count := func(x int64) int64 {
+		if x <= 0 {
+			return 0
+		}
+		return (x + interval - 1) / interval
+	}
+	probeSlots := count(toSlot) - count(fromSlot)
+	if probeSlots <= 0 {
+		return true
+	}
+	lastProbeSlot := (toSlot - 1) / interval * interval
+	nowUS := lastProbeSlot * l.cfg.SlotUS
+	for _, link := range l.links {
+		l.stats.Probes += probeSlots
+		l.obsProbes.Add(0, probeSlots)
+		l.skeptics[link.ID].PingOK(nowUS)
+	}
+	return true
+}

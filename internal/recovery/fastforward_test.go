@@ -1,0 +1,96 @@
+package recovery
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// tickSpan runs the loop per-slot over [net.Slot(), net.Slot()+slots),
+// stepping the (idle) network underneath.
+func tickSpan(l *Loop, n *simnet.Network, slots int64) {
+	for i := int64(0); i < slots; i++ {
+		l.Tick()
+		n.Step()
+	}
+}
+
+// TestFastForwardHealthyMatchesTicking: over a healthy quiescent span the
+// batch catch-up must leave the loop indistinguishable from per-slot
+// ticking — same probe counters, same skeptic states and levels, and
+// identical behavior on the next real fault.
+func TestFastForwardHealthyMatchesTicking(t *testing.T) {
+	for _, interval := range []int64{1, 3} {
+		mk := func() (*simnet.Network, *Loop, *obs.Registry, topology.LinkID) {
+			n, a, b, _, _, _, _ := testNet(t)
+			reg := obs.NewRegistry(1)
+			l, err := New(Config{
+				Net:                n,
+				Skeptic:            fastSkeptic,
+				ProbeIntervalSlots: interval,
+				Obs:                reg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			link, _ := n.Topology().LinkBetween(a, b)
+			return n, l, reg, link.ID
+		}
+
+		// A ticks every slot; B ticks 100 slots, batches 400, then both
+		// see the same link failure and tick through its detection.
+		nA, lA, regA, linkA := mk()
+		tickSpan(lA, nA, 500)
+		nB, lB, regB, linkB := mk()
+		tickSpan(lB, nB, 100)
+		if !lB.FastForwardHealthy(100, 500) {
+			t.Fatalf("interval=%d: healthy span refused", interval)
+		}
+		nB.Run(400)
+
+		if sa, sb := lA.Stats(), lB.Stats(); sa.Probes != sb.Probes {
+			t.Fatalf("interval=%d: probes %d vs %d", interval, sa.Probes, sb.Probes)
+		}
+		if ca, cb := regA.Counter("recovery_probes_total").Value(), regB.Counter("recovery_probes_total").Value(); ca != cb {
+			t.Fatalf("interval=%d: obs probes %d vs %d", interval, ca, cb)
+		}
+
+		nA.KillLink(linkA)
+		nB.KillLink(linkB)
+		tickSpan(lA, nA, 100)
+		tickSpan(lB, nB, 100)
+		ia, ib := lA.Incidents(), lB.Incidents()
+		if !reflect.DeepEqual(ia, ib) {
+			t.Fatalf("interval=%d: post-span incident timelines diverged:\nA: %+v\nB: %+v",
+				interval, ia, ib)
+		}
+		if ia[0].Kind != "link-down" {
+			t.Fatalf("interval=%d: expected a link-down incident, got %+v", interval, ia)
+		}
+	}
+}
+
+// TestFastForwardHealthyRefusesUnhealthy: any dead link, suspicious
+// skeptic, or pending repair must make the batch refuse and change
+// nothing — detection timing on an unhealthy span is the whole point of
+// per-slot ticking.
+func TestFastForwardHealthyRefusesUnhealthy(t *testing.T) {
+	n, a, b, _, _, _, _ := testNet(t)
+	l, err := New(Config{Net: n, Skeptic: fastSkeptic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickSpan(l, n, 50)
+	link, _ := n.Topology().LinkBetween(a, b)
+	n.KillLink(link.ID)
+	before := l.Stats()
+	if l.FastForwardHealthy(50, 500) {
+		t.Fatal("span with a dead link accepted")
+	}
+	if after := l.Stats(); before.Probes != after.Probes {
+		t.Fatalf("refused batch still advanced probes: %d -> %d", before.Probes, after.Probes)
+	}
+}

@@ -16,6 +16,13 @@ import (
 // the full event trace, network counters, both hosts' stats, and link
 // utilization. Two runs are "the same" iff all of it matches.
 func runDeterminismScenario(t *testing.T, workers int) (*CollectTracer, NetStats, HostStats, HostStats, map[topology.LinkID]float64) {
+	return runDeterminismScenarioEngine(t, workers, false)
+}
+
+// runDeterminismScenarioEngine is runDeterminismScenario with the stepping
+// engine selectable: eventDriven=true runs the wake-set engine, which must
+// be byte-identical to flat stepping.
+func runDeterminismScenarioEngine(t *testing.T, workers int, eventDriven bool) (*CollectTracer, NetStats, HostStats, HostStats, map[topology.LinkID]float64) {
 	t.Helper()
 	tr := &CollectTracer{}
 	n, h0, h1, path := lineNet(t, 6, 1, Config{
@@ -28,6 +35,7 @@ func runDeterminismScenario(t *testing.T, workers int) (*CollectTracer, NetStats
 		IngressWindow: 8,
 		Tracer:        tr,
 		Workers:       workers,
+		EventDriven:   eventDriven,
 	})
 	rev := make([]topology.NodeID, len(path))
 	for i, id := range path {

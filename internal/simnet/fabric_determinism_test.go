@@ -27,6 +27,12 @@ type fabricScenarioResult struct {
 // path. With grouped=true the network steps pod-by-pod (StepGroups =
 // pods + spines); with false it uses the flat path.
 func runFabricScenario(t *testing.T, workers int, grouped bool) fabricScenarioResult {
+	return runFabricScenarioEngine(t, workers, grouped, false)
+}
+
+// runFabricScenarioEngine is runFabricScenario with the stepping engine
+// selectable.
+func runFabricScenarioEngine(t *testing.T, workers int, grouped, eventDriven bool) fabricScenarioResult {
 	t.Helper()
 	g, info, err := topology.FatTree(topology.FatTreeConfig{Radix: 6, Pods: 3, HostsPerEdge: 1})
 	if err != nil {
@@ -43,6 +49,7 @@ func runFabricScenario(t *testing.T, workers int, grouped bool) fabricScenarioRe
 		IngressWindow: 8,
 		Tracer:        &CollectTracer{},
 		Workers:       workers,
+		EventDriven:   eventDriven,
 	}
 	if grouped {
 		cfg.StepGroups = append(append([][]topology.NodeID{}, info.Pods...), info.Spines)

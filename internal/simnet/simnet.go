@@ -2,8 +2,13 @@
 // AN2 switches (package switchnode) joined by links with propagation
 // latency, with hosts injecting and absorbing cells over virtual circuits.
 //
-// Time is globally slotted; one Step advances every link and switch by one
-// cell slot. Guaranteed circuits are paced at the source to their reserved
+// Time is globally slotted; one Step advances the network by one cell
+// slot, stepping the non-quiescent switches (by default every live switch
+// is visited; with Config.EventDriven quiescent switches sleep on a wake
+// queue, are skipped entirely, and have their slot clocks settled in batch
+// when a cell, reservation, or fault next touches them — see wakeset.go;
+// results are byte-identical either way). Guaranteed circuits are paced at
+// the source to their reserved
 // rate (the paper's rate-matching, §5) and ride the frame schedules
 // installed at each switch; best-effort circuits are windowed at the
 // ingress (credit flow control against the first switch — the full
@@ -27,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cell"
+	"repro/internal/eventsim"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/switchnode"
@@ -80,6 +86,14 @@ type Config struct {
 	// Quiescent switches (no buffered cell, empty frame) are advanced
 	// with the O(1) idle step on every path, grouped or not.
 	StepGroups [][]topology.NodeID
+	// EventDriven replaces the per-slot sweep over all switches with the
+	// wake-set engine: quiescent switches sleep on a wake queue, a slot
+	// only steps switches that are non-quiescent or have an arrival due,
+	// and sleeping switches' slot clocks are advanced lazily in batch on
+	// wake. Results — traces, stats, buffer states — are byte-identical
+	// to the flat engine at any Workers/StepGroups setting; only wall
+	// clock changes. See wakeset.go for the invariants.
+	EventDriven bool
 }
 
 // Circuit is an established virtual circuit.
@@ -101,6 +115,17 @@ type Circuit struct {
 
 	// source pacing state (guaranteed).
 	nextSeq uint64
+
+	// firstIdx is the switchOrder position of Path[1], cached for wake
+	// pushes on injection.
+	firstIdx int
+
+	// cbr marks a guaranteed circuit as a constant-bit-rate synthetic
+	// source (SetCBR): when pending is empty at a pacing slot, the
+	// network synthesizes cbrCell (fresh stamp/seq) instead of going
+	// idle. The steady traffic fast-forward exploits.
+	cbr     bool
+	cbrCell cell.Cell
 }
 
 // hop is the circuit's port usage at one switch.
@@ -115,6 +140,9 @@ type hop struct {
 	linkLatency int64
 	// linkID is the outgoing link.
 	linkID topology.LinkID
+	// nextIdx is next's switchOrder position (-1 when next is a host),
+	// cached for wake pushes on departure.
+	nextIdx int
 }
 
 // HostStats aggregates what a host observed.
@@ -156,6 +184,9 @@ type flight struct {
 	to     topology.NodeID
 	link   topology.LinkID
 	isHost bool
+	// toIdx is to's switchOrder position (-1 for hosts), cached so the
+	// wake engine can wake the receiver without a map lookup.
+	toIdx int
 }
 
 // ingressCredit is a window token returning to the source host.
@@ -183,6 +214,10 @@ type Network struct {
 	credits   []ingressCredit
 	slot      int64
 
+	// deliveredVC counts cells delivered to the destination host per
+	// circuit — the per-VC exactness witness fast-forward tests pin.
+	deliveredVC map[cell.VCI]int64
+
 	deadLinks map[topology.LinkID]bool
 	deadNodes map[topology.NodeID]bool
 
@@ -205,6 +240,25 @@ type Network struct {
 	// groups maps Config.StepGroups to switchOrder indexes (nil when
 	// ungrouped).
 	groups [][]int
+	// orderIdx maps NodeID to switchOrder position; switchByIdx is the
+	// positional mirror of the switches map.
+	orderIdx    map[topology.NodeID]int
+	switchByIdx []*switchnode.Switch
+
+	// Wake-set engine state (Config.EventDriven; see wakeset.go). swState
+	// tracks awake/asleep/dead per switchOrder position; sleepSince is the
+	// first skipped slot of a sleeping switch; active is the sorted list
+	// of awake positions; wantSleep is worker scratch; groupOf/groupAwake
+	// support pod-sharded skipping; wakeQ indexes due arrivals for
+	// sleeping switches.
+	eventDriven bool
+	swState     []uint8
+	sleepSince  []int64
+	active      []int
+	wantSleep   []bool
+	groupOf     []int
+	groupAwake  []int
+	wakeQ       eventsim.WakeQueue
 
 	stats NetStats
 
@@ -267,6 +321,7 @@ func New(cfg Config) (*Network, error) {
 		phase:          make(map[topology.NodeID]int64),
 		hosts:          make(map[topology.NodeID]*host),
 		circuits:       make(map[cell.VCI]*Circuit),
+		deliveredVC:    make(map[cell.VCI]int64),
 		deadLinks:      make(map[topology.LinkID]bool),
 		deadNodes:      make(map[topology.NodeID]bool),
 		lastLinkChange: make(map[topology.LinkID]int64),
@@ -281,11 +336,12 @@ func New(cfg Config) (*Network, error) {
 		n.workers = len(n.switchOrder)
 	}
 	n.stepDeps = make([][]switchnode.Departure, len(n.switchOrder))
+	n.orderIdx = make(map[topology.NodeID]int, len(n.switchOrder))
+	for idx, s := range n.switchOrder {
+		n.orderIdx[s] = idx
+	}
 	if cfg.StepGroups != nil {
-		orderIdx := make(map[topology.NodeID]int, len(n.switchOrder))
-		for idx, s := range n.switchOrder {
-			orderIdx[s] = idx
-		}
+		orderIdx := n.orderIdx
 		seen := make(map[topology.NodeID]bool, len(n.switchOrder))
 		n.groups = make([][]int, 0, len(cfg.StepGroups))
 		for gi, grp := range cfg.StepGroups {
@@ -309,6 +365,7 @@ func New(cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("%w: %d of %d switches grouped", ErrBadGroups, len(seen), len(n.switchOrder))
 		}
 	}
+	n.switchByIdx = make([]*switchnode.Switch, len(n.switchOrder))
 	for idx, s := range n.switchOrder {
 		sc := cfg.Switch
 		sc.Seed = cfg.Switch.Seed + int64(s)*7919
@@ -319,6 +376,7 @@ func New(cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("simnet: switch %d: %w", s, err)
 		}
 		n.switches[s] = sw
+		n.switchByIdx[idx] = sw
 		if cfg.FramePhase != nil {
 			n.phase[s] = cfg.FramePhase[s]
 			// Pre-step the empty switch so its frame position is offset
@@ -360,18 +418,36 @@ func New(cfg Config) (*Network, error) {
 		n.obsCredit = make(map[cell.VCI]*obs.Series)
 		n.obsMatch = reg.Series("net_match_iterations_per_slot", 0)
 	}
+	if cfg.EventDriven {
+		n.initWake()
+	}
 	return n, nil
 }
 
 // Slot returns the current slot.
 func (n *Network) Slot() int64 { return n.slot }
 
-// Stats returns network counters.
-func (n *Network) Stats() NetStats { return n.stats }
+// Stats returns network counters. Under the wake-set engine, idle slots
+// accrued by still-sleeping switches are folded in non-mutatingly, so the
+// totals equal flat stepping's at any observation point.
+func (n *Network) Stats() NetStats {
+	s := n.stats
+	if n.eventDriven {
+		s.IdleStepsSkipped += n.pendingIdle()
+	}
+	return s
+}
 
-// Switch exposes a switch (for reservations inspection in tests).
+// Switch exposes a switch (for reservations inspection in tests, and for
+// control planes installing frames). Under the wake-set engine the switch
+// is woken first, so its slot clock is settled and any mutation the
+// caller performs (SetFrame, Reserve) happens on an awake switch — the
+// asleep ⇒ quiescent invariant survives external access.
 func (n *Network) Switch(id topology.NodeID) (*switchnode.Switch, bool) {
 	sw, ok := n.switches[id]
+	if ok && n.eventDriven && !n.deadNodes[id] {
+		n.wakeNode(id)
+	}
 	return sw, ok
 }
 
@@ -448,6 +524,10 @@ func (n *Network) resolve(path []topology.NodeID) (map[topology.NodeID]hop, erro
 			return nil, fmt.Errorf("%w: link on path", ErrDeadElement)
 		}
 		_, nextIsHost := n.hosts[path[i+1]]
+		nextIdx := -1
+		if !nextIsHost {
+			nextIdx = n.orderIdx[path[i+1]]
+		}
 		hops[s] = hop{
 			inPort:      inLink.PortAt(s),
 			outPort:     outLink.PortAt(s),
@@ -455,6 +535,7 @@ func (n *Network) resolve(path []topology.NodeID) (map[topology.NodeID]hop, erro
 			nextIsHost:  nextIsHost,
 			linkLatency: outLink.Latency,
 			linkID:      outLink.ID,
+			nextIdx:     nextIdx,
 		}
 	}
 	return hops, nil
@@ -471,11 +552,12 @@ func (n *Network) OpenBestEffort(vc cell.VCI, path []topology.NodeID) (*Circuit,
 		return nil, err
 	}
 	c := &Circuit{
-		VC:     vc,
-		Class:  cell.BestEffort,
-		Path:   append([]topology.NodeID(nil), path...),
-		hops:   hops,
-		window: n.cfg.IngressWindow,
+		VC:       vc,
+		Class:    cell.BestEffort,
+		Path:     append([]topology.NodeID(nil), path...),
+		hops:     hops,
+		window:   n.cfg.IngressWindow,
+		firstIdx: n.orderIdx[path[1]],
 	}
 	n.circuits[vc] = c
 	n.insertCircuit(c)
@@ -501,6 +583,9 @@ func (n *Network) OpenGuaranteed(vc cell.VCI, path []topology.NodeID, cellsPerFr
 	}
 	var done []topology.NodeID
 	for s, h := range hops {
+		// Reserving breaks quiescence; sleeping switches must settle
+		// their clocks before the frame changes.
+		n.wakeNode(s)
 		if err := n.switches[s].Reserve(h.inPort, h.outPort, cellsPerFrame); err != nil {
 			for _, u := range done {
 				hu := hops[u]
@@ -516,6 +601,7 @@ func (n *Network) OpenGuaranteed(vc cell.VCI, path []topology.NodeID, cellsPerFr
 		Path:          append([]topology.NodeID(nil), path...),
 		CellsPerFrame: cellsPerFrame,
 		hops:          hops,
+		firstIdx:      n.orderIdx[path[1]],
 	}
 	n.circuits[vc] = c
 	n.insertCircuit(c)
@@ -622,6 +708,18 @@ func (n *Network) KillSwitch(id topology.NodeID) {
 	}
 	n.deadNodes[id] = true
 	n.lastNodeChange[id] = n.slot
+	if n.eventDriven {
+		// Settle a sleeping switch's clock up to the kill (flat stepping
+		// would have idle-stepped it through this slot), then take it out
+		// of the active set: dead clocks freeze.
+		idx := n.orderIdx[id]
+		n.wakeIdx(idx)
+		n.swState[idx] = swDead
+		n.removeActive(idx)
+		if n.groupAwake != nil {
+			n.groupAwake[n.groupOf[idx]]--
+		}
+	}
 	n.trace(TraceKillNode, 0, id, -1, 0)
 	if purged := sw.Purge(); purged > 0 {
 		n.stats.DroppedInFlight += int64(purged)
@@ -652,6 +750,19 @@ func (n *Network) RestoreSwitch(id topology.NodeID) {
 	}
 	delete(n.deadNodes, id)
 	n.lastNodeChange[id] = n.slot
+	if n.eventDriven {
+		// Rejoin awake with no idle credit: the dead span never advanced
+		// the clock in flat stepping either. The switch sleeps itself
+		// after its first quiescent slot if nothing is replayed below.
+		idx := n.orderIdx[id]
+		if n.swState[idx] == swDead {
+			n.swState[idx] = swAwake
+			n.insertActive(idx)
+			if n.groupAwake != nil {
+				n.groupAwake[n.groupOf[idx]]++
+			}
+		}
+	}
 	n.trace(TraceRestoreNode, 0, id, -1, 0)
 	for _, c := range n.circOrder {
 		if c.Class != cell.Guaranteed {
@@ -700,6 +811,7 @@ func (n *Network) Reroute(vc cell.VCI, newPath []topology.NodeID) error {
 		var done []topology.NodeID
 		for _, s := range pathSwitches(newPath) {
 			h := hops[s]
+			n.wakeNode(s) // reserving breaks quiescence
 			if err := n.switches[s].Reserve(h.inPort, h.outPort, c.CellsPerFrame); err != nil {
 				for _, u := range done {
 					hu := hops[u]
@@ -743,6 +855,7 @@ func (n *Network) Reroute(vc cell.VCI, newPath []topology.NodeID) error {
 	n.trace(TraceReroute, vc, -1, -1, 0)
 	c.Path = append([]topology.NodeID(nil), newPath...)
 	c.hops = hops
+	c.firstIdx = n.orderIdx[newPath[1]]
 	// Reset ingress window accounting: outstanding cells were dropped.
 	// (Callers modeling the credit protocol follow up with ResyncIngress.)
 	c.inUse = 0
@@ -752,6 +865,12 @@ func (n *Network) Reroute(vc cell.VCI, newPath []topology.NodeID) error {
 // Step advances the whole network one cell slot.
 func (n *Network) Step() {
 	now := n.slot
+
+	// 0. (Event-driven) Wake switches whose queued arrivals are due, so
+	// delivery below finds them awake with settled slot clocks.
+	if n.eventDriven {
+		n.drainDueWakes(now)
+	}
 
 	// 1. Ingress credits return to source hosts.
 	keptCr := n.credits[:0]
@@ -802,6 +921,12 @@ func (n *Network) Step() {
 			n.stats.DroppedReroute++
 			continue
 		}
+		// Defensive wake: an arrival ends quiescence, so a sleeping
+		// receiver settles its clock before the cell lands. Normally the
+		// wakeQ entry pushed at departure already woke it this slot.
+		if n.eventDriven && f.toIdx >= 0 {
+			n.wakeIdx(f.toIdx)
+		}
 		sw := n.switches[f.to]
 		if c.Class == cell.Guaranteed {
 			sw.EnqueueGuaranteed(h.inPort, f.c, h.outPort)
@@ -811,49 +936,24 @@ func (n *Network) Step() {
 	}
 	n.inflight = keptFl
 
-	// 4. Step every live switch — in parallel when the worker pool allows
-	// it — then route departures onto links in canonical (ascending
-	// NodeID) order. Switches share no state during a slot, so parallel
-	// stepping with ordered application is byte-identical to sequential.
-	n.stepSwitches()
-	for idx, s := range n.switchOrder {
-		deps := n.stepDeps[idx]
-		n.stepDeps[idx] = nil
-		for _, d := range deps {
-			c, ok := n.circuits[d.Cell.VC]
-			if !ok {
-				n.stats.DroppedReroute++
-				continue
-			}
-			h, ok := c.hops[s]
-			if !ok || h.outPort != d.Output {
-				// Stale cell from before a reroute.
-				n.stats.DroppedReroute++
-				continue
-			}
-			if n.deadLinks[h.linkID] {
-				n.stats.DroppedInFlight++
-				continue
-			}
-			n.inflight = append(n.inflight, flight{
-				arrive: now + h.linkLatency,
-				c:      d.Cell,
-				to:     h.next,
-				link:   h.linkID,
-				isHost: h.nextIsHost,
-			})
-			n.linkCells[h.linkID]++
-			if n.cfg.TraceHops {
-				n.trace(TraceHop, d.Cell.VC, s, h.linkID, d.Cell.Stamp.Seq)
-			}
-			// First-switch departure returns an ingress credit.
-			if c.Class == cell.BestEffort && c.window > 0 && s == c.Path[1] {
-				firstLink, _ := n.g.LinkBetween(c.Path[0], c.Path[1])
-				n.credits = append(n.credits, ingressCredit{
-					arrive: now + firstLink.Latency,
-					vc:     c.VC,
-				})
-			}
+	// 4. Step the live, non-sleeping switches — in parallel when the
+	// worker pool allows it — then route departures onto links in
+	// canonical (ascending NodeID) order. The flat engine visits every
+	// live switch (quiescent ones via the O(1) idle step); the wake-set
+	// engine visits only the awake set and retires newly quiescent
+	// switches to the wake queue. Switches share no state during a slot,
+	// so parallel stepping with ordered application is byte-identical to
+	// sequential, and both engines produce identical results.
+	if n.eventDriven {
+		n.stepSwitchesWake()
+		n.sleepSweep(now)
+		for _, idx := range n.active {
+			n.applyDepartures(idx, now)
+		}
+	} else {
+		n.stepSwitches()
+		for idx := range n.switchOrder {
+			n.applyDepartures(idx, now)
 		}
 	}
 
@@ -861,6 +961,59 @@ func (n *Network) Step() {
 	n.stats.Slots++
 	if n.cfg.Obs != nil {
 		n.observeSlot(now)
+	}
+}
+
+// applyDepartures routes the departures the switch at switchOrder
+// position idx produced this slot onto its outgoing links. Callers invoke
+// it in ascending idx order — the canonical application order both engines
+// share. It consumes (and nils) stepDeps[idx].
+func (n *Network) applyDepartures(idx int, now int64) {
+	deps := n.stepDeps[idx]
+	if deps == nil {
+		return
+	}
+	n.stepDeps[idx] = nil
+	s := n.switchOrder[idx]
+	for _, d := range deps {
+		c, ok := n.circuits[d.Cell.VC]
+		if !ok {
+			n.stats.DroppedReroute++
+			continue
+		}
+		h, ok := c.hops[s]
+		if !ok || h.outPort != d.Output {
+			// Stale cell from before a reroute.
+			n.stats.DroppedReroute++
+			continue
+		}
+		if n.deadLinks[h.linkID] {
+			n.stats.DroppedInFlight++
+			continue
+		}
+		n.inflight = append(n.inflight, flight{
+			arrive: now + h.linkLatency,
+			c:      d.Cell,
+			to:     h.next,
+			link:   h.linkID,
+			isHost: h.nextIsHost,
+			toIdx:  h.nextIdx,
+		})
+		if n.eventDriven && h.nextIdx >= 0 && n.swState[h.nextIdx] == swAsleep {
+			n.wakeQ.Push(eventsim.Time(now+h.linkLatency), h.nextIdx)
+		}
+		n.linkCells[h.linkID]++
+		if n.cfg.TraceHops {
+			n.trace(TraceHop, d.Cell.VC, s, h.linkID, d.Cell.Stamp.Seq)
+		}
+		// First-switch departure returns an ingress credit.
+		if c.Class == cell.BestEffort && c.window > 0 && s == c.Path[1] {
+			firstLink, _ := n.g.LinkBetween(c.Path[0], c.Path[1])
+			n.credits = append(n.credits, ingressCredit{
+				arrive: now + firstLink.Latency,
+				vc:     c.VC,
+			})
+		}
 	}
 }
 
@@ -992,9 +1145,11 @@ func (n *Network) stepOne(idx int) int64 {
 	return 0
 }
 
-// inject moves source-pending cells onto the first link.
+// inject moves source-pending cells onto the first link. CBR circuits
+// (SetCBR) synthesize a cell at every pacing slot their pending queue
+// cannot cover, so a constant-bit-rate source never goes idle.
 func (n *Network) inject(c *Circuit, now int64) {
-	if len(c.pending) == 0 {
+	if len(c.pending) == 0 && !c.cbr {
 		return
 	}
 	first := c.Path[1]
@@ -1022,9 +1177,20 @@ func (n *Network) inject(c *Circuit, now int64) {
 	} else if c.window > 0 && c.inUse >= c.window {
 		return
 	}
-	for b := 0; b < budget && len(c.pending) > 0; b++ {
-		cl := c.pending[0]
-		c.pending = c.pending[1:]
+	for b := 0; b < budget; b++ {
+		var cl cell.Cell
+		if len(c.pending) > 0 {
+			cl = c.pending[0]
+			c.pending = c.pending[1:]
+		} else if c.cbr {
+			// Synthesize the circuit's CBR cell: fresh sequence number,
+			// stamped at this injection like any other cell.
+			cl = c.cbrCell
+			cl.Stamp.Seq = c.nextSeq
+			c.nextSeq++
+		} else {
+			break
+		}
 		// Latency is measured from network entry: the paper's bounds
 		// cover the network, not the host's own send queue (guaranteed
 		// sources are rate-matched, so a bursty application queues at the
@@ -1042,7 +1208,11 @@ func (n *Network) inject(c *Circuit, now int64) {
 			to:     first,
 			link:   link.ID,
 			isHost: false,
+			toIdx:  c.firstIdx,
 		})
+		if n.eventDriven && n.swState[c.firstIdx] == swAsleep {
+			n.wakeQ.Push(eventsim.Time(now+link.Latency), c.firstIdx)
+		}
 		n.linkCells[link.ID]++
 		n.obsInjected.Inc(0)
 		n.trace(TraceInject, cl.VC, first, link.ID, cl.Stamp.Seq)
@@ -1057,6 +1227,7 @@ func (n *Network) deliver(to topology.NodeID, cl cell.Cell, now int64) {
 	}
 	h.stats.CellsReceived++
 	n.stats.DeliveredCells++
+	n.deliveredVC[cl.VC]++
 	n.obsDelivered.Inc(0)
 	if cl.Class == cell.Guaranteed {
 		n.obsLatG.Observe(0, now-cl.Stamp.EnqueuedAt)
@@ -1191,6 +1362,10 @@ func (n *Network) Circuits() []*Circuit {
 
 // InFlightCells returns the number of cells currently on links.
 func (n *Network) InFlightCells() int { return len(n.inflight) }
+
+// DeliveredByVC returns the number of cells delivered to the destination
+// host on circuit vc over the run so far (0 for unknown circuits).
+func (n *Network) DeliveredByVC(vc cell.VCI) int64 { return n.deliveredVC[vc] }
 
 // TotalBufferedCells returns every cell buffered inside live switches,
 // both classes. Dead switches hold nothing: their buffers were purged and

@@ -1,0 +1,183 @@
+package simnet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/routing"
+	"repro/internal/switchnode"
+	"repro/internal/topology"
+)
+
+// TestWakeSetMatchesFlat is the core trajectory-diff check for the
+// wake-set engine: over the mixed line workload (bursty best-effort both
+// directions, a paced guaranteed circuit, a mid-run link failure),
+// event-driven stepping must produce byte-identical traces, counters, host
+// stats and link utilization to flat stepping, at every worker count.
+func TestWakeSetMatchesFlat(t *testing.T) {
+	flatTr, flatNet, flatH0, flatH1, flatUtil := runDeterminismScenarioEngine(t, 1, false)
+	for _, workers := range []int{1, 2, 4} {
+		tr, net, h0, h1, util := runDeterminismScenarioEngine(t, workers, true)
+		if !reflect.DeepEqual(flatTr.Events, tr.Events) {
+			t.Fatalf("workers=%d: wake-set trace diverged from flat (%d vs %d events)",
+				workers, len(flatTr.Events), len(tr.Events))
+		}
+		if flatNet != net {
+			t.Fatalf("workers=%d: net stats diverged: flat %+v vs wake %+v", workers, flatNet, net)
+		}
+		if !reflect.DeepEqual(flatH0, h0) || !reflect.DeepEqual(flatH1, h1) {
+			t.Fatalf("workers=%d: host stats diverged", workers)
+		}
+		if !reflect.DeepEqual(flatUtil, util) {
+			t.Fatalf("workers=%d: link utilization diverged", workers)
+		}
+	}
+}
+
+// TestWakeSetMatchesFlatPodSharded extends the trajectory diff to the
+// pod-sharded fat-tree with its mid-run fault: the wake-set engine must be
+// byte-identical whether stepping is grouped or flat, serial or parallel.
+// Pod 2 is idle in the scenario, so its switches sleep — the check that
+// IdleStepsSkipped matches the flat engine's count proves the lazy clock
+// settlement credits exactly the slots per-slot idle stepping would have.
+func TestWakeSetMatchesFlatPodSharded(t *testing.T) {
+	flat := runFabricScenarioEngine(t, 1, true, false)
+	if flat.net.IdleStepsSkipped == 0 {
+		t.Fatal("idle pod was never skipped — scenario lost its idle-path coverage")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		wake := runFabricScenarioEngine(t, workers, true, true)
+		requireFabricEqual(t, flat, wake, "flat vs wake grouped")
+	}
+	wakeFlat := runFabricScenarioEngine(t, 4, false, true)
+	requireFabricEqual(t, flat, wakeFlat, "flat vs wake ungrouped")
+}
+
+// radix16Scenario drives a radix-16 four-pod fat-tree (80 switches: 8
+// edges + 4 aggs per pod plus 32 spines, most of them idle) through
+// traffic, a switch failure with a circuit reroute around it, and a
+// restore with a reroute back — the fault + reconfig torture case for the
+// wake-set engine, where sleeping switches must be woken by reservations,
+// kills, restores and rerouted arrivals alike.
+func radix16Scenario(t *testing.T, workers int, eventDriven bool) fabricScenarioResult {
+	t.Helper()
+	g, info, err := topology.FatTree(topology.FatTreeConfig{Radix: 16, Pods: 4, HostsPerEdge: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &CollectTracer{}
+	n, err := New(Config{
+		Topology: g,
+		Switch: switchnode.Config{
+			N:          16,
+			Discipline: switchnode.DisciplinePerVC,
+			FrameSlots: 16,
+			Seed:       99,
+		},
+		IngressWindow: 8,
+		Tracer:        tr,
+		Workers:       workers,
+		EventDriven:   eventDriven,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := routing.NewRouter(g, info.Root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := func(a, b topology.NodeID) []topology.NodeID {
+		p, err := router.ShortestLegal(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	h := func(pod, i int) topology.NodeID { return info.Hosts[pod][i] }
+	// Cross-pod best-effort pair plus an intra-pod guaranteed circuit;
+	// pods 2 and 3 stay idle throughout.
+	beVC := cell.VCI(1)
+	bePath := path(h(0, 0), h(1, 0))
+	if _, err := n.OpenBestEffort(beVC, bePath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.OpenBestEffort(2, path(h(1, 1), h(0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.OpenGuaranteed(10, path(h(0, 0), h(0, 2)), 4); err != nil {
+		t.Fatal(err)
+	}
+	// The aggregation switch the cross-pod path climbs through; killing it
+	// forces a reroute through a sibling agg (and different spine).
+	victim := bePath[2]
+	rng := rand.New(rand.NewSource(7))
+	for slot := 0; slot < 300; slot++ {
+		for vc := cell.VCI(1); vc <= 2; vc++ {
+			if rng.Intn(3) == 0 {
+				if err := n.Send(vc, [cell.PayloadSize]byte{byte(vc), byte(slot)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if slot%5 == 0 {
+			if err := n.Send(10, [cell.PayloadSize]byte{0x47, byte(slot)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		switch slot {
+		case 100:
+			n.KillSwitch(victim)
+			dead := map[topology.LinkID]bool{}
+			for _, l := range g.LinksOf(victim) {
+				dead[l.ID] = true
+			}
+			r2, err := routing.NewRouter(g, info.Root, dead)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alt, err := r2.ShortestLegal(h(0, 0), h(1, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Reroute(beVC, alt); err != nil {
+				t.Fatal(err)
+			}
+		case 200:
+			n.RestoreSwitch(victim)
+			if err := n.Reroute(beVC, bePath); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Step()
+	}
+	n.Run(200) // drain
+	res := fabricScenarioResult{
+		events: tr.Events,
+		net:    n.Stats(),
+		util:   n.LinkUtilization(),
+	}
+	for _, hid := range []topology.NodeID{h(0, 0), h(0, 1), h(0, 2), h(1, 0), h(1, 1)} {
+		hs, _ := n.HostStats(hid)
+		res.hosts = append(res.hosts, *hs)
+	}
+	return res
+}
+
+// TestWakeSetRadix16FaultReconfig runs the radix-16 fault + reconfig
+// scenario under both engines and every worker count and requires
+// byte-identical trajectories. With 128 switches and traffic touching a
+// handful, the wake engine must skip heavily (asserted via
+// IdleStepsSkipped) while staying exact through the kill, the reroute, the
+// restore and the reroute back.
+func TestWakeSetRadix16FaultReconfig(t *testing.T) {
+	flat := radix16Scenario(t, 1, false)
+	if flat.net.IdleStepsSkipped == 0 {
+		t.Fatal("no idle steps skipped on a mostly-idle radix-16 fabric")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		wake := radix16Scenario(t, workers, true)
+		requireFabricEqual(t, flat, wake, "radix-16 flat vs wake")
+	}
+}

@@ -1,0 +1,266 @@
+package simnet
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/eventsim"
+	"repro/internal/topology"
+)
+
+// Wake-set slot engine (Config.EventDriven).
+//
+// The flat engine visits every switch every slot; with the O(1) idle step
+// that visit is cheap but still O(#switches). The wake-set engine removes
+// the floor: a switch that finishes a slot quiescent (see
+// switchnode.Quiescent) is put to sleep — dropped from the active list and
+// skipped entirely — and its slot clock is settled lazily, in one batch
+// AdvanceIdle call, when something next touches it. The invariant making
+// this byte-identical to flat stepping is
+//
+//	asleep ⇒ quiescent for the whole sleeping span,
+//
+// which holds because a quiescent switch cannot create work for itself:
+// only an external event — a cell arriving off a link, a reservation
+// installed by circuit setup/reroute/restore, a fault transition, or a
+// direct mutation through the Switch accessor — can end quiescence, and
+// every one of those paths wakes the switch first. Cell arrivals are
+// indexed in wakeQ (an eventsim.WakeQueue keyed by arrival slot, pushed
+// only when the target is asleep) and popped at the top of each Step; the
+// enqueue in Step's delivery phase also wakes defensively, so a stale or
+// missing queue entry can cost a spurious wake but never a missed one.
+// Spurious wakes are observation-neutral: the switch re-sleeps at the end
+// of the slot with identical counters.
+//
+// All wake/sleep transitions happen on the Step goroutine; workers only
+// read swState and write wantSleep at distinct indexes, so the engine
+// composes with Config.Workers and Config.StepGroups unchanged (a fully
+// sleeping pod costs one groupAwake check per slot).
+const (
+	swAwake uint8 = iota
+	swAsleep
+	swDead
+)
+
+// initWake switches the network into event-driven stepping. Every live
+// switch starts awake and sleeps itself at the end of its first quiescent
+// slot.
+func (n *Network) initWake() {
+	n.eventDriven = true
+	n.swState = make([]uint8, len(n.switchOrder))
+	n.sleepSince = make([]int64, len(n.switchOrder))
+	n.wantSleep = make([]bool, len(n.switchOrder))
+	n.active = make([]int, 0, len(n.switchOrder))
+	for idx := range n.switchOrder {
+		n.active = append(n.active, idx)
+	}
+	if n.groups != nil {
+		n.groupOf = make([]int, len(n.switchOrder))
+		n.groupAwake = make([]int, len(n.groups))
+		for gi, grp := range n.groups {
+			n.groupAwake[gi] = len(grp)
+			for _, idx := range grp {
+				n.groupOf[idx] = gi
+			}
+		}
+	}
+}
+
+// insertActive adds idx to the sorted active list (no-op if present).
+func (n *Network) insertActive(idx int) {
+	i := sort.SearchInts(n.active, idx)
+	if i < len(n.active) && n.active[i] == idx {
+		return
+	}
+	n.active = append(n.active, 0)
+	copy(n.active[i+1:], n.active[i:])
+	n.active[i] = idx
+}
+
+// removeActive removes idx from the sorted active list (no-op if absent).
+func (n *Network) removeActive(idx int) {
+	i := sort.SearchInts(n.active, idx)
+	if i < len(n.active) && n.active[i] == idx {
+		n.active = append(n.active[:i], n.active[i+1:]...)
+	}
+}
+
+// wakeIdx wakes the switch at switchOrder position idx: the skipped span
+// [sleepSince, n.slot) is settled in one AdvanceIdle batch and credited to
+// IdleStepsSkipped — exactly what per-slot idle stepping would have
+// accumulated — and the switch rejoins the active list for the current
+// slot. Waking an awake or dead switch is a no-op. Must run on the Step
+// goroutine.
+func (n *Network) wakeIdx(idx int) {
+	if n.swState[idx] != swAsleep {
+		return
+	}
+	if k := n.slot - n.sleepSince[idx]; k > 0 {
+		n.switchByIdx[idx].AdvanceIdle(k)
+		n.stats.IdleStepsSkipped += k
+	}
+	n.swState[idx] = swAwake
+	n.insertActive(idx)
+	if n.groupAwake != nil {
+		n.groupAwake[n.groupOf[idx]]++
+	}
+}
+
+// wakeNode is wakeIdx keyed by NodeID; safe to call in flat mode or for
+// non-switch nodes (no-op).
+func (n *Network) wakeNode(id topology.NodeID) {
+	if !n.eventDriven {
+		return
+	}
+	if idx, ok := n.orderIdx[id]; ok {
+		n.wakeIdx(idx)
+	}
+}
+
+// drainDueWakes wakes every switch whose queued arrival slot is due. Run
+// at the top of each Step so arrivals delivered this slot find their
+// switch awake with a settled clock.
+func (n *Network) drainDueWakes(now int64) {
+	for {
+		idx, ok := n.wakeQ.PopDue(eventsim.Time(now))
+		if !ok {
+			return
+		}
+		n.wakeIdx(idx)
+	}
+}
+
+// drainAllWakes empties the wake queue regardless of due time, waking
+// every queued switch. Early wakes are observation-neutral; fast-forward
+// uses this so no pending catch-up spans the skipped region.
+func (n *Network) drainAllWakes() {
+	for {
+		idx, ok := n.wakeQ.Pop()
+		if !ok {
+			return
+		}
+		n.wakeIdx(idx)
+	}
+}
+
+// sleepSweep retires the switches stepSwitchesWake marked quiescent this
+// slot: they leave the active list with sleepSince = now (this slot is the
+// first of the skipped span — flat stepping would have idle-stepped it).
+// Runs after the slot barrier, before departures are applied, so departure
+// routing sees the updated sleep states when deciding to push wakeQ
+// entries.
+func (n *Network) sleepSweep(now int64) {
+	kept := n.active[:0]
+	for _, idx := range n.active {
+		if !n.wantSleep[idx] {
+			kept = append(kept, idx)
+			continue
+		}
+		n.wantSleep[idx] = false
+		n.swState[idx] = swAsleep
+		n.sleepSince[idx] = now
+		if n.groupAwake != nil {
+			n.groupAwake[n.groupOf[idx]]--
+		}
+	}
+	n.active = kept
+}
+
+// stepOneWake is stepOne for the wake engine: a quiescent switch is marked
+// for sleep instead of idle-stepped (its clock catches up at wake), dead
+// switches cannot appear (they are never in the active set).
+func (n *Network) stepOneWake(idx int) {
+	sw := n.switchByIdx[idx]
+	if sw.Quiescent() {
+		n.wantSleep[idx] = true
+		n.stepDeps[idx] = nil
+		return
+	}
+	n.stepDeps[idx] = sw.Step()
+}
+
+// smallActive is the active-set size below which the wake engine steps
+// sequentially even with a worker pool: spawning workers costs more than
+// stepping a handful of switches, and scheduling never affects results.
+const smallActive = 32
+
+// stepSwitchesWake advances the awake switches only. Ungrouped workers
+// claim positions in the sorted active list; grouped workers claim whole
+// groups and skip fully sleeping ones in O(1) via groupAwake.
+func (n *Network) stepSwitchesWake() {
+	if n.groups != nil {
+		if n.workers <= 1 || len(n.active) < smallActive {
+			for gi, grp := range n.groups {
+				if n.groupAwake[gi] == 0 {
+					continue
+				}
+				for _, idx := range grp {
+					if n.swState[idx] == swAwake {
+						n.stepOneWake(idx)
+					}
+				}
+			}
+			return
+		}
+		var next int64 = -1
+		var wg sync.WaitGroup
+		wg.Add(n.workers)
+		for w := 0; w < n.workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					gi := int(atomic.AddInt64(&next, 1))
+					if gi >= len(n.groups) {
+						return
+					}
+					if n.groupAwake[gi] == 0 {
+						continue
+					}
+					for _, idx := range n.groups[gi] {
+						if n.swState[idx] == swAwake {
+							n.stepOneWake(idx)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	if n.workers <= 1 || len(n.active) < smallActive {
+		for _, idx := range n.active {
+			n.stepOneWake(idx)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(n.workers)
+	for w := 0; w < n.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(n.active) {
+					return
+				}
+				n.stepOneWake(n.active[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// pendingIdle returns the idle slots accrued by still-sleeping switches
+// that have not yet been folded into stats.IdleStepsSkipped, so Stats()
+// reports the same total as flat stepping at any observation point.
+func (n *Network) pendingIdle() int64 {
+	var pending int64
+	for idx, st := range n.swState {
+		if st == swAsleep {
+			pending += n.slot - n.sleepSince[idx]
+		}
+	}
+	return pending
+}

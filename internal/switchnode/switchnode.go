@@ -339,6 +339,17 @@ func (s *Switch) Buffered() int { return s.buffered }
 // phase 2 raises no request, so the matcher — and its private randomness —
 // is never invoked. Pod-sharded simulation uses this to skip idle
 // switches while preserving byte-identical results.
+//
+// Quiescence is also the wake-set engine's sleep invariant. A quiescent
+// switch stays quiescent until an external event touches it — a cell or
+// credit arrival (EnqueueBestEffort/EnqueueGuaranteed), a reservation
+// (Reserve/SetFrame), or fault repair — because Step itself never creates
+// work on an empty switch. The simnet wake-set engine therefore puts
+// quiescent switches to sleep, skips them entirely during Step, and calls
+// AdvanceIdle to settle the skipped span when one of those events wakes
+// the switch: any interleaving of sleeps and wakes yields the same state
+// as stepping every slot, as long as every mutating entry point wakes the
+// switch first.
 func (s *Switch) Quiescent() bool { return s.buffered == 0 && s.frame.Cells() == 0 }
 
 // StepIdle advances the slot clock exactly as a full Step of a quiescent
@@ -347,6 +358,80 @@ func (s *Switch) Quiescent() bool { return s.buffered == 0 && s.frame.Cells() ==
 func (s *Switch) StepIdle() {
 	s.slot++
 	s.stats.Slots++
+}
+
+// AdvanceIdle advances the slot clock by k slots in one call — the batch
+// form of StepIdle the wake-set engine uses to settle a sleeping switch's
+// skipped span when it wakes. Callers must ensure the switch was quiescent
+// for the whole span (see Quiescent); k <= 0 is a no-op.
+func (s *Switch) AdvanceIdle(k int64) {
+	if k <= 0 {
+		return
+	}
+	s.slot += k
+	s.stats.Slots += k
+}
+
+// ApplySteady replays m periods of steady-state activity whose per-period
+// counter delta is d (as measured by differencing Stats around a probe
+// period): every Stats field advances by m×d and the slot clock by
+// m×d.Slots, exactly as m further probe periods would have left them.
+// Fast-forward uses this after proving the switch state is periodic; it is
+// meaningless otherwise. Observability counters fed by Step (departed
+// cells) are replayed too; the matcher histograms need no replay because a
+// steady guaranteed-only phase never invokes the matcher.
+func (s *Switch) ApplySteady(d Stats, m int64) {
+	if m <= 0 {
+		return
+	}
+	s.slot += d.Slots * m
+	s.stats.ArrivedBestEffort += d.ArrivedBestEffort * m
+	s.stats.ArrivedGuaranteed += d.ArrivedGuaranteed * m
+	s.stats.DroppedBestEffort += d.DroppedBestEffort * m
+	s.stats.DroppedGuaranteed += d.DroppedGuaranteed * m
+	s.stats.DepartedBestEffort += d.DepartedBestEffort * m
+	s.stats.DepartedGuaranteed += d.DepartedGuaranteed * m
+	s.stats.Slots += d.Slots * m
+	s.stats.PIMIterationsTotal += d.PIMIterationsTotal * m
+	s.stats.GuaranteedSlotsFree += d.GuaranteedSlotsFree * m
+	s.stats.GuaranteedSlotsFired += d.GuaranteedSlotsFired * m
+	if dep := (d.DepartedBestEffort + d.DepartedGuaranteed) * m; dep > 0 {
+		s.obsDeparted.Add(s.obsShard, dep)
+	}
+}
+
+// ShiftStamps advances the timestamps (and, via seqShift, the sequence
+// numbers) of every buffered cell by dt slots — fast-forward relocating a
+// periodic buffer occupancy into the future. See buffer.InputBuffer.
+func (s *Switch) ShiftStamps(dt int64, seqShift func(vc cell.VCI) uint64) {
+	for i := 0; i < s.n; i++ {
+		s.gtd[i].ShiftStamps(dt, seqShift)
+		s.be[i].ShiftStamps(dt, seqShift)
+	}
+}
+
+// ForEachBuffered visits every buffered cell in a deterministic order:
+// inputs ascending, guaranteed pool before best-effort, buffer-defined
+// order within each (see buffer.InputBuffer.ForEach). Fast-forward uses
+// this to fingerprint switch state.
+func (s *Switch) ForEachBuffered(fn func(input int, guaranteed bool, c cell.Cell, output int)) {
+	for i := 0; i < s.n; i++ {
+		in := i
+		s.gtd[i].ForEach(func(c cell.Cell, output int) { fn(in, true, c, output) })
+		s.be[i].ForEach(func(c cell.Cell, output int) { fn(in, false, c, output) })
+	}
+}
+
+// ForEachRR visits every per-output round-robin service pointer in a
+// deterministic order (inputs ascending, guaranteed pool before
+// best-effort, outputs ascending). The pointers persist after queues drain
+// and bias future service order, so state fingerprints must include them.
+func (s *Switch) ForEachRR(fn func(input int, guaranteed bool, output int, vc cell.VCI)) {
+	for i := 0; i < s.n; i++ {
+		in := i
+		s.gtd[i].ForEachRR(func(output int, vc cell.VCI) { fn(in, true, output, vc) })
+		s.be[i].ForEachRR(func(output int, vc cell.VCI) { fn(in, false, output, vc) })
+	}
 }
 
 // Step advances the switch one cell slot and returns the departures.

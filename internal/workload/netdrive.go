@@ -1,0 +1,37 @@
+package workload
+
+import "repro/internal/simnet"
+
+// NetPhase is one phase of a network-level workload schedule: Slots slots
+// during which Drive (if non-nil) is invoked before every Step with the
+// current slot number — the place a scenario sends packets, kills links,
+// or ticks a recovery loop.
+//
+// A phase with a nil Drive has no external stimulus, so the network is
+// free to reach a steady state; RunPhases plays such phases through
+// Network.FastForward, which skips provably periodic frames analytically.
+// Driven phases always step slot by slot: an arbitrary Drive can change
+// anything, so no slot may be skipped under it.
+type NetPhase struct {
+	Slots int64
+	Drive func(slot int64)
+}
+
+// RunPhases plays the schedule phase by phase and returns how many slots
+// were covered analytically (0 when every slot was simulated). The
+// trajectory is byte-identical to stepping every slot of every phase —
+// fast-forward only engages where it can prove exactness, and a phase
+// that never settles simply runs slot by slot inside FastForward.
+func RunPhases(n *simnet.Network, phases []NetPhase) (skipped int64) {
+	for _, p := range phases {
+		if p.Drive == nil {
+			skipped += n.FastForward(p.Slots)
+			continue
+		}
+		for i := int64(0); i < p.Slots; i++ {
+			p.Drive(n.Slot())
+			n.Step()
+		}
+	}
+	return skipped
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/simnet"
+	"repro/internal/switchnode"
+	"repro/internal/topology"
+)
+
+// phaseNet builds a 4-switch line with one guaranteed CBR circuit and one
+// best-effort circuit.
+func phaseNet(t *testing.T) (*simnet.Network, topology.NodeID, topology.NodeID) {
+	t.Helper()
+	g, err := topology.Line(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := g.AddHost("h0")
+	h1 := g.AddHost("h1")
+	if _, err := g.Connect(h0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Connect(h1, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	n, err := simnet.New(simnet.Config{
+		Topology: g,
+		Switch: switchnode.Config{
+			N: 8, Discipline: switchnode.DisciplinePerVC, FrameSlots: 16, Seed: 5,
+		},
+		IngressWindow: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []topology.NodeID{h0, 0, 1, 2, 3, h1}
+	if _, err := n.OpenBestEffort(1, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.OpenGuaranteed(10, path, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetCBR(10, 0x47); err != nil {
+		t.Fatal(err)
+	}
+	return n, h0, h1
+}
+
+// TestRunPhasesMatchesStepping: a driven phase, a long steady phase, and
+// a second driven phase must produce the same observables as stepping
+// every slot by hand — and the steady phase must actually fast-forward.
+func TestRunPhasesMatchesStepping(t *testing.T) {
+	drive := func(n *simnet.Network) func(int64) {
+		return func(slot int64) {
+			if slot%3 == 0 {
+				if err := n.Send(1, [cell.PayloadSize]byte{0xBE, byte(slot)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	a, _, ah1 := phaseNet(t)
+	for i := int64(0); i < 100; i++ {
+		drive(a)(a.Slot())
+		a.Step()
+	}
+	a.Run(2000)
+	for i := int64(0); i < 50; i++ {
+		drive(a)(a.Slot())
+		a.Step()
+	}
+
+	b, _, bh1 := phaseNet(t)
+	skipped := RunPhases(b, []NetPhase{
+		{Slots: 100, Drive: drive(b)},
+		{Slots: 2000},
+		{Slots: 50, Drive: drive(b)},
+	})
+	if skipped == 0 {
+		t.Fatal("steady phase never fast-forwarded")
+	}
+
+	if as, bs := a.Stats(), b.Stats(); as != bs {
+		t.Fatalf("net stats diverged: %+v vs %+v", as, bs)
+	}
+	if a.Slot() != b.Slot() {
+		t.Fatalf("slot diverged: %d vs %d", a.Slot(), b.Slot())
+	}
+	ha, _ := a.HostStats(ah1)
+	hb, _ := b.HostStats(bh1)
+	if !reflect.DeepEqual(*ha, *hb) {
+		t.Fatalf("dest host stats diverged:\nstep: %+v\nphase: %+v", *ha, *hb)
+	}
+	if av, bv := a.DeliveredByVC(10), b.DeliveredByVC(10); av != bv {
+		t.Fatalf("per-VC delivered diverged: %d vs %d", av, bv)
+	}
+}
