@@ -155,4 +155,56 @@ func TestBenchTrajectoryNoE2Regression(t *testing.T) {
 	} else if best < 5.0 {
 		t.Errorf("E31 radix-24 wake-set speedup %.2fx below the promised 5x", best)
 	}
+
+	// BENCH_8 (the service-mode PR): E2 still on trajectory — the
+	// control-plane transport abstraction must leave the default
+	// in-memory path byte-identical — nothing lost since BENCH_7, E30
+	// still byte-identical (the fabric runs were untouched), and E32
+	// present having actually completed its ≥10⁵-flow loopback run.
+	svc := loadSnapshot(t, "BENCH_8.json")
+	now8, ok := svc["E2"]
+	if !ok {
+		t.Fatal("BENCH_8.json has no E2 record")
+	}
+	if !reflect.DeepEqual(prev.Tables, now8.Tables) {
+		t.Errorf("E2 tables changed in BENCH_8.json:\nold: %+v\nnew: %+v", prev.Tables, now8.Tables)
+	}
+	if limit := prev.WallMillis + prev.WallMillis/20; now8.WallMillis > limit {
+		t.Errorf("E2 wall time regressed in BENCH_8: %d ms -> %d ms (limit %d)", prev.WallMillis, now8.WallMillis, limit)
+	}
+	for id := range ev {
+		if _, ok := svc[id]; !ok {
+			t.Errorf("experiment %s vanished from BENCH_8.json", id)
+		}
+	}
+	e30svc := svc["E30"]
+	if !reflect.DeepEqual(e30new.Tables, e30svc.Tables) {
+		t.Errorf("E30 tables changed between BENCH_7 and BENCH_8 — the transport refactor must not perturb the fabric runs:\nold: %+v\nnew: %+v",
+			e30new.Tables, e30svc.Tables)
+	}
+	e32, ok := svc["E32"]
+	if !ok {
+		t.Fatal("experiment E32 missing from BENCH_8.json")
+	}
+	if len(e32.Tables) == 0 {
+		t.Fatal("E32 has no tables in BENCH_8.json")
+	}
+	flowsOK := false
+	for _, row := range e32.Tables[0].Rows {
+		if len(row) < 2 || row[0] != "flows completed" {
+			continue
+		}
+		n, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			t.Errorf("E32 flows-completed row unparseable: %v", row)
+			continue
+		}
+		if n < 100_000 {
+			t.Errorf("E32 completed %d flows, below the promised 1e5", n)
+		}
+		flowsOK = true
+	}
+	if !flowsOK {
+		t.Error("E32 snapshot has no flows-completed row")
+	}
 }

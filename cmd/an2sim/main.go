@@ -63,9 +63,19 @@ func run(args []string) error {
 		httpAddr   = fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (implies -obs)")
 		hold       = fs.Bool("hold", false, "with -http, keep serving after the run ends (stop with Ctrl-C)")
 		metricsOut = fs.String("metrics-out", "", "write the final Prometheus exposition to this file (implies -obs)")
+		serveAddr  = fs.String("serve", "", "service mode: run a multi-tenant VC server on this UDP address (e.g. 127.0.0.1:4720) instead of a scripted run")
+		serveFor   = fs.Duration("serve-duration", 0, "with -serve, stop after this long (default: until Ctrl-C)")
+		maxVCs     = fs.Int("max-vcs", 32, "with -serve, per-tenant open-VC quota")
+		maxGtd     = fs.Int("max-guaranteed", 16, "with -serve, per-tenant guaranteed cells/frame quota")
+		connectTo  = fs.String("connect", "", "tenant mode: run the tenant-churn workload against a VC server at this UDP address")
+		tenants    = fs.Int("tenants", 16, "with -connect, concurrent tenant sessions")
+		flows      = fs.Int("flows", 10_000, "with -connect, total flows across all tenants")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *connectTo != "" {
+		return connectMode(*connectTo, *tenants, *flows, *seed)
 	}
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -124,6 +134,24 @@ func run(args []string) error {
 	fmt.Printf("booted: %d switches, %d hosts, %d links; bandwidth central at %v; reconfig %d µs\n",
 		len(g.Switches()), len(g.Hosts()), g.NumLinks(),
 		lan.CentralAt(), lan.LastReconfig().MaxCompletionUS)
+
+	if *serveAddr != "" {
+		if err := serveMode(lan, reg, *serveAddr, *serveFor, *maxVCs, *maxGtd); err != nil {
+			return err
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				return err
+			}
+			if err := reg.WritePrometheus(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}
 
 	hostIDs := g.Hosts()
 	if len(hostIDs) < 2 {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctrlnet"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/svc"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Service mode: instead of driving a scripted traffic mix and exiting,
+// an2sim becomes a long-lived VC service. Tenant processes (an2sim
+// -connect, or anything speaking the proto session frames) dial the UDP
+// control socket, request circuits, and are admitted or refused against
+// the Slepian–Duguid schedule; /metrics (-http) exposes the svc_* series
+// live while the server runs.
+
+// serveMode runs the VC service over the booted LAN until SIGINT (or for
+// -serve-duration, which CI smoke tests use).
+func serveMode(lan *core.LAN, reg *obs.Registry, addr string, dur time.Duration, maxVCs, maxGtd int) error {
+	tr, err := ctrlnet.NewUDP(ctrlnet.UDPConfig{
+		Local: map[topology.NodeID]string{0: addr},
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	srv, err := svc.NewServer(svc.Config{
+		LAN: lan, Transport: tr, Node: 0,
+		MaxVCsPerTenant:        maxVCs,
+		MaxGuaranteedPerTenant: maxGtd,
+		Obs:                    reg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("service: VC server on udp://%s (tenant quotas: %d VCs, %d guaranteed cells/frame)\n",
+		tr.Addr(0), maxVCs, maxGtd)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	var timeout <-chan time.Time
+	if dur > 0 {
+		timeout = time.After(dur)
+	}
+	select {
+	case <-sig:
+		fmt.Println("\nservice: interrupt, draining")
+	case <-timeout:
+	case err := <-done:
+		return err
+	}
+	srv.Stop()
+	<-done
+
+	st := srv.Stats()
+	t := metrics.NewTable("service session summary", "metric", "value")
+	t.AddRow("requests", st.Requests)
+	t.AddRow("admitted best-effort", st.AdmittedBE)
+	t.AddRow("admitted guaranteed", st.AdmittedGtd)
+	t.AddRow("refused", st.Refused)
+	for code, n := range st.RefusedBy {
+		t.AddRow("  refused: "+svc.RefusalString(code), n)
+	}
+	t.AddRow("traffic cells", st.TrafficCells)
+	t.AddRow("replayed replies", st.Replays)
+	t.AddRow("data-plane slots", st.Steps)
+	fmt.Println(t.String())
+	return nil
+}
+
+// connectMode is the example tenant client: run the tenant-churn workload
+// against a serving an2sim and report what the service delivered.
+func connectMode(addr string, tenants, flows int, seed int64) error {
+	fmt.Printf("connecting %d tenants to udp://%s for %d flows\n", tenants, addr, flows)
+	rep, err := workload.RunTenants(workload.TenantsConfig{
+		ServerAddr: addr,
+		Tenants:    tenants,
+		Flows:      flows,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("tenant workload report", "metric", "value")
+	t.AddRow("flows", rep.Flows)
+	t.AddRow("VC setups/sec", fmt.Sprintf("%.0f", rep.SetupPerSec))
+	t.AddRow("admitted best-effort", rep.AdmittedBE)
+	t.AddRow("admitted guaranteed", rep.AdmittedGtd)
+	t.AddRow("refused", rep.Refused)
+	t.AddRow("admission latency µs (mean/p50/p99)",
+		fmt.Sprintf("%.0f/%d/%d", rep.Setup.Mean, rep.Setup.P50, rep.Setup.P99))
+	t.AddRow("light-tenant fairness (Jain ×1000)", rep.FairnessX1000)
+	t.AddRow("aggressor gtd admit rate", fmt.Sprintf("%.3f", rep.AggressorGtdAdmitRate))
+	t.AddRow("light gtd admit rate", fmt.Sprintf("%.3f", rep.LightGtdAdmitRate))
+	fmt.Println(t.String())
+	return nil
+}

@@ -227,6 +227,13 @@ func (l *LAN) Reconfigure(triggers []reconfig.Trigger) (*reconfig.Result, error)
 	return res, nil
 }
 
+// Topology returns the network graph the LAN was built over (shared, not
+// a copy — callers must not mutate it).
+func (l *LAN) Topology() *topology.Graph { return l.g }
+
+// FrameSlots returns the guaranteed-traffic frame size after defaulting.
+func (l *LAN) FrameSlots() int { return l.cfg.FrameSlots }
+
 // CentralAt returns the switch hosting bandwidth central.
 func (l *LAN) CentralAt() topology.NodeID { return l.centralAt }
 

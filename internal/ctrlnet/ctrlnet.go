@@ -29,6 +29,18 @@
 //   - Partitions: windows in which a specific pair of nodes cannot
 //     exchange messages in either direction.
 //
+// Fault decisions are made in a fixed precedence order per message:
+// partition, then burst, then drop, then corrupt, then delay, then
+// reorder, then duplicate. The first four short-circuit: a partitioned,
+// burst-dropped, or dropped message rolls no further faults, and a
+// corrupted message is delivered mutilated but is never additionally
+// delayed, duplicated, or held for reordering — one link-level mishap per
+// message, which keeps each fault's observed rate equal to its configured
+// probability. Whatever the decision, a message HELD from an earlier
+// reorder on the same directed link is released by the next Transmit on
+// that link: the "released behind the next message" contract holds even
+// when that next message is itself destroyed (see TestHeldReleasedOnEveryOutcome).
+//
 // The injector never decodes messages; it manipulates opaque wire bytes.
 // Whether a mutilated message is detected is the codec's job, and the
 // reject counter lives with the receiver.
@@ -215,17 +227,20 @@ func (n *Net) Transmit(from, to topology.NodeID, wire []byte, arriveUS int64) []
 	if n.partitioned(from, to, arriveUS) {
 		n.stats.PartitionDropped++
 		n.obsLost.Inc(0)
-		return nil
+		release(arriveUS)
+		return out
 	}
 	if n.inBurst(arriveUS) {
 		n.stats.BurstDropped++
 		n.obsLost.Inc(0)
-		return nil
+		release(arriveUS)
+		return out
 	}
 	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
 		n.stats.Dropped++
 		n.obsLost.Inc(0)
-		return nil
+		release(arriveUS)
+		return out
 	}
 	if n.cfg.CorruptProb > 0 && n.rng.Float64() < n.cfg.CorruptProb {
 		n.stats.Corrupted++

@@ -38,12 +38,25 @@ const Version = 1
 // Kind identifies a control message type.
 type Kind uint8
 
-// Message kinds. Values are wire-stable.
+// Message kinds. Values are wire-stable. Kinds 1-4 are the
+// reconfiguration protocol; kinds 5-10 are the VC service's
+// tenant-session protocol (package svc), which reuses this frame — same
+// header, same trailing CRC — with the fields repurposed per kind:
+// Epoch carries the tenant id, Initiator the request nonce, Depth the
+// requested rate / granted VCI / cell count / refusal code, Accept the
+// grant flag, and Links[0] the (src, dst) host pair. See package svc for
+// the per-kind field contracts.
 const (
 	KindInvite Kind = iota + 1
 	KindAck
 	KindReport
 	KindDistribute
+	KindHello
+	KindVCRequest
+	KindVCReply
+	KindVCClose
+	KindTraffic
+	KindBye
 	kindMax
 )
 
@@ -58,6 +71,18 @@ func (k Kind) String() string {
 		return "report"
 	case KindDistribute:
 		return "distribute"
+	case KindHello:
+		return "hello"
+	case KindVCRequest:
+		return "vc-request"
+	case KindVCReply:
+		return "vc-reply"
+	case KindVCClose:
+		return "vc-close"
+	case KindTraffic:
+		return "traffic"
+	case KindBye:
+		return "bye"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

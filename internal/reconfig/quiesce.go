@@ -1,0 +1,87 @@
+package reconfig
+
+import (
+	"sync"
+	"time"
+)
+
+// quiesce is the in-flight message gauge the goroutine runner waits on.
+// It replaces a wall-clock poll loop (time.Now deadline + 100 µs sleeps)
+// that burned a core while waiting and, worse, could return a spurious
+// ErrTimeout on a loaded machine: the total-run deadline made timeout a
+// function of scheduler latency rather than protocol progress.
+//
+// The gauge is condition-signaled — the waiter parks and is woken exactly
+// when the count hits zero — and its timeout is a STALL timeout: the
+// clock only runs while no message is being sent or handled, and any
+// progress resets it. That makes WallTimeout a true liveness backstop
+// ("the protocol stopped moving for this long"), not a bound on total run
+// time, so a slow-but-progressing run on an oversubscribed CI machine can
+// no longer time out spuriously. A run that quiesced is reported as
+// quiesced no matter how small the timeout: zero in-flight wins over an
+// expired deadline.
+type quiesce struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int64
+	// gen counts every state change; the waiter compares generations
+	// across its stall window to distinguish "timer fired after real
+	// inactivity" from "timer fired but work kept flowing".
+	gen uint64
+	// waiting marks an active waiter so Add only broadcasts when someone
+	// could care (the n==0 crossing); gen bumps stay signal-free.
+	waiting bool
+}
+
+func newQuiesce() *quiesce {
+	q := &quiesce{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Add adjusts the in-flight count: +1 before a send, -1 after the
+// receiver fully handled the message (including any sends it performed),
+// so 0 means globally quiescent.
+func (q *quiesce) Add(d int64) {
+	q.mu.Lock()
+	q.n += d
+	q.gen++
+	if q.n == 0 && q.waiting {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// Wait blocks until the count hits zero (true) or the count has not
+// changed at all for stall (false). A count already at zero returns true
+// immediately, whatever the timeout.
+func (q *quiesce) Wait(stall time.Duration) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.waiting = true
+	defer func() { q.waiting = false }()
+	for q.n != 0 {
+		startGen := q.gen
+		fired := false
+		t := time.AfterFunc(stall, func() {
+			q.mu.Lock()
+			fired = true
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		})
+		for q.n != 0 && !fired {
+			q.cond.Wait()
+		}
+		t.Stop()
+		if q.n == 0 {
+			break
+		}
+		// The stall timer fired. If nothing moved the gauge during the
+		// whole window, the protocol is stuck; if anything did, re-arm
+		// and keep waiting.
+		if q.gen == startGen {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package reconfig
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// The ISSUE-8 regression: quiescence must be reported the moment the
+// in-flight count hits zero, not after a wall-clock poll loop happens to
+// notice. With the gauge already at zero, even a near-zero WallTimeout
+// must succeed.
+func TestQuiesceZeroReturnsImmediately(t *testing.T) {
+	q := newQuiesce()
+	start := time.Now()
+	if !q.Wait(1 * time.Nanosecond) {
+		t.Fatal("Wait returned false with count at zero")
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("Wait took %v with count already zero", elapsed)
+	}
+}
+
+func TestQuiesceWakesOnLastDecrement(t *testing.T) {
+	q := newQuiesce()
+	q.Add(3)
+	done := make(chan bool, 1)
+	go func() { done <- q.Wait(10 * time.Second) }()
+	// Drain the gauge from another goroutine; the waiter must wake on the
+	// final decrement, long before the 10 s stall window.
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond)
+		q.Add(-1)
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("Wait returned false after count reached zero")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake after count reached zero")
+	}
+}
+
+func TestQuiesceStallTimesOut(t *testing.T) {
+	q := newQuiesce()
+	q.Add(1)
+	start := time.Now()
+	if q.Wait(5 * time.Millisecond) {
+		t.Fatal("Wait returned true with count stuck above zero")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stall timeout took %v, want ~5ms", elapsed)
+	}
+}
+
+// The stall clock must reset on progress: a run that keeps moving the
+// gauge can take arbitrarily longer than one stall window without timing
+// out. Four windows of churn followed by the final decrement must succeed
+// even though total elapsed time far exceeds the stall duration.
+func TestQuiesceProgressResetsStall(t *testing.T) {
+	q := newQuiesce()
+	q.Add(1)
+	const stall = 40 * time.Millisecond
+	done := make(chan bool, 1)
+	go func() { done <- q.Wait(stall) }()
+	for i := 0; i < 8; i++ {
+		time.Sleep(stall / 2)
+		q.Add(1)
+		q.Add(-1)
+	}
+	q.Add(-1)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("Wait timed out despite continuous progress")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait never returned")
+	}
+}
+
+// End-to-end pin: a full reconfiguration completes with WallTimeout far
+// smaller than the old poll loop's granularity would tolerate, because the
+// backstop now measures stall, not total runtime — messages keep moving
+// the gauge, so the protocol never sits still long enough to trip it.
+func TestRunCompletesWithTinyWallTimeout(t *testing.T) {
+	g, err := topology.Torus(4, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Topology: g, WallTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run([]Trigger{{Node: r.LiveSwitches()[0]}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := r.Agreement(res); err != nil {
+		t.Fatalf("agreement: %v", err)
+	}
+}

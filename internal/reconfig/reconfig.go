@@ -274,7 +274,7 @@ type configState struct {
 
 // runState is shared bookkeeping for one Run.
 type runState struct {
-	inflight  atomic.Int64
+	inflight  *quiesce
 	messages  atomic.Int64
 	bytes     atomic.Int64
 	codecErrs atomic.Int64
@@ -442,9 +442,10 @@ func (r *Runner) run(triggers []Trigger, region Region) (*Result, error) {
 		return nil, errors.New("reconfig: no triggers")
 	}
 	run := &runState{
-		procs: make(map[topology.NodeID]*process),
-		views: make(map[topology.NodeID]*View),
-		quit:  make(chan struct{}),
+		inflight: newQuiesce(),
+		procs:    make(map[topology.NodeID]*process),
+		views:    make(map[topology.NodeID]*View),
+		quit:     make(chan struct{}),
 	}
 	var wg sync.WaitGroup
 	for _, s := range r.switches {
@@ -502,20 +503,17 @@ func (r *Runner) run(triggers []Trigger, region Region) (*Result, error) {
 	}
 
 	// Wait for global quiescence: no message in flight and all inboxes
-	// drained. The in-flight counter is incremented before each send and
+	// drained. The in-flight gauge is incremented before each send and
 	// decremented only after the receiver fully handled the message
-	// (including any sends it performed), so 0 means quiescent.
-	deadline := time.Now().Add(r.cfg.WallTimeout)
-	for {
-		if run.inflight.Load() == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			close(run.quit)
-			wg.Wait()
-			return nil, ErrTimeout
-		}
-		time.Sleep(100 * time.Microsecond)
+	// (including any sends it performed), so 0 means quiescent. The wait
+	// is condition-signaled — no polling — and WallTimeout is a stall
+	// backstop: it fires only after that long with no gauge movement at
+	// all, so a loaded machine that keeps making progress cannot time out
+	// spuriously (see quiesce.go).
+	if !run.inflight.Wait(r.cfg.WallTimeout) {
+		close(run.quit)
+		wg.Wait()
+		return nil, ErrTimeout
 	}
 	close(run.quit)
 	wg.Wait()

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/ctrlnet"
 	"repro/internal/topology"
@@ -196,32 +197,70 @@ type unode struct {
 // RunUnreliable executes the protocol over the fault-injected control
 // channel among every live switch.
 func (r *Runner) RunUnreliable(triggers []Trigger, faults ctrlnet.Config, h Hardening) (*UnreliableResult, error) {
-	return r.runUnreliable(triggers, nil, faults, h)
+	chn, err := ctrlnet.New(faults)
+	if err != nil {
+		return nil, err
+	}
+	return r.runUnreliable(triggers, nil, chn, h)
 }
 
 // RunUnreliableScoped is RunUnreliable restricted to a region (the §2
 // "switches near the failing component" optimization under the same fault
 // model). Every trigger must lie inside the region.
 func (r *Runner) RunUnreliableScoped(triggers []Trigger, region Region, faults ctrlnet.Config, h Hardening) (*UnreliableResult, error) {
+	chn, err := ctrlnet.New(faults)
+	if err != nil {
+		return nil, err
+	}
+	return r.runUnreliableScoped(triggers, region, chn, h)
+}
+
+// RunUnreliableOver executes the protocol over a caller-supplied
+// transport — the in-memory fault injector for reproducible simulation,
+// or a socket transport (ctrlnet.UDP) when this process hosts only some
+// of the switches and the rest answer from across real sockets. The
+// runner keeps its virtual clocks (socket envelopes carry the sender's
+// virtual stamps), drains asynchronous arrivals every event step, and
+// treats an empty Flush as quiescence. Channel stats are populated only
+// when the transport keeps them (the in-memory Net); the transport is NOT
+// closed — the caller owns its lifecycle.
+func (r *Runner) RunUnreliableOver(triggers []Trigger, tr ctrlnet.Transport, h Hardening) (*UnreliableResult, error) {
+	return r.runUnreliable(triggers, nil, tr, h)
+}
+
+// RunUnreliableScopedOver is RunUnreliableOver restricted to a region.
+func (r *Runner) RunUnreliableScopedOver(triggers []Trigger, region Region, tr ctrlnet.Transport, h Hardening) (*UnreliableResult, error) {
+	return r.runUnreliableScoped(triggers, region, tr, h)
+}
+
+func (r *Runner) runUnreliableScoped(triggers []Trigger, region Region, tr ctrlnet.Transport, h Hardening) (*UnreliableResult, error) {
 	if len(region) == 0 {
 		return nil, fmt.Errorf("reconfig: empty region")
 	}
-	for _, tr := range triggers {
-		if !region[tr.Node] {
-			return nil, fmt.Errorf("%w: %d outside region", ErrBadTrigger, tr.Node)
+	for _, t := range triggers {
+		if !region[t.Node] {
+			return nil, fmt.Errorf("%w: %d outside region", ErrBadTrigger, t.Node)
 		}
 	}
-	return r.runUnreliable(triggers, region, faults, h)
+	return r.runUnreliable(triggers, region, tr, h)
 }
 
-func (r *Runner) runUnreliable(triggers []Trigger, region Region, faults ctrlnet.Config, h Hardening) (*UnreliableResult, error) {
+func (r *Runner) runUnreliable(triggers []Trigger, region Region, chn ctrlnet.Transport, h Hardening) (*UnreliableResult, error) {
 	if len(triggers) == 0 {
 		return nil, fmt.Errorf("reconfig: no triggers")
 	}
 	h = h.withDefaults()
-	chn, err := ctrlnet.New(faults)
-	if err != nil {
-		return nil, err
+	// A blocking transport means real messages with real latencies: the
+	// virtual clock must not outrun the wall clock, or the runner would
+	// burn its retransmission timers (and the whole MaxVirtualUS budget)
+	// at CPU speed before a single datagram crosses the kernel. Timer
+	// events are therefore paced 1 virtual µs = 1 wall µs, waiting on the
+	// transport meanwhile. The in-memory Net is synchronous (no Waiter)
+	// and keeps the pure event-simulation fast path.
+	waiter, realtime := chn.(ctrlnet.Waiter)
+	var wallStart time.Time
+	if realtime {
+		wallStart = time.Now()
 	}
 
 	nodes := make(map[topology.NodeID]*unode)
@@ -288,7 +327,13 @@ func (r *Runner) runUnreliable(triggers []Trigger, region Region, faults ctrlnet
 				return
 			}
 			ur.Bytes += int64(len(wire))
-			for _, d := range chn.Transmit(id, to, wire, m.vtime) {
+			ds, err := chn.Send(id, to, wire, m.vtime)
+			if err != nil {
+				// A structural send failure (closed socket, unknown peer)
+				// is a loss to the protocol; retransmission owns repair.
+				return
+			}
+			for _, d := range ds {
 				push(&uevent{atUS: d.AtUS, kind: uevDeliver, node: to, wire: d.Wire})
 			}
 		}
@@ -340,9 +385,20 @@ func (r *Runner) runUnreliable(triggers []Trigger, region Region, faults ctrlnet
 
 	processed := 0
 	for {
+		// Asynchronous transports surface arrivals between events; drain
+		// them every step so socket traffic interleaves with local timers.
+		// (The in-memory Net's Poll is always nil — its deliveries came
+		// back from Send.)
+		for _, d := range chn.Poll() {
+			if _, ok := nodes[d.To]; ok {
+				push(&uevent{atUS: d.AtUS, kind: uevDeliver, node: d.To, wire: d.Wire})
+			}
+		}
 		if len(events) == 0 {
-			// Release reordered messages still held by the channel; if
-			// nothing is held, the run has quiesced.
+			// Release whatever the transport still holds — reordered
+			// messages behind the in-memory injector, or datagrams still
+			// crossing the kernel; if nothing surfaces, the run has
+			// quiesced.
 			ds := chn.Flush()
 			if len(ds) == 0 {
 				break
@@ -355,6 +411,21 @@ func (r *Runner) runUnreliable(triggers []Trigger, region Region, faults ctrlnet
 			continue
 		}
 		ev := heap.Pop(&events).(*uevent)
+		if realtime && (ev.kind == uevRetx || ev.kind == uevWatchdog) {
+			if ahead := time.Duration(ev.atUS)*time.Microsecond - time.Since(wallStart); ahead > 0 {
+				if ds := waiter.Wait(ahead); len(ds) > 0 {
+					// Real arrivals supersede the timer: requeue it (its
+					// seq keeps heap order stable) and handle them first.
+					heap.Push(&events, ev)
+					for _, d := range ds {
+						if _, ok := nodes[d.To]; ok {
+							push(&uevent{atUS: d.AtUS, kind: uevDeliver, node: d.To, wire: d.Wire})
+						}
+					}
+					continue
+				}
+			}
+		}
 		processed++
 		if ev.atUS > h.MaxVirtualUS || processed > h.MaxEvents {
 			break
@@ -433,7 +504,9 @@ func (r *Runner) runUnreliable(triggers []Trigger, region Region, faults ctrlnet
 		}
 	}
 
-	ur.Channel = chn.Stats()
+	if st, ok := chn.(ctrlnet.Stater); ok {
+		ur.Channel = st.Stats()
+	}
 	var winner Tag
 	for _, v := range ur.Views {
 		if winner.Less(v.Tag) {

@@ -79,8 +79,16 @@ type Config struct {
 	// launch, so a caller (the chaos harness) may vary rates between
 	// ticks — e.g. a control-loss burst — and stay deterministic.
 	CtrlFaults *ctrlnet.Config
+	// CtrlTransport, when non-nil, carries every reconfiguration round's
+	// control messages instead of a per-round fault-injected channel — the
+	// pluggable path that lets a recovery loop speak across real sockets
+	// (ctrlnet.UDP) to switches hosted by another process. Takes
+	// precedence over CtrlFaults; the loop never closes it (the caller
+	// owns its lifecycle), and per-round seed derivation does not apply —
+	// the transport's own behavior (real or injected) is the fault model.
+	CtrlTransport ctrlnet.Transport
 	// CtrlHardening tunes the retransmission/watchdog layer used when
-	// CtrlFaults is set. Zero value = defaults.
+	// CtrlFaults or CtrlTransport is set. Zero value = defaults.
 	CtrlHardening reconfig.Hardening
 	// Obs, if set, receives the loop's live instruments: probe/detection/
 	// reroute counters and the per-round watchdog-retry time series. Share
@@ -473,20 +481,29 @@ func (l *Loop) runReconfig(triggers []reconfig.Trigger) int64 {
 	region, scoped, spine := l.scopeRegion(runner, triggers)
 	var res *reconfig.Result
 	ctrlRetries := int64(-1) // >= 0 marks a round run over the faulty channel
-	if l.cfg.CtrlFaults != nil {
-		// Unreliable control plane: re-read the shared fault config (the
-		// chaos harness varies rates between ticks) and give the round its
-		// own deterministic seed.
-		faults := *l.cfg.CtrlFaults
-		faults.Seed = roundSeed(faults.Seed, l.stats.ReconfigRounds)
-		if faults.Obs == nil {
-			faults.Obs = l.cfg.Obs // control-plane loss lands in the shared registry
-		}
+	if l.cfg.CtrlTransport != nil || l.cfg.CtrlFaults != nil {
 		var ur *reconfig.UnreliableResult
-		if scoped {
-			ur, err = runner.RunUnreliableScoped(triggers, region, faults, l.cfg.CtrlHardening)
+		if tr := l.cfg.CtrlTransport; tr != nil {
+			// Caller-supplied transport: its behavior IS the fault model.
+			if scoped {
+				ur, err = runner.RunUnreliableScopedOver(triggers, region, tr, l.cfg.CtrlHardening)
+			} else {
+				ur, err = runner.RunUnreliableOver(triggers, tr, l.cfg.CtrlHardening)
+			}
 		} else {
-			ur, err = runner.RunUnreliable(triggers, faults, l.cfg.CtrlHardening)
+			// Unreliable control plane: re-read the shared fault config
+			// (the chaos harness varies rates between ticks) and give the
+			// round its own deterministic seed.
+			faults := *l.cfg.CtrlFaults
+			faults.Seed = roundSeed(faults.Seed, l.stats.ReconfigRounds)
+			if faults.Obs == nil {
+				faults.Obs = l.cfg.Obs // control-plane loss lands in the shared registry
+			}
+			if scoped {
+				ur, err = runner.RunUnreliableScoped(triggers, region, faults, l.cfg.CtrlHardening)
+			} else {
+				ur, err = runner.RunUnreliable(triggers, faults, l.cfg.CtrlHardening)
+			}
 		}
 		if err != nil || ur == nil {
 			return 0

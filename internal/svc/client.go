@@ -1,0 +1,253 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/ctrlnet"
+	"repro/internal/proto"
+	"repro/internal/topology"
+)
+
+// Client is one tenant's session handle. It multiplexes any number of
+// concurrent RPCs over a single transport endpoint: each request carries
+// a fresh nonce, a reader goroutine routes replies to the waiting caller
+// by nonce, and a timed-out request retransmits the SAME nonce — the
+// server's idempotency cache makes the retry safe even when the original
+// was executed and only its reply was lost.
+type Client struct {
+	tr     ctrlnet.Transport
+	waiter ctrlnet.Waiter
+	self   topology.NodeID // this endpoint's transport id
+	server topology.NodeID
+	tenant uint64
+
+	// timeout is one RPC attempt's reply deadline; retries is how many
+	// attempts total before giving up.
+	timeout time.Duration
+	retries int
+
+	mu      sync.Mutex
+	nonce   uint64
+	pending map[uint64]chan *proto.Message
+	closed  bool
+	stopped chan struct{}
+}
+
+// ClientConfig configures a tenant session.
+type ClientConfig struct {
+	// Transport must implement ctrlnet.Waiter (the client blocks on
+	// replies). The client owns a reader goroutine on it but not its
+	// lifecycle: Close stops the reader without closing the transport,
+	// so endpoints can be pooled across sequential sessions.
+	Transport ctrlnet.Transport
+	// Self is this endpoint's id in the transport address space; Server
+	// is the service's id. Tenant is the tenant identity sent as Epoch.
+	Self, Server topology.NodeID
+	Tenant       uint64
+	// Timeout is one attempt's reply deadline (default 250ms); Retries
+	// is total attempts before an RPC fails (default 4).
+	Timeout time.Duration
+	Retries int
+}
+
+// RPC errors.
+var (
+	ErrRPCTimeout = errors.New("svc: rpc timed out after all retries")
+	ErrClientDone = errors.New("svc: client closed")
+)
+
+// Refused reports an admission refusal: the request was answered, and
+// the answer was no.
+type Refused struct {
+	Code int32
+}
+
+func (r *Refused) Error() string { return "svc: refused: " + RefusalString(r.Code) }
+
+// NewClient starts a tenant session (and its reply reader).
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("svc: nil transport")
+	}
+	w, ok := cfg.Transport.(ctrlnet.Waiter)
+	if !ok {
+		return nil, ErrNoWaiter
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 250 * time.Millisecond
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 4
+	}
+	c := &Client{
+		tr:      cfg.Transport,
+		waiter:  w,
+		self:    cfg.Self,
+		server:  cfg.Server,
+		tenant:  cfg.Tenant,
+		timeout: cfg.Timeout,
+		retries: cfg.Retries,
+		pending: make(map[uint64]chan *proto.Message),
+		stopped: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close stops the reader and fails all in-flight RPCs. It does not close
+// the underlying transport.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for nonce, ch := range c.pending {
+		close(ch)
+		delete(c.pending, nonce)
+	}
+	c.mu.Unlock()
+	<-c.stopped
+}
+
+func (c *Client) readLoop() {
+	defer close(c.stopped)
+	for {
+		ds := c.waiter.Wait(50 * time.Millisecond)
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		for _, d := range ds {
+			m, err := proto.Unmarshal(d.Wire)
+			if err != nil || m.Epoch != c.tenant {
+				continue // corrupt, or another tenant sharing the endpoint
+			}
+			if ch, ok := c.pending[m.Initiator]; ok {
+				delete(c.pending, m.Initiator)
+				ch <- m // buffered: never blocks the reader
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// rpc sends the request under a fresh nonce and waits for its reply,
+// retransmitting the same nonce on each timeout.
+func (c *Client) rpc(m *proto.Message) (*proto.Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientDone
+	}
+	c.nonce++
+	nonce := c.nonce
+	ch := make(chan *proto.Message, 1)
+	c.pending[nonce] = ch
+	c.mu.Unlock()
+
+	m.Epoch = c.tenant
+	m.Initiator = nonce
+	m.VTimeUS = time.Now().UnixMicro()
+	wire, err := proto.Marshal(m)
+	if err != nil {
+		c.abandon(nonce)
+		return nil, err
+	}
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if _, err := c.tr.Send(c.self, c.server, wire, 0); err != nil {
+			c.abandon(nonce)
+			return nil, err
+		}
+		select {
+		case rep, ok := <-ch:
+			if !ok {
+				return nil, ErrClientDone
+			}
+			return rep, nil
+		case <-time.After(c.timeout):
+		}
+	}
+	c.abandon(nonce)
+	return nil, fmt.Errorf("%w (nonce %d)", ErrRPCTimeout, nonce)
+}
+
+func (c *Client) abandon(nonce uint64) {
+	c.mu.Lock()
+	delete(c.pending, nonce)
+	c.mu.Unlock()
+}
+
+// Hello announces the session and returns the host roster.
+func (c *Client) Hello() ([]topology.NodeID, error) {
+	rep, err := c.rpc(&proto.Message{Kind: proto.KindHello})
+	if err != nil {
+		return nil, err
+	}
+	hosts := make([]topology.NodeID, 0, len(rep.Links))
+	for _, l := range rep.Links {
+		hosts = append(hosts, topology.NodeID(l.A))
+	}
+	return hosts, nil
+}
+
+// Open requests a circuit: rate > 0 asks for that many guaranteed
+// cells/frame, rate == 0 asks for best-effort. A *Refused error means the
+// server answered no (quota, capacity, bad request); other errors mean
+// the request itself failed.
+func (c *Client) Open(src, dst topology.NodeID, rate int) (cell.VCI, error) {
+	rep, err := c.rpc(&proto.Message{
+		Kind:  proto.KindVCRequest,
+		From:  int32(src),
+		Depth: int32(rate),
+		Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !rep.Accept {
+		return 0, &Refused{Code: rep.Depth}
+	}
+	return cell.VCI(rep.Depth), nil
+}
+
+// CloseVC tears down one of this tenant's circuits.
+func (c *Client) CloseVC(vc cell.VCI) error {
+	rep, err := c.rpc(&proto.Message{Kind: proto.KindVCClose, Depth: int32(vc)})
+	if err != nil {
+		return err
+	}
+	if !rep.Accept {
+		return &Refused{Code: rep.Depth}
+	}
+	return nil
+}
+
+// Traffic queues cells on a circuit, fire-and-forget.
+func (c *Client) Traffic(vc cell.VCI, cells int) error {
+	m := &proto.Message{
+		Kind:    proto.KindTraffic,
+		Epoch:   c.tenant,
+		From:    int32(vc),
+		Depth:   int32(cells),
+		VTimeUS: time.Now().UnixMicro(),
+	}
+	wire, err := proto.Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = c.tr.Send(c.self, c.server, wire, 0)
+	return err
+}
+
+// Bye ends the session; the server closes every circuit the tenant holds.
+func (c *Client) Bye() error {
+	_, err := c.rpc(&proto.Message{Kind: proto.KindBye})
+	return err
+}

@@ -1,0 +1,537 @@
+// Package svc is the multi-tenant virtual-circuit service: the deployment
+// shape the paper's AN2 control plane ultimately serves. Tenant sessions
+// connect over a pluggable control transport (package ctrlnet — loopback
+// UDP in production mode, the in-memory channel in tests), request
+// guaranteed or best-effort circuits, and are admitted or refused against
+// the same Slepian–Duguid frame-schedule capacity that backs
+// bandwidth central (§4): a guaranteed grant here IS a reservation in
+// every on-route switch's frame schedule.
+//
+// The session protocol reuses the proto reconfiguration frame — same
+// header, same trailing CRC — with fields repurposed per kind:
+//
+//	kind        Epoch    Initiator  From      Depth             Accept  Links
+//	hello       tenant   nonce      —         —                 —       (reply) host roster, one host per rec in A
+//	vc-request  tenant   nonce      src host  rate (0 = BE)     —       [0] = (src, dst)
+//	vc-reply    tenant   nonce      —         VCI / refusal     grant   —
+//	vc-close    tenant   nonce      —         VCI               —       —
+//	traffic     tenant   nonce      VCI       cells this burst  —       —
+//	bye         tenant   nonce      —         —                 (reply) —
+//
+// VTimeUS carries the sender's wall-clock µs stamp and is echoed in every
+// reply so either side can measure RTT without synchronized clocks.
+//
+// The server is single-threaded over the transport's blocking Wait: every
+// admission decision, schedule mutation, and data-plane step happens on
+// one goroutine, exactly like bandwidth central's single admission point
+// in the paper — concurrency lives in the tenants, not the allocator.
+// UDP may duplicate or replay a datagram (and a timed-out client
+// retransmits with the same nonce), so every state-changing request is
+// idempotent: the server keeps a bounded per-tenant cache of reply frames
+// keyed by nonce and re-sends the cached reply for a nonce it has already
+// served, without re-executing the request.
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/ctrlnet"
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/topology"
+)
+
+// Refusal codes carried in a refused vc-reply's Depth field.
+const (
+	RefuseBadRequest  = 1 // unknown host, src == dst, malformed
+	RefuseQuotaVCs    = 2 // tenant at MaxVCsPerTenant
+	RefuseQuotaCells  = 3 // tenant at MaxGuaranteedPerTenant
+	RefuseCapacity    = 4 // admission refused: no route with schedule headroom
+	RefuseUnknownVC   = 5 // close/traffic for a VC the tenant does not own
+	RefuseServerError = 6 // internal failure opening the circuit
+)
+
+// RefusalString names a refusal code.
+func RefusalString(code int32) string {
+	switch code {
+	case RefuseBadRequest:
+		return "bad-request"
+	case RefuseQuotaVCs:
+		return "quota-vcs"
+	case RefuseQuotaCells:
+		return "quota-cells"
+	case RefuseCapacity:
+		return "capacity"
+	case RefuseUnknownVC:
+		return "unknown-vc"
+	case RefuseServerError:
+		return "server-error"
+	default:
+		return fmt.Sprintf("refusal(%d)", code)
+	}
+}
+
+// nonceCacheSize bounds the per-tenant idempotency window. A client
+// retries a nonce only until its RPC deadline, so the window needs to
+// cover in-flight requests, not history.
+const nonceCacheSize = 128
+
+// Config configures a Server.
+type Config struct {
+	// LAN is the network the service allocates circuits on. The server
+	// owns it exclusively while serving (core.LAN is not goroutine-safe).
+	LAN *core.LAN
+	// Transport carries the session protocol. It must implement
+	// ctrlnet.Waiter (blocking receive); the in-memory Net does not —
+	// tests drive the in-memory path through ServeOne instead.
+	Transport ctrlnet.Transport
+	// Node is the server's address in the transport's id space. Tenant
+	// endpoint ids are learned from incoming traffic.
+	Node topology.NodeID
+	// MaxVCsPerTenant caps concurrently open circuits per tenant
+	// (default 32).
+	MaxVCsPerTenant int
+	// MaxGuaranteedPerTenant caps one tenant's total reserved
+	// cells/frame (default: a quarter of one link's guaranteed capacity,
+	// so no tenant can monopolize admission).
+	MaxGuaranteedPerTenant int
+	// StepSlots advances the data plane this many cell slots per idle
+	// tick, draining queued traffic (default 256).
+	StepSlots int64
+	// Tick is the blocking-receive timeout: the pace of data-plane
+	// stepping and gauge refresh when no requests arrive (default 2ms).
+	Tick time.Duration
+	// Obs, if set, receives the service instruments (svc_* series).
+	Obs *obs.Registry
+}
+
+// Server is the VC service. All fields are owned by the Serve goroutine.
+type Server struct {
+	cfg     Config
+	lan     *core.LAN
+	tr      ctrlnet.Transport
+	waiter  ctrlnet.Waiter
+	hosts   map[topology.NodeID]bool
+	roster  []proto.LinkRec
+	tenants map[uint64]*tenant
+	// vcOwner maps every open VC to its owning tenant, so traffic and
+	// close are validated in O(1).
+	vcOwner map[cell.VCI]uint64
+	stop    chan struct{}
+	done    chan struct{}
+
+	stats Stats
+
+	obsRequests *obs.Counter
+	obsReqGtd   *obs.Counter
+	obsAdmitBE  *obs.Counter
+	obsAdmitGtd *obs.Counter
+	obsRefused  map[int32]*obs.Counter
+	obsTraffic  *obs.Counter
+	obsReplays  *obs.Counter
+	obsTenants  *obs.Gauge
+	obsVCs      *obs.Gauge
+	obsFairness *obs.Gauge
+}
+
+// Stats is the server's aggregate accounting.
+type Stats struct {
+	Requests     int64
+	AdmittedBE   int64
+	AdmittedGtd  int64
+	Refused      int64
+	RefusedBy    map[int32]int64
+	TrafficCells int64
+	Replays      int64 // duplicate nonces answered from the cache
+	Steps        int64 // data-plane slots advanced while serving
+}
+
+// tenant is one tenant's server-side session state.
+type tenant struct {
+	id   uint64
+	node topology.NodeID // transport endpoint, refreshed per message
+	vcs  map[cell.VCI]int // VCI -> reserved cells/frame (0 = best-effort)
+	gtd  int              // total reserved cells/frame
+
+	// Idempotency: replies already sent, keyed by nonce, FIFO-bounded.
+	replies map[uint64][]byte
+	order   []uint64
+
+	admitted int64
+	refused  int64
+}
+
+// ErrNoWaiter reports a transport without blocking receive.
+var ErrNoWaiter = errors.New("svc: transport does not implement ctrlnet.Waiter")
+
+// NewServer builds the service over an existing LAN.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.LAN == nil {
+		return nil, errors.New("svc: nil LAN")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("svc: nil transport")
+	}
+	if cfg.MaxVCsPerTenant <= 0 {
+		cfg.MaxVCsPerTenant = 32
+	}
+	if cfg.MaxGuaranteedPerTenant <= 0 {
+		cfg.MaxGuaranteedPerTenant = cfg.LAN.FrameSlots() / 8
+		if cfg.MaxGuaranteedPerTenant <= 0 {
+			cfg.MaxGuaranteedPerTenant = 1
+		}
+	}
+	if cfg.StepSlots <= 0 {
+		cfg.StepSlots = 256
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 2 * time.Millisecond
+	}
+	s := &Server{
+		cfg:     cfg,
+		lan:     cfg.LAN,
+		tr:      cfg.Transport,
+		hosts:   make(map[topology.NodeID]bool),
+		tenants: make(map[uint64]*tenant),
+		vcOwner: make(map[cell.VCI]uint64),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.waiter, _ = cfg.Transport.(ctrlnet.Waiter)
+	for _, h := range cfg.LAN.Topology().Hosts() {
+		s.hosts[h] = true
+		s.roster = append(s.roster, proto.LinkRec{A: int32(h), B: int32(h)})
+	}
+	s.stats.RefusedBy = make(map[int32]int64)
+	// A nil registry hands out nil instruments, and every obs method is a
+	// no-op on a nil handle — observability off costs nothing.
+	reg := cfg.Obs
+	s.obsRequests = reg.Counter("svc_requests_total", "class", "best-effort")
+	s.obsReqGtd = reg.Counter("svc_requests_total", "class", "guaranteed")
+	s.obsAdmitBE = reg.Counter("svc_admitted_total", "class", "best-effort")
+	s.obsAdmitGtd = reg.Counter("svc_admitted_total", "class", "guaranteed")
+	s.obsRefused = make(map[int32]*obs.Counter)
+	for _, code := range []int32{RefuseBadRequest, RefuseQuotaVCs, RefuseQuotaCells,
+		RefuseCapacity, RefuseUnknownVC, RefuseServerError} {
+		s.obsRefused[code] = reg.Counter("svc_refused_total", "reason", RefusalString(code))
+	}
+	s.obsTraffic = reg.Counter("svc_traffic_cells_total")
+	s.obsReplays = reg.Counter("svc_replayed_replies_total")
+	s.obsTenants = reg.Gauge("svc_tenants")
+	s.obsVCs = reg.Gauge("svc_vcs_open")
+	s.obsFairness = reg.Gauge("svc_admission_fairness_x1000")
+	return s, nil
+}
+
+// Stats returns a snapshot of the server's accounting. Call only when the
+// serve loop is stopped (or from within the serving goroutine).
+func (s *Server) Stats() Stats {
+	out := s.stats
+	out.RefusedBy = make(map[int32]int64, len(s.stats.RefusedBy))
+	for k, v := range s.stats.RefusedBy {
+		out.RefusedBy[k] = v
+	}
+	return out
+}
+
+// Serve runs the service loop until Stop: block for traffic, handle it,
+// and step the data plane on idle ticks. Requires a Waiter transport.
+func (s *Server) Serve() error {
+	defer close(s.done)
+	if s.waiter == nil {
+		return ErrNoWaiter
+	}
+	for {
+		select {
+		case <-s.stop:
+			return nil
+		default:
+		}
+		ds := s.waiter.Wait(s.cfg.Tick)
+		if len(ds) == 0 {
+			// Idle tick: drain queued traffic through the fabric and
+			// refresh the gauges tenants scrape.
+			s.lan.Run(s.cfg.StepSlots)
+			s.stats.Steps += s.cfg.StepSlots
+			s.updateGauges()
+			continue
+		}
+		for _, d := range ds {
+			s.handle(d)
+		}
+	}
+}
+
+// Stop ends the serve loop and waits for it to exit.
+func (s *Server) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	// Close wakes the blocking Wait; the transport is the caller's, but
+	// closing is idempotent and the only way to unblock promptly.
+	s.tr.Close()
+	<-s.done
+}
+
+// ServeOne handles a single already-received delivery synchronously — the
+// in-memory-transport path used by deterministic tests.
+func (s *Server) ServeOne(d ctrlnet.Delivery) { s.handle(d) }
+
+// handle decodes and dispatches one delivery.
+func (s *Server) handle(d ctrlnet.Delivery) {
+	m, err := proto.Unmarshal(d.Wire)
+	if err != nil {
+		return // corrupt or foreign datagram: CRC did its job, drop
+	}
+	tn := s.tenantFor(m.Epoch, d.From)
+	switch m.Kind {
+	case proto.KindHello:
+		s.reply(tn, m, &proto.Message{
+			Kind: proto.KindHello, Accept: true, Links: s.roster,
+		})
+	case proto.KindVCRequest:
+		s.handleRequest(tn, m)
+	case proto.KindVCClose:
+		s.handleClose(tn, m)
+	case proto.KindTraffic:
+		s.handleTraffic(tn, m)
+	case proto.KindBye:
+		s.handleBye(tn, m)
+	default:
+		// Reconfiguration kinds do not belong on the service socket.
+	}
+}
+
+func (s *Server) tenantFor(id uint64, node topology.NodeID) *tenant {
+	tn, ok := s.tenants[id]
+	if !ok {
+		tn = &tenant{
+			id:      id,
+			vcs:     make(map[cell.VCI]int),
+			replies: make(map[uint64][]byte),
+		}
+		s.tenants[id] = tn
+	}
+	tn.node = node
+	return tn
+}
+
+// reply finishes one request: echo tenant, nonce, and timestamp, cache
+// the frame under the nonce, and send it to the tenant's endpoint.
+func (s *Server) reply(tn *tenant, req *proto.Message, rep *proto.Message) {
+	rep.Epoch = tn.id
+	rep.Initiator = req.Initiator
+	rep.VTimeUS = req.VTimeUS
+	wire, err := proto.Marshal(rep)
+	if err != nil {
+		return
+	}
+	s.remember(tn, req.Initiator, wire)
+	s.send(tn, wire)
+}
+
+func (s *Server) send(tn *tenant, wire []byte) {
+	// Losing a reply is fine: the client retries the nonce and the cache
+	// answers. Structural errors (no peer yet) are equally survivable.
+	_, _ = s.tr.Send(s.cfg.Node, tn.node, wire, 0)
+}
+
+// replayed answers a duplicate nonce from the cache. Returns false for a
+// fresh nonce.
+func (s *Server) replayed(tn *tenant, nonce uint64) bool {
+	wire, ok := tn.replies[nonce]
+	if !ok {
+		return false
+	}
+	s.stats.Replays++
+	s.obsReplays.Inc(0)
+	s.send(tn, wire)
+	return true
+}
+
+func (s *Server) remember(tn *tenant, nonce uint64, wire []byte) {
+	if _, ok := tn.replies[nonce]; !ok {
+		tn.order = append(tn.order, nonce)
+		if len(tn.order) > nonceCacheSize {
+			delete(tn.replies, tn.order[0])
+			tn.order = tn.order[1:]
+		}
+	}
+	tn.replies[nonce] = wire
+}
+
+func (s *Server) refuse(tn *tenant, req *proto.Message, code int32) {
+	tn.refused++
+	s.stats.Refused++
+	s.stats.RefusedBy[code]++
+	if c, ok := s.obsRefused[code]; ok {
+		c.Inc(0)
+	}
+	s.reply(tn, req, &proto.Message{Kind: proto.KindVCReply, Accept: false, Depth: code})
+}
+
+func (s *Server) handleRequest(tn *tenant, m *proto.Message) {
+	if s.replayed(tn, m.Initiator) {
+		return
+	}
+	s.stats.Requests++
+	rate := int(m.Depth)
+	if rate > 0 {
+		s.obsReqGtd.Inc(0)
+	} else {
+		s.obsRequests.Inc(0)
+	}
+	if len(m.Links) != 1 || rate < 0 {
+		s.refuse(tn, m, RefuseBadRequest)
+		return
+	}
+	src := topology.NodeID(m.Links[0].A)
+	dst := topology.NodeID(m.Links[0].B)
+	if !s.hosts[src] || !s.hosts[dst] || src == dst {
+		s.refuse(tn, m, RefuseBadRequest)
+		return
+	}
+	if len(tn.vcs) >= s.cfg.MaxVCsPerTenant {
+		s.refuse(tn, m, RefuseQuotaVCs)
+		return
+	}
+	if rate > 0 && tn.gtd+rate > s.cfg.MaxGuaranteedPerTenant {
+		s.refuse(tn, m, RefuseQuotaCells)
+		return
+	}
+	var (
+		vc  cell.VCI
+		err error
+	)
+	if rate > 0 {
+		vc, err = s.lan.Reserve(src, dst, rate)
+	} else {
+		vc, err = s.lan.OpenBestEffort(src, dst)
+	}
+	if err != nil {
+		// The LAN refused: for guaranteed requests that is bandwidth
+		// central finding no route with schedule headroom — the paper's
+		// admission control doing its job, not a fault.
+		code := int32(RefuseCapacity)
+		if rate == 0 {
+			code = RefuseServerError // best-effort only fails without a legal route
+		}
+		s.refuse(tn, m, code)
+		return
+	}
+	tn.vcs[vc] = rate
+	tn.gtd += rate
+	s.vcOwner[vc] = tn.id
+	tn.admitted++
+	if rate > 0 {
+		s.stats.AdmittedGtd++
+		s.obsAdmitGtd.Inc(0)
+	} else {
+		s.stats.AdmittedBE++
+		s.obsAdmitBE.Inc(0)
+	}
+	s.reply(tn, m, &proto.Message{Kind: proto.KindVCReply, Accept: true, Depth: int32(vc)})
+}
+
+func (s *Server) handleClose(tn *tenant, m *proto.Message) {
+	if s.replayed(tn, m.Initiator) {
+		return
+	}
+	vc := cell.VCI(m.Depth)
+	rate, ok := tn.vcs[vc]
+	if !ok {
+		s.refuse(tn, m, RefuseUnknownVC)
+		return
+	}
+	_ = s.lan.Close(vc)
+	delete(tn.vcs, vc)
+	delete(s.vcOwner, vc)
+	tn.gtd -= rate
+	s.reply(tn, m, &proto.Message{Kind: proto.KindVCReply, Accept: true, Depth: int32(vc)})
+}
+
+// handleTraffic queues cells on a tenant's circuit. Fire-and-forget, like
+// the data plane it feeds: no reply, no retry, no dedup — a duplicated
+// burst is just more best-effort traffic.
+func (s *Server) handleTraffic(tn *tenant, m *proto.Message) {
+	vc := cell.VCI(m.From)
+	if s.vcOwner[vc] != tn.id {
+		return
+	}
+	n := int(m.Depth)
+	if n <= 0 {
+		return
+	}
+	const maxBurst = 4096
+	if n > maxBurst {
+		n = maxBurst
+	}
+	var payload [cell.PayloadSize]byte
+	sent := int64(0)
+	for i := 0; i < n; i++ {
+		if err := s.lan.Send(vc, payload); err != nil {
+			break // ingress window full: the fabric is the back-pressure
+		}
+		sent++
+	}
+	s.stats.TrafficCells += sent
+	s.obsTraffic.Add(0, sent)
+}
+
+func (s *Server) handleBye(tn *tenant, m *proto.Message) {
+	if s.replayed(tn, m.Initiator) {
+		return
+	}
+	for vc, rate := range tn.vcs {
+		_ = s.lan.Close(vc)
+		delete(s.vcOwner, vc)
+		tn.gtd -= rate
+	}
+	tn.vcs = make(map[cell.VCI]int)
+	s.reply(tn, m, &proto.Message{Kind: proto.KindBye, Accept: true})
+}
+
+// updateGauges refreshes the live-state gauges and the Jain fairness
+// index over per-tenant admission counts: (Σx)² / (n·Σx²), 1000 = every
+// tenant admitted equally, 1000/n = one tenant got everything. Refused
+// tenants pull the index down — the isolation signal E32 asserts on.
+func (s *Server) updateGauges() {
+	if s.obsTenants == nil {
+		return
+	}
+	s.obsTenants.Set(int64(len(s.tenants)))
+	s.obsVCs.Set(int64(len(s.vcOwner)))
+	s.obsFairness.Set(int64(JainX1000(s.AdmissionCounts())))
+}
+
+// AdmissionCounts returns each tenant's admitted-request count.
+func (s *Server) AdmissionCounts() []int64 {
+	out := make([]int64, 0, len(s.tenants))
+	for _, tn := range s.tenants {
+		out = append(out, tn.admitted)
+	}
+	return out
+}
+
+// JainX1000 is Jain's fairness index scaled by 1000 (0 with no samples).
+func JainX1000(xs []int64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		f := float64(x)
+		sum += f
+		sq += f * f
+	}
+	if sq == 0 {
+		return 1000 // nobody admitted anything: trivially equal
+	}
+	return int(1000 * sum * sum / (float64(len(xs)) * sq))
+}

@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/ctrlnet"
+	"repro/internal/metrics"
+	"repro/internal/svc"
+	"repro/internal/topology"
+)
+
+// This file is the service-mode workload: a fleet of tenant sessions
+// hammering one VC service over the socket control plane, the way hosts
+// on the paper's LAN hammer bandwidth central with circuit requests. Each
+// tenant runs on its own loopback UDP endpoint and churns flows —
+// open a circuit (guaranteed or best-effort), maybe push traffic, close
+// it — while the harness measures what a service operator would: VC setup
+// rate, admission latency, and whether one greedy tenant can degrade the
+// others (it must not: quotas confine it).
+
+// TenantsConfig configures one workload run against a live server.
+type TenantsConfig struct {
+	// ServerAddr is the server's UDP listen address (its transport node
+	// id is ServerNode, default 0).
+	ServerAddr string
+	ServerNode topology.NodeID
+	// Tenants is the number of concurrent tenant sessions (default 64).
+	// Tenant ids are 1..Tenants; tenant 1 is the aggressor.
+	Tenants int
+	// Flows is the total flow target across all tenants (default 100_000).
+	// A flow is one open (+ optional traffic) + close cycle.
+	Flows int
+	// GuaranteedFrac is the fraction of flows requesting a guaranteed
+	// rate (default 0.2); the rest are best-effort.
+	GuaranteedFrac float64
+	// AggressorRate is the cells/frame the aggressor tenant demands on
+	// EVERY guaranteed request (default 8 — far over any fair share), so
+	// it slams into its quota while the light tenants ask for 1.
+	AggressorRate int
+	// TrafficEvery pushes a burst of TrafficCells cells on every k-th
+	// admitted flow (defaults 4 and 8); 0 disables traffic.
+	TrafficEvery int
+	TrafficCells int
+	// BaseNode is the first tenant endpoint's transport id (default
+	// 1000); tenant i uses BaseNode+i.
+	BaseNode topology.NodeID
+	// Seed drives each tenant's flow mix; Timeout/Retries tune the RPC
+	// layer (defaults 2s / 5 — generous because the server is
+	// single-threaded and a race-instrumented CI machine is slow).
+	Seed    int64
+	Timeout time.Duration
+	Retries int
+}
+
+// TenantsReport is what the run measured.
+type TenantsReport struct {
+	Tenants int
+	Flows   int64 // completed open attempts (admitted + refused)
+
+	AdmittedBE  int64
+	AdmittedGtd int64
+	Refused     int64
+	// RefusedBy counts refusals by server reason code.
+	RefusedBy map[int32]int64
+
+	// Setup summarizes admission latency: wall µs from sending
+	// vc-request to holding the reply, over every flow (admitted or
+	// refused — a refusal is also an answer).
+	Setup metrics.Summary
+	// ElapsedSec is the whole run's wall time; SetupPerSec is
+	// Flows/ElapsedSec — the service's sustained VC setup rate.
+	ElapsedSec  float64
+	SetupPerSec float64
+
+	// PerTenantAdmitted[i] is tenant i+1's admitted count.
+	PerTenantAdmitted []int64
+	// FairnessX1000 is Jain's index over the LIGHT tenants' admitted
+	// counts (the aggressor excluded: its refusals are the point).
+	FairnessX1000 int
+	// AggressorGtdAdmitRate and LightGtdAdmitRate are guaranteed-class
+	// admission rates (admitted / requested) for the aggressor vs the
+	// rest — the isolation headline: light tenants keep admitting while
+	// the aggressor is pinned at its quota.
+	AggressorGtdAdmitRate float64
+	LightGtdAdmitRate     float64
+
+	TrafficCells int64
+}
+
+func (c TenantsConfig) withDefaults() TenantsConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = 64
+	}
+	if c.Flows <= 0 {
+		c.Flows = 100_000
+	}
+	if c.GuaranteedFrac < 0 || c.GuaranteedFrac > 1 {
+		c.GuaranteedFrac = 0.2
+	} else if c.GuaranteedFrac == 0 {
+		c.GuaranteedFrac = 0.2
+	}
+	if c.AggressorRate <= 0 {
+		c.AggressorRate = 8
+	}
+	if c.TrafficEvery == 0 {
+		c.TrafficEvery = 4
+	}
+	if c.TrafficCells <= 0 {
+		c.TrafficCells = 8
+	}
+	if c.BaseNode == 0 {
+		c.BaseNode = 1000
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries <= 0 {
+		c.Retries = 5
+	}
+	return c
+}
+
+// tenantTally is one session's private accounting, merged after the run
+// (metrics.Histogram is not thread-safe, so each worker owns one).
+type tenantTally struct {
+	flows        int64
+	admittedBE   int64
+	admittedGtd  int64
+	refused      int64
+	refusedBy    map[int32]int64
+	gtdRequested int64
+	gtdAdmitted  int64
+	traffic      int64
+	setupUS      *metrics.Histogram
+	err          error
+}
+
+// RunTenants runs the workload to completion and aggregates the report.
+func RunTenants(cfg TenantsConfig) (*TenantsReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ServerAddr == "" {
+		return nil, errors.New("workload: no server address")
+	}
+	// Round the per-tenant share up so the run never lands under the
+	// requested total (the E32 acceptance floor is a hard >= 1e5).
+	perTenant := (cfg.Flows + cfg.Tenants - 1) / cfg.Tenants
+
+	tallies := make([]*tenantTally, cfg.Tenants)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Tenants; i++ {
+		tally := &tenantTally{
+			refusedBy: make(map[int32]int64),
+			setupUS:   &metrics.Histogram{},
+		}
+		tallies[i] = tally
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tally.err = runTenant(cfg, i, perTenant, tally)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &TenantsReport{
+		Tenants:           cfg.Tenants,
+		RefusedBy:         make(map[int32]int64),
+		PerTenantAdmitted: make([]int64, cfg.Tenants),
+		ElapsedSec:        elapsed.Seconds(),
+	}
+	merged := &metrics.Histogram{}
+	var lightAdmitted []int64
+	var aggReq, aggAdm, lightReq, lightAdm int64
+	for i, tally := range tallies {
+		if tally.err != nil {
+			return nil, fmt.Errorf("workload: tenant %d: %w", i+1, tally.err)
+		}
+		rep.Flows += tally.flows
+		rep.AdmittedBE += tally.admittedBE
+		rep.AdmittedGtd += tally.admittedGtd
+		rep.Refused += tally.refused
+		for code, n := range tally.refusedBy {
+			rep.RefusedBy[code] += n
+		}
+		rep.TrafficCells += tally.traffic
+		rep.PerTenantAdmitted[i] = tally.admittedBE + tally.admittedGtd
+		merged.Merge(tally.setupUS)
+		if i == 0 {
+			aggReq, aggAdm = tally.gtdRequested, tally.gtdAdmitted
+		} else {
+			lightReq += tally.gtdRequested
+			lightAdm += tally.gtdAdmitted
+			lightAdmitted = append(lightAdmitted, rep.PerTenantAdmitted[i])
+		}
+	}
+	rep.Setup = merged.Summarize()
+	if rep.ElapsedSec > 0 {
+		rep.SetupPerSec = float64(rep.Flows) / rep.ElapsedSec
+	}
+	rep.FairnessX1000 = svc.JainX1000(lightAdmitted)
+	if aggReq > 0 {
+		rep.AggressorGtdAdmitRate = float64(aggAdm) / float64(aggReq)
+	}
+	if lightReq > 0 {
+		rep.LightGtdAdmitRate = float64(lightAdm) / float64(lightReq)
+	}
+	return rep, nil
+}
+
+// runTenant is one tenant session: its own socket, its own client, its
+// own share of the flow budget.
+func runTenant(cfg TenantsConfig, i, flows int, tally *tenantTally) error {
+	self := cfg.BaseNode + topology.NodeID(i)
+	tr, err := ctrlnet.NewUDP(ctrlnet.UDPConfig{
+		Local: map[topology.NodeID]string{self: "127.0.0.1:0"},
+		Peers: map[topology.NodeID]string{cfg.ServerNode: cfg.ServerAddr},
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	cl, err := svc.NewClient(svc.ClientConfig{
+		Transport: tr, Self: self, Server: cfg.ServerNode,
+		Tenant:  uint64(i + 1),
+		Timeout: cfg.Timeout, Retries: cfg.Retries,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	hosts, err := cl.Hello()
+	if err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	if len(hosts) < 2 {
+		return fmt.Errorf("roster has %d hosts", len(hosts))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+	aggressor := i == 0
+	for f := 0; f < flows; f++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		rate := 0
+		if rng.Float64() < cfg.GuaranteedFrac {
+			rate = 1
+			if aggressor {
+				rate = cfg.AggressorRate
+			}
+			tally.gtdRequested++
+		}
+		t0 := time.Now()
+		vc, err := cl.Open(src, dst, rate)
+		tally.setupUS.Observe(time.Since(t0).Microseconds())
+		tally.flows++
+		var ref *svc.Refused
+		if errors.As(err, &ref) {
+			tally.refused++
+			tally.refusedBy[ref.Code]++
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("open flow %d: %w", f, err)
+		}
+		if rate > 0 {
+			tally.admittedGtd++
+			tally.gtdAdmitted++
+		} else {
+			tally.admittedBE++
+		}
+		if cfg.TrafficEvery > 0 && f%cfg.TrafficEvery == 0 {
+			if err := cl.Traffic(vc, cfg.TrafficCells); err != nil {
+				return err
+			}
+			tally.traffic += int64(cfg.TrafficCells)
+		}
+		if err := closeVC(cl, vc); err != nil {
+			return fmt.Errorf("close flow %d: %w", f, err)
+		}
+	}
+	return cl.Bye()
+}
+
+// closeVC tolerates the one benign race retries create: a close whose
+// first reply was lost retries, and the retry may land after the cache
+// window slid — the server then answers unknown-vc for a VC that IS
+// closed. Every other refusal is a real failure.
+func closeVC(cl *svc.Client, vc cell.VCI) error {
+	err := cl.CloseVC(vc)
+	var ref *svc.Refused
+	if errors.As(err, &ref) && ref.Code == svc.RefuseUnknownVC {
+		return nil
+	}
+	return err
+}
