@@ -207,4 +207,79 @@ func TestBenchTrajectoryNoE2Regression(t *testing.T) {
 	if !flowsOK {
 		t.Error("E32 snapshot has no flows-completed row")
 	}
+
+	// BENCH_9 (the survivable-service PR): E2 still on trajectory — the
+	// lease/incarnation machinery lives entirely in the service layer —
+	// nothing lost since BENCH_8, E30 still byte-identical, E32 still at
+	// ≥10⁵ flows, and E33 present with its three headline invariants:
+	// every live tenant re-attached after the mid-churn kill+restart,
+	// orphan VCs exactly 0 after lease expiry, and jittered backoff's
+	// peak retransmit rate strictly below fixed pacing's.
+	srv := loadSnapshot(t, "BENCH_9.json")
+	now9, ok := srv["E2"]
+	if !ok {
+		t.Fatal("BENCH_9.json has no E2 record")
+	}
+	if !reflect.DeepEqual(prev.Tables, now9.Tables) {
+		t.Errorf("E2 tables changed in BENCH_9.json:\nold: %+v\nnew: %+v", prev.Tables, now9.Tables)
+	}
+	if limit := prev.WallMillis + prev.WallMillis/20; now9.WallMillis > limit {
+		t.Errorf("E2 wall time regressed in BENCH_9: %d ms -> %d ms (limit %d)", prev.WallMillis, now9.WallMillis, limit)
+	}
+	for id := range svc {
+		if _, ok := srv[id]; !ok {
+			t.Errorf("experiment %s vanished from BENCH_9.json", id)
+		}
+	}
+	e30srv := srv["E30"]
+	if !reflect.DeepEqual(e30svc.Tables, e30srv.Tables) {
+		t.Errorf("E30 tables changed between BENCH_8 and BENCH_9 — the survivability work must not perturb the fabric runs:\nold: %+v\nnew: %+v",
+			e30svc.Tables, e30srv.Tables)
+	}
+	e32srv, ok := srv["E32"]
+	if !ok {
+		t.Fatal("experiment E32 missing from BENCH_9.json")
+	}
+	flowsOK = false
+	for _, row := range e32srv.Tables[0].Rows {
+		if len(row) < 2 || row[0] != "flows completed" {
+			continue
+		}
+		if n, err := strconv.ParseInt(row[1], 10, 64); err != nil || n < 100_000 {
+			t.Errorf("E32 flows-completed regressed in BENCH_9: %v", row)
+		}
+		flowsOK = true
+	}
+	if !flowsOK {
+		t.Error("E32 in BENCH_9.json has no flows-completed row")
+	}
+	e33, ok := srv["E33"]
+	if !ok {
+		t.Fatal("experiment E33 missing from BENCH_9.json")
+	}
+	if len(e33.Tables) == 0 {
+		t.Fatal("E33 has no tables in BENCH_9.json")
+	}
+	e33rows := make(map[string]string)
+	for _, tab := range e33.Tables {
+		for _, row := range tab.Rows {
+			if len(row) >= 2 {
+				e33rows[row[0]] = row[1]
+			}
+		}
+	}
+	if live, re := e33rows["live tenants"], e33rows["tenants re-attached"]; live == "" || live != re {
+		t.Errorf("E33: tenants re-attached (%q) != live tenants (%q) — the fleet did not fully recover", re, live)
+	}
+	if orphans := e33rows["orphan VCs after lease expiry"]; orphans != "0" {
+		t.Errorf("E33: orphan VCs after lease expiry = %q, want 0", orphans)
+	}
+	fixed, err1 := strconv.ParseInt(e33rows["peak retransmits per 20ms (fixed pacing)"], 10, 64)
+	jitter, err2 := strconv.ParseInt(e33rows["peak retransmits per 20ms (jittered backoff)"], 10, 64)
+	if err1 != nil || err2 != nil {
+		t.Errorf("E33 herd peak rows unparseable: fixed=%q jittered=%q",
+			e33rows["peak retransmits per 20ms (fixed pacing)"], e33rows["peak retransmits per 20ms (jittered backoff)"])
+	} else if jitter >= fixed {
+		t.Errorf("E33: jittered backoff peak %d not below fixed-pacing peak %d", jitter, fixed)
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 
 	"repro/internal/cell"
 	"repro/internal/core"
@@ -67,15 +68,21 @@ func run(args []string) error {
 		serveFor   = fs.Duration("serve-duration", 0, "with -serve, stop after this long (default: until Ctrl-C)")
 		maxVCs     = fs.Int("max-vcs", 32, "with -serve, per-tenant open-VC quota")
 		maxGtd     = fs.Int("max-guaranteed", 16, "with -serve, per-tenant guaranteed cells/frame quota")
+		lease      = fs.Duration("lease", 10*time.Second, "with -serve, session lease duration: an expired lease garbage-collects the tenant's circuits and quota")
+		incarn     = fs.Int("incarnation", 0, "with -serve, explicit incarnation stamp (0: derived from the clock); a restart must present a different value so stale sessions are refused")
+		drainGrace = fs.Duration("drain-grace", 10*time.Second, "with -serve, how long SIGINT-triggered draining waits for sessions to quiesce before stopping anyway")
 		connectTo  = fs.String("connect", "", "tenant mode: run the tenant-churn workload against a VC server at this UDP address")
 		tenants    = fs.Int("tenants", 16, "with -connect, concurrent tenant sessions")
 		flows      = fs.Int("flows", 10_000, "with -connect, total flows across all tenants")
+		drop       = fs.Float64("drop", 0, "with -connect, drop this fraction of tenant-side control frames (lossy-network drill)")
+		survivable = fs.Bool("survivable", false, "with -connect, ride out a server kill+restart mid-churn instead of failing")
+		rpcTimeout = fs.Duration("rpc-timeout", 2*time.Second, "with -connect, per-attempt RPC reply timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *connectTo != "" {
-		return connectMode(*connectTo, *tenants, *flows, *seed)
+		return connectMode(*connectTo, *tenants, *flows, *seed, *drop, *survivable, *rpcTimeout)
 	}
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -136,7 +143,11 @@ func run(args []string) error {
 		lan.CentralAt(), lan.LastReconfig().MaxCompletionUS)
 
 	if *serveAddr != "" {
-		if err := serveMode(lan, reg, *serveAddr, *serveFor, *maxVCs, *maxGtd); err != nil {
+		opts := serveOpts{
+			maxVCs: *maxVCs, maxGtd: *maxGtd,
+			lease: *lease, incarnation: *incarn, drainGrace: *drainGrace,
+		}
+		if err := serveMode(lan, reg, *serveAddr, *serveFor, opts); err != nil {
 			return err
 		}
 		if *metricsOut != "" {

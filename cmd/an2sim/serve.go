@@ -22,9 +22,20 @@ import (
 // the Slepian–Duguid schedule; /metrics (-http) exposes the svc_* series
 // live while the server runs.
 
+// serveOpts are the operator-facing survivability knobs (see README
+// "operations" and DESIGN.md §15).
+type serveOpts struct {
+	maxVCs, maxGtd int
+	lease          time.Duration
+	incarnation    int
+	drainGrace     time.Duration
+}
+
 // serveMode runs the VC service over the booted LAN until SIGINT (or for
-// -serve-duration, which CI smoke tests use).
-func serveMode(lan *core.LAN, reg *obs.Registry, addr string, dur time.Duration, maxVCs, maxGtd int) error {
+// -serve-duration, which CI smoke tests use). The first SIGINT drains:
+// new circuits are refused while existing sessions finish, and the server
+// stops once quiesced (or after -drain-grace, or on a second SIGINT).
+func serveMode(lan *core.LAN, reg *obs.Registry, addr string, dur time.Duration, o serveOpts) error {
 	tr, err := ctrlnet.NewUDP(ctrlnet.UDPConfig{
 		Local: map[topology.NodeID]string{0: addr},
 	})
@@ -34,15 +45,17 @@ func serveMode(lan *core.LAN, reg *obs.Registry, addr string, dur time.Duration,
 	defer tr.Close()
 	srv, err := svc.NewServer(svc.Config{
 		LAN: lan, Transport: tr, Node: 0,
-		MaxVCsPerTenant:        maxVCs,
-		MaxGuaranteedPerTenant: maxGtd,
+		MaxVCsPerTenant:        o.maxVCs,
+		MaxGuaranteedPerTenant: o.maxGtd,
+		LeaseDur:               o.lease,
+		Incarnation:            int32(o.incarnation),
 		Obs:                    reg,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("service: VC server on udp://%s (tenant quotas: %d VCs, %d guaranteed cells/frame)\n",
-		tr.Addr(0), maxVCs, maxGtd)
+	fmt.Printf("service: VC server on udp://%s, incarnation %d (quotas: %d VCs, %d guaranteed cells/frame; lease %v; %d orphan VCs adopted)\n",
+		tr.Addr(0), srv.Incarnation(), o.maxVCs, o.maxGtd, o.lease, srv.OrphanVCs())
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve() }()
@@ -54,7 +67,27 @@ func serveMode(lan *core.LAN, reg *obs.Registry, addr string, dur time.Duration,
 	}
 	select {
 	case <-sig:
-		fmt.Println("\nservice: interrupt, draining")
+		fmt.Println("\nservice: interrupt — draining (again to stop now)")
+		srv.Drain(true)
+		grace := time.After(o.drainGrace)
+		tick := time.NewTicker(50 * time.Millisecond)
+	drain:
+		for {
+			select {
+			case <-sig:
+				fmt.Println("service: second interrupt, stopping")
+				break drain
+			case <-grace:
+				fmt.Println("service: drain grace elapsed, stopping")
+				break drain
+			case <-tick.C:
+				if srv.Quiesced() {
+					fmt.Println("service: quiesced")
+					break drain
+				}
+			}
+		}
+		tick.Stop()
 	case <-timeout:
 	case err := <-done:
 		return err
@@ -64,6 +97,7 @@ func serveMode(lan *core.LAN, reg *obs.Registry, addr string, dur time.Duration,
 
 	st := srv.Stats()
 	t := metrics.NewTable("service session summary", "metric", "value")
+	t.AddRow("incarnation", srv.Incarnation())
 	t.AddRow("requests", st.Requests)
 	t.AddRow("admitted best-effort", st.AdmittedBE)
 	t.AddRow("admitted guaranteed", st.AdmittedGtd)
@@ -73,20 +107,33 @@ func serveMode(lan *core.LAN, reg *obs.Registry, addr string, dur time.Duration,
 	}
 	t.AddRow("traffic cells", st.TrafficCells)
 	t.AddRow("replayed replies", st.Replays)
+	t.AddRow("lease renewals", st.LeaseRenewals)
+	t.AddRow("leases expired", st.LeaseExpired)
+	t.AddRow("lease-GC'd VCs", st.LeaseGCVCs)
+	t.AddRow("orphan VCs adopted", st.OrphansAdopted)
+	t.AddRow("orphan VCs reclaimed", st.OrphansReclaimed)
+	t.AddRow("orphan VCs remaining", srv.OrphanVCs())
+	t.AddRow("requests shed", st.Shed)
 	t.AddRow("data-plane slots", st.Steps)
 	fmt.Println(t.String())
 	return nil
 }
 
 // connectMode is the example tenant client: run the tenant-churn workload
-// against a serving an2sim and report what the service delivered.
-func connectMode(addr string, tenants, flows int, seed int64) error {
+// against a serving an2sim and report what the service delivered. With
+// -survivable the fleet rides out a server kill+restart mid-churn
+// (jittered backoff, transparent re-attach); -drop makes the tenant side
+// of the control plane lossy.
+func connectMode(addr string, tenants, flows int, seed int64, drop float64, survivable bool, timeout time.Duration) error {
 	fmt.Printf("connecting %d tenants to udp://%s for %d flows\n", tenants, addr, flows)
 	rep, err := workload.RunTenants(workload.TenantsConfig{
 		ServerAddr: addr,
 		Tenants:    tenants,
 		Flows:      flows,
 		Seed:       seed,
+		DropProb:   drop,
+		Survivable: survivable,
+		Timeout:    timeout,
 	})
 	if err != nil {
 		return err
@@ -102,6 +149,10 @@ func connectMode(addr string, tenants, flows int, seed int64) error {
 	t.AddRow("light-tenant fairness (Jain ×1000)", rep.FairnessX1000)
 	t.AddRow("aggressor gtd admit rate", fmt.Sprintf("%.3f", rep.AggressorGtdAdmitRate))
 	t.AddRow("light gtd admit rate", fmt.Sprintf("%.3f", rep.LightGtdAdmitRate))
+	t.AddRow("tenants re-attached", rep.ReattachedTenants)
+	t.AddRow("re-attach rounds", rep.Reattaches)
+	t.AddRow("ledger VCs re-opened", rep.ReattachVCs)
+	t.AddRow("client retransmits", rep.Retransmits)
 	fmt.Println(t.String())
 	return nil
 }

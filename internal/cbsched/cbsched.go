@@ -69,18 +69,18 @@ type Stats struct {
 // Switch is a crosspoint-buffered switch. It is not safe for concurrent
 // use.
 type Switch struct {
-	n     int
-	depth int
-	limit int
-	voq   [][][]cell.Cell // voq[i][j]: input i's queue for output j
-	xpq   [][][]cell.Cell // xpq[i][j]: crosspoint buffer
-	inPtr []int           // input arbiter round-robin pointers
-	outPtr []int          // output arbiter round-robin pointers
+	n        int
+	depth    int
+	limit    int
+	voq      [][][]cell.Cell // voq[i][j]: input i's queue for output j
+	xpq      [][][]cell.Cell // xpq[i][j]: crosspoint buffer
+	inPtr    []int           // input arbiter round-robin pointers
+	outPtr   []int           // output arbiter round-robin pointers
 	resident int64
-	slot  int64
-	stats Stats
-	deps  []switchnode.Departure
-	obsOcc *obs.Series
+	slot     int64
+	stats    Stats
+	deps     []switchnode.Departure
+	obsOcc   *obs.Series
 }
 
 // New creates a crosspoint-buffered switch.

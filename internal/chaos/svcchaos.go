@@ -1,0 +1,777 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/ctrlnet"
+	"repro/internal/proto"
+	"repro/internal/svc"
+	"repro/internal/topology"
+)
+
+// This file extends the chaos harness one layer up: from the recovery
+// stack to the multi-tenant VC SERVICE built on it. An SvcSchedule
+// scripts tenants churning sessions over a faulty control channel while
+// the server process is killed and restarted mid-run; the harness drives
+// everything on a virtual millisecond clock (the server's lease clock is
+// injected), so a schedule replays bit-for-bit and SvcShrink can reduce a
+// failure the same way Shrink reduces a recovery failure.
+//
+// Invariants:
+//
+//   - conservation (every tick): the data plane's cell accounting stays
+//     balanced while circuits churn, leases expire, and orphans are
+//     reclaimed.
+//   - no-double-grant (every reply): one (tenant, nonce) request is
+//     granted at most one VCI, however many times loss and duplication
+//     make the server answer it.
+//   - no-orphan-vc (end state): after every surviving tenant says bye
+//     and the clock passes lease expiry and the orphan grace, the LAN
+//     holds zero circuits and the server is quiesced — nothing a crash,
+//     a vanished tenant, or a lost reply ever leaked survives.
+
+// SvcOutage is one scheduled service-layer fault over [StartMS, EndMS)
+// in virtual milliseconds: a server kill window (the process is dead;
+// datagrams to it vanish; at EndMS a NEW incarnation starts over the
+// same LAN) or a control brownout (every control datagram in the window
+// is lost, in both directions — the engine's total-loss burst).
+type SvcOutage struct {
+	Kill    bool
+	StartMS int64
+	EndMS   int64
+}
+
+func (o SvcOutage) String() string {
+	if o.Kill {
+		return fmt.Sprintf("server killed [%d,%d)ms", o.StartMS, o.EndMS)
+	}
+	return fmt.Sprintf("ctrl-brownout [%d,%d)ms", o.StartMS, o.EndMS)
+}
+
+// SvcSchedule is one complete service chaos run: pure data, fully
+// deterministic from its fields.
+type SvcSchedule struct {
+	// Seed drives tenant behavior and every control-channel fault.
+	Seed int64
+	// HorizonMS is the churn phase length; GraceMS the wind-down in which
+	// surviving tenants say bye and late datagrams settle.
+	HorizonMS, GraceMS int64
+	// Tenants is how many tenant state machines churn; Vanish of them
+	// stop cold partway through without bye — the crash-without-goodbye
+	// case lease GC exists for.
+	Tenants, Vanish int
+	// LeaseDurMS / OrphanGraceMS configure the server's survivability
+	// clocks (virtual ms).
+	LeaseDurMS, OrphanGraceMS int64
+	// Faults is the baseline control-channel fault model, applied in both
+	// directions (its Seed is ignored; Schedule.Seed rules).
+	Faults ctrlnet.Config
+	// UnsafeNoLeaseGC disables lease/orphan garbage collection — the
+	// regression the harness exists to catch: with it set, any tenant
+	// that vanishes without bye leaks its circuits forever and the
+	// no-orphan-vc invariant must fire.
+	UnsafeNoLeaseGC bool
+	Outages         []SvcOutage
+}
+
+// String prints the schedule as a replayable reproducer.
+func (s SvcSchedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos.SvcSchedule{seed=%d horizon=%dms grace=%dms tenants=%d vanish=%d lease=%dms orphan-grace=%dms drop=%.2f dup=%.2f reorder=%.2f",
+		s.Seed, s.HorizonMS, s.GraceMS, s.Tenants, s.Vanish,
+		s.LeaseDurMS, s.OrphanGraceMS,
+		s.Faults.DropProb, s.Faults.DupProb, s.Faults.ReorderProb)
+	if s.UnsafeNoLeaseGC {
+		b.WriteString(" UNSAFE-no-lease-gc")
+	}
+	b.WriteString("}")
+	for i, o := range s.Outages {
+		fmt.Fprintf(&b, "\n  outage %d: %s", i, o)
+	}
+	return b.String()
+}
+
+// SvcGenConfig tunes GenerateSvc; the zero value uses the defaults below.
+type SvcGenConfig struct {
+	HorizonMS   int64   // default 3000
+	GraceMS     int64   // default 600
+	Tenants     int     // default 8
+	MaxVanish   int     // default 2
+	MinKills    int     // default 1
+	MaxKills    int     // default 2
+	BurstProb   float64 // chance of an extra control brownout (default 0.5)
+	DropProb    float64 // baseline loss (default 0.10)
+	DupProb     float64 // default 0.05
+	ReorderProb float64 // default 0.05
+}
+
+func (c SvcGenConfig) withDefaults() SvcGenConfig {
+	if c.HorizonMS <= 0 {
+		c.HorizonMS = 3000
+	}
+	if c.GraceMS <= 0 {
+		c.GraceMS = 600
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 8
+	}
+	if c.MaxVanish == 0 {
+		c.MaxVanish = 2
+	}
+	if c.MinKills <= 0 {
+		c.MinKills = 1
+	}
+	if c.MaxKills < c.MinKills {
+		c.MaxKills = c.MinKills + 1
+	}
+	if c.BurstProb == 0 {
+		c.BurstProb = 0.5
+	}
+	if c.DropProb == 0 {
+		c.DropProb = 0.10
+	}
+	if c.DupProb == 0 {
+		c.DupProb = 0.05
+	}
+	if c.ReorderProb == 0 {
+		c.ReorderProb = 0.05
+	}
+	return c
+}
+
+// GenerateSvc builds a random service schedule from the seed: 1–2 server
+// kills and possibly a control-loss burst, every outage over before the
+// wind-down so the end-state invariants are fair.
+func GenerateSvc(seed int64, cfg SvcGenConfig) SvcSchedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed ^ 0x51CE995))
+	s := SvcSchedule{
+		Seed:          seed,
+		HorizonMS:     cfg.HorizonMS,
+		GraceMS:       cfg.GraceMS,
+		Tenants:       cfg.Tenants,
+		Vanish:        rng.Intn(cfg.MaxVanish + 1),
+		LeaseDurMS:    400,
+		OrphanGraceMS: 400,
+		Faults: ctrlnet.Config{
+			DropProb:    cfg.DropProb,
+			DupProb:     cfg.DupProb,
+			ReorderProb: cfg.ReorderProb,
+		},
+	}
+	lastStart := cfg.HorizonMS - 600
+	kills := cfg.MinKills + rng.Intn(cfg.MaxKills-cfg.MinKills+1)
+	for i := 0; i < kills; i++ {
+		start := 300 + rng.Int63n(lastStart-300+1)
+		end := start + 100 + rng.Int63n(200)
+		if max := cfg.HorizonMS - 200; end > max {
+			end = max
+		}
+		s.Outages = append(s.Outages, SvcOutage{Kill: true, StartMS: start, EndMS: end})
+	}
+	if rng.Float64() < cfg.BurstProb {
+		start := 300 + rng.Int63n(lastStart-300+1)
+		end := start + 100 + rng.Int63n(150)
+		if max := cfg.HorizonMS - 200; end > max {
+			end = max
+		}
+		s.Outages = append(s.Outages, SvcOutage{StartMS: start, EndMS: end})
+	}
+	return s
+}
+
+// SvcResult is one completed (or invariant-terminated) service chaos run.
+type SvcResult struct {
+	// Violation is nil when every invariant held.
+	Violation *Violation
+	// Restarts is how many new server incarnations the schedule forced.
+	Restarts int
+	// Grants / Reattaches / Byes are tenant-observed totals.
+	Grants     int64
+	Reattaches int64
+	Byes       int64
+	// FinalStats is the LAST incarnation's server accounting.
+	FinalStats svc.Stats
+}
+
+// ---- harness ----------------------------------------------------------
+
+const (
+	svcServerNode  = topology.NodeID(0)
+	svcTenantBase  = topology.NodeID(100)
+	svcTimeoutMS   = 40 // virtual retransmit pace
+	svcMaxAttempts = 10
+	svcStepSlots   = 16 // data-plane slots advanced per virtual ms
+)
+
+type svcDue struct {
+	seq int64 // FIFO tiebreak for equal due times
+	d   ctrlnet.Delivery
+}
+
+// svcHarness owns the whole virtual world: LAN, server, fault engine,
+// tenants, and the two delayed-delivery queues.
+type svcHarness struct {
+	s      SvcSchedule
+	lan    *core.LAN
+	hosts  []topology.NodeID
+	eng    *ctrlnet.Net
+	srv    *svc.Server
+	alive  bool
+	incarn int32
+
+	nowMS int64
+	seq   int64
+
+	toServer []svcDue
+	toTenant []svcDue
+
+	tenants map[topology.NodeID]*svcTenant
+
+	// grants maps (tenant, nonce) -> granted VCI: the double-grant check.
+	grants map[[2]uint64]cell.VCI
+
+	res SvcResult
+}
+
+// svcChannel is the server's Transport: everything the server sends goes
+// back through the shared fault engine toward the tenants.
+type svcChannel struct{ h *svcHarness }
+
+func (c *svcChannel) Send(from, to topology.NodeID, wire []byte, _ int64) ([]ctrlnet.Delivery, error) {
+	c.h.inject(from, to, wire, false)
+	return nil, nil
+}
+func (c *svcChannel) Poll() []ctrlnet.Delivery  { return nil }
+func (c *svcChannel) Flush() []ctrlnet.Delivery { return nil }
+func (c *svcChannel) Close() error              { return nil }
+
+func (h *svcHarness) nowUS() int64 { return h.nowMS * 1000 }
+
+func (h *svcHarness) clock() time.Time {
+	return time.Unix(0, h.nowUS()*int64(time.Microsecond))
+}
+
+// inject threads one wire image through the fault engine and queues the
+// surviving images for their virtual arrival tick.
+func (h *svcHarness) inject(from, to topology.NodeID, wire []byte, toServer bool) {
+	for _, d := range h.eng.Transmit(from, to, wire, h.nowUS()) {
+		h.seq++
+		if toServer {
+			h.toServer = append(h.toServer, svcDue{seq: h.seq, d: d})
+		} else {
+			h.toTenant = append(h.toTenant, svcDue{seq: h.seq, d: d})
+		}
+	}
+}
+
+// drainDue pops every delivery due at or before now, in (time, seq) order.
+func drainDue(q []svcDue, nowUS int64) (due, rest []svcDue) {
+	for _, m := range q {
+		if m.d.AtUS <= nowUS {
+			due = append(due, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].d.AtUS != due[j].d.AtUS {
+			return due[i].d.AtUS < due[j].d.AtUS
+		}
+		return due[i].seq < due[j].seq
+	})
+	return due, rest
+}
+
+// startServer boots a new incarnation over the (shared, surviving) LAN.
+func (h *svcHarness) startServer() error {
+	h.incarn++
+	lease := time.Duration(h.s.LeaseDurMS) * time.Millisecond
+	grace := time.Duration(h.s.OrphanGraceMS) * time.Millisecond
+	if h.s.UnsafeNoLeaseGC {
+		// The regression arm: leases never expire, orphans are never
+		// reclaimed — whatever is leaked stays leaked.
+		lease = 1000 * time.Hour
+		grace = 1000 * time.Hour
+	}
+	srv, err := svc.NewServer(svc.Config{
+		LAN:                    h.lan,
+		Transport:              &svcChannel{h: h},
+		Node:                   svcServerNode,
+		MaxVCsPerTenant:        4,
+		MaxGuaranteedPerTenant: 4,
+		Incarnation:            h.incarn,
+		LeaseDur:               lease,
+		OrphanGrace:            grace,
+		Now:                    h.clock,
+	})
+	if err != nil {
+		return err
+	}
+	h.srv = srv
+	h.alive = true
+	return nil
+}
+
+// RunSvc executes the schedule and checks every invariant. A non-nil
+// error is a harness failure; findings come back in SvcResult.Violation.
+func RunSvc(s SvcSchedule) (*SvcResult, error) {
+	if s.Tenants <= 0 {
+		s.Tenants = 8
+	}
+	if s.LeaseDurMS <= 0 {
+		s.LeaseDurMS = 400
+	}
+	if s.OrphanGraceMS <= 0 {
+		s.OrphanGraceMS = 400
+	}
+	if s.HorizonMS <= 0 {
+		s.HorizonMS = 3000
+	}
+	if s.GraceMS <= 0 {
+		s.GraceMS = 600
+	}
+	g := fixtureGraph()
+	lan, err := core.New(core.Config{Topology: g, FrameSlots: 64, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	faults := s.Faults
+	faults.Seed = s.Seed ^ 0x7E57ED
+	// Brownout outages become the engine's native total-loss windows
+	// (virtual µs).
+	for _, o := range s.Outages {
+		if !o.Kill {
+			faults.Bursts = append(faults.Bursts,
+				ctrlnet.Window{FromUS: o.StartMS * 1000, ToUS: o.EndMS * 1000})
+		}
+	}
+	eng, err := ctrlnet.New(faults)
+	if err != nil {
+		return nil, err
+	}
+	h := &svcHarness{
+		s:       s,
+		lan:     lan,
+		hosts:   lan.Topology().Hosts(),
+		eng:     eng,
+		tenants: make(map[topology.NodeID]*svcTenant),
+		grants:  make(map[[2]uint64]cell.VCI),
+	}
+	if err := h.startServer(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < s.Tenants; i++ {
+		node := svcTenantBase + topology.NodeID(i)
+		tn := newSvcTenant(h, node, uint64(i+1), s.Seed+int64(i)*7919)
+		if i < s.Vanish {
+			// Vanishing tenants stop cold somewhere in the middle third.
+			tn.vanishAtMS = s.HorizonMS/3 + tn.rng.Int63n(s.HorizonMS/3)
+		}
+		h.tenants[node] = tn
+	}
+
+	total := s.HorizonMS + s.GraceMS
+	for h.nowMS = 0; h.nowMS <= total; h.nowMS++ {
+		// Server process lifecycle.
+		for _, o := range s.Outages {
+			if !o.Kill {
+				continue
+			}
+			if h.nowMS == o.StartMS && h.alive {
+				h.alive = false
+				h.res.FinalStats = h.srv.Stats()
+			}
+			if h.nowMS == o.EndMS && !h.alive {
+				if err := h.startServer(); err != nil {
+					return nil, err
+				}
+				h.res.Restarts++
+			}
+		}
+
+		// Deliver what is due. Datagrams addressed to a dead process
+		// vanish, exactly like a closed socket's ICMP-less silence.
+		var due []svcDue
+		due, h.toServer = drainDue(h.toServer, h.nowUS())
+		for _, m := range due {
+			if h.alive {
+				h.srv.ServeOne(m.d)
+			}
+		}
+		due, h.toTenant = drainDue(h.toTenant, h.nowUS())
+		for _, m := range due {
+			if tn, ok := h.tenants[m.d.To]; ok {
+				if v := tn.onDelivery(m.d); v != nil {
+					h.res.Violation = v
+					return h.finish(), nil
+				}
+			}
+		}
+
+		// Tenant state machines act.
+		nodes := make([]topology.NodeID, 0, len(h.tenants))
+		for n := range h.tenants {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, n := range nodes {
+			h.tenants[n].step()
+		}
+
+		// The fabric and the lease clock advance.
+		lan.Run(svcStepSlots)
+		if h.alive {
+			h.srv.Sweep()
+		}
+		if !lan.Snapshot().Conserved() {
+			h.res.Violation = &Violation{Slot: h.nowMS, Invariant: "conservation",
+				Detail: fmt.Sprintf("cell accounting broken: %+v", lan.Snapshot())}
+			return h.finish(), nil
+		}
+	}
+
+	// End state: anything the engine still holds dies with the run, then
+	// the clock jumps past lease expiry and the orphan grace so every
+	// leaked session and adopted orphan must have been collected.
+	h.eng.Flush()
+	h.nowMS = total + s.LeaseDurMS + s.OrphanGraceMS + 100
+	if h.alive {
+		h.srv.Sweep()
+		lan.Run(svcStepSlots)
+	}
+	if n := len(lan.Circuits()); n != 0 {
+		h.res.Violation = &Violation{Slot: h.nowMS, Invariant: "no-orphan-vc",
+			Detail: fmt.Sprintf("%d circuits survive every bye, lease expiry, and the orphan grace", n)}
+	} else if h.alive && !h.srv.Quiesced() {
+		h.res.Violation = &Violation{Slot: h.nowMS, Invariant: "no-orphan-vc",
+			Detail: "server not quiesced after lease expiry"}
+	} else if !lan.Snapshot().Conserved() {
+		h.res.Violation = &Violation{Slot: h.nowMS, Invariant: "conservation",
+			Detail: fmt.Sprintf("end-state cell accounting broken: %+v", lan.Snapshot())}
+	}
+	return h.finish(), nil
+}
+
+func (h *svcHarness) finish() *SvcResult {
+	if h.alive {
+		h.res.FinalStats = h.srv.Stats()
+	}
+	for _, tn := range h.tenants {
+		h.res.Grants += tn.grants
+		h.res.Reattaches += tn.reattaches
+		if tn.done {
+			h.res.Byes++
+		}
+	}
+	return &h.res
+}
+
+// ---- tenant state machine ---------------------------------------------
+
+type svcIntent struct {
+	kind proto.Kind
+	// open parameters (KindVCRequest); user is the application-held VCI
+	// being reopened during re-attach (0 for a fresh open).
+	src, dst topology.NodeID
+	rate     int
+	user     cell.VCI
+	// close parameter (KindVCClose).
+	vc cell.VCI
+}
+
+type svcLedgerEntry struct {
+	src, dst topology.NodeID
+	rate     int
+}
+
+// svcTenant is one scripted tenant: a deterministic client state machine
+// with its own nonce stream, ledger, retransmit pacing, and re-attach
+// behavior — the same protocol the real svc.Client speaks, driven by the
+// harness clock instead of goroutines.
+type svcTenant struct {
+	h    *svcHarness
+	node topology.NodeID
+	id   uint64
+	rng  *rand.Rand
+
+	nonce   uint64
+	incarn  int32
+	helloed bool
+	queue   []svcIntent
+	ledger  map[cell.VCI]svcLedgerEntry
+	alias   map[cell.VCI]cell.VCI
+
+	// inflight is the single outstanding RPC.
+	inflight *svcIntent
+	inNonce  uint64
+	sentAtMS int64
+	attempts int
+
+	vanishAtMS int64 // 0: never vanishes
+	vanished   bool
+	done       bool // bye acknowledged (or refused-stale: same thing)
+	byeQueued  bool
+
+	grants     int64
+	reattaches int64
+}
+
+func newSvcTenant(h *svcHarness, node topology.NodeID, id uint64, seed int64) *svcTenant {
+	t := &svcTenant{
+		h: h, node: node, id: id,
+		rng:    rand.New(rand.NewSource(seed)),
+		ledger: make(map[cell.VCI]svcLedgerEntry),
+		alias:  make(map[cell.VCI]cell.VCI),
+	}
+	t.queue = append(t.queue, svcIntent{kind: proto.KindHello})
+	return t
+}
+
+func (t *svcTenant) active() bool { return !t.vanished && !t.done }
+
+// step is one virtual millisecond of tenant life.
+func (t *svcTenant) step() {
+	if t.vanishAtMS > 0 && t.h.nowMS >= t.vanishAtMS && !t.vanished {
+		t.vanished = true
+		t.inflight = nil
+		t.queue = nil
+	}
+	if !t.active() {
+		return
+	}
+	// Wind-down: everything still open is closed by the session-wide bye.
+	if t.h.nowMS >= t.h.s.HorizonMS && !t.byeQueued {
+		t.queue = []svcIntent{{kind: proto.KindBye}}
+		t.inflight = nil
+		t.byeQueued = true
+	}
+
+	if t.inflight != nil {
+		if t.h.nowMS-t.sentAtMS >= svcTimeoutMS {
+			t.attempts++
+			if t.attempts >= svcMaxAttempts {
+				// Give up this op; its server-side effects, if any, are
+				// cleaned by bye or lease GC — that is the point.
+				t.inflight = nil
+			} else {
+				t.transmit() // same nonce: idempotency carries it
+			}
+		}
+		return
+	}
+
+	if len(t.queue) == 0 {
+		t.plan()
+	}
+	if len(t.queue) == 0 {
+		return
+	}
+	next := t.queue[0]
+	t.queue = t.queue[1:]
+	t.begin(next)
+}
+
+// plan draws the next scripted intent: tenants churn for the WHOLE
+// horizon, so a kill anywhere in it always lands on live traffic.
+func (t *svcTenant) plan() {
+	if t.byeQueued || t.h.nowMS >= t.h.s.HorizonMS {
+		return
+	}
+	// Pace: act roughly every four idle milliseconds.
+	if t.rng.Float64() < 0.75 {
+		return
+	}
+	open := make([]cell.VCI, 0, len(t.ledger))
+	for vc := range t.ledger {
+		open = append(open, vc)
+	}
+	sort.Slice(open, func(i, j int) bool { return open[i] < open[j] })
+	switch {
+	case len(open) > 0 && t.rng.Float64() < 0.45:
+		t.queue = append(t.queue, svcIntent{kind: proto.KindVCClose, vc: open[t.rng.Intn(len(open))]})
+	case len(open) > 0 && t.rng.Float64() < 0.3:
+		// Fire-and-forget traffic on a held circuit.
+		t.sendTraffic(open[t.rng.Intn(len(open))], 1+t.rng.Intn(4))
+	default:
+		src := t.hostAt(t.rng.Intn(len(t.h.hosts)))
+		dst := t.hostAt(t.rng.Intn(len(t.h.hosts)))
+		for dst == src {
+			dst = t.hostAt(t.rng.Intn(len(t.h.hosts)))
+		}
+		rate := 0
+		if t.rng.Float64() < 0.3 {
+			rate = 1 + t.rng.Intn(2)
+		}
+		t.queue = append(t.queue, svcIntent{kind: proto.KindVCRequest, src: src, dst: dst, rate: rate})
+	}
+}
+
+func (t *svcTenant) hostAt(i int) topology.NodeID { return t.h.hosts[i] }
+
+// begin starts one intent as the in-flight RPC.
+func (t *svcTenant) begin(in svcIntent) {
+	t.inflight = &in
+	t.nonce++
+	t.inNonce = t.nonce
+	t.attempts = 0
+	t.transmit()
+}
+
+// transmit (re)sends the in-flight RPC with the current incarnation
+// stamp — a retransmit after a re-attach must not carry the dead one.
+func (t *svcTenant) transmit() {
+	in := t.inflight
+	m := &proto.Message{Epoch: t.id, Initiator: t.inNonce, VTimeUS: t.h.nowUS()}
+	switch in.kind {
+	case proto.KindHello:
+		m.Kind = proto.KindHello
+	case proto.KindVCRequest:
+		m.Kind = proto.KindVCRequest
+		m.From = t.incarn
+		m.Depth = int32(in.rate)
+		m.Links = []proto.LinkRec{{A: int32(in.src), B: int32(in.dst)}}
+	case proto.KindVCClose:
+		m.Kind = proto.KindVCClose
+		m.From = t.incarn
+		m.Depth = int32(t.serverVC(in.vc))
+	case proto.KindBye:
+		m.Kind = proto.KindBye
+		m.From = t.incarn
+	}
+	wire, err := proto.Marshal(m)
+	if err != nil {
+		panic(err) // harness-built frames cannot fail to encode
+	}
+	t.sentAtMS = t.h.nowMS
+	t.h.inject(t.node, svcServerNode, wire, true)
+}
+
+func (t *svcTenant) sendTraffic(user cell.VCI, cells int) {
+	m := &proto.Message{
+		Kind: proto.KindTraffic, Epoch: t.id,
+		From: int32(t.serverVC(user)), Depth: int32(cells), VTimeUS: t.h.nowUS(),
+	}
+	wire, err := proto.Marshal(m)
+	if err != nil {
+		panic(err)
+	}
+	t.h.inject(t.node, svcServerNode, wire, true)
+}
+
+func (t *svcTenant) serverVC(user cell.VCI) cell.VCI {
+	if cur, ok := t.alias[user]; ok {
+		return cur
+	}
+	return user
+}
+
+// reattachPlan rebuilds the session: hello first, then reopen every
+// ledger circuit (tagged with its user VCI so the grant re-aliases it),
+// then whatever was interrupted.
+func (t *svcTenant) reattachPlan(interrupted svcIntent) {
+	t.reattaches++
+	t.helloed = false
+	plan := []svcIntent{{kind: proto.KindHello}}
+	vcs := make([]cell.VCI, 0, len(t.ledger))
+	for vc := range t.ledger {
+		vcs = append(vcs, vc)
+	}
+	sort.Slice(vcs, func(i, j int) bool { return vcs[i] < vcs[j] })
+	for _, vc := range vcs {
+		e := t.ledger[vc]
+		plan = append(plan, svcIntent{kind: proto.KindVCRequest, src: e.src, dst: e.dst, rate: e.rate, user: vc})
+	}
+	if interrupted.kind != proto.KindHello {
+		plan = append(plan, interrupted)
+	}
+	t.queue = append(plan, t.queue...)
+	t.inflight = nil
+}
+
+// onDelivery processes one server frame; a non-nil Violation aborts the
+// run (double-grant is checked here, where grants are observed).
+func (t *svcTenant) onDelivery(d ctrlnet.Delivery) *Violation {
+	if !t.active() {
+		return nil
+	}
+	m, err := proto.Unmarshal(d.Wire)
+	if err != nil || m.Epoch != t.id {
+		return nil // corrupted in flight, or not ours: drop
+	}
+	if m.Initiator != t.inNonce || t.inflight == nil {
+		return nil // late duplicate of an already-resolved nonce
+	}
+	in := *t.inflight
+
+	// Stale session: the server forgot us (restart or lease expiry).
+	// Re-attach, except on bye — a dead session IS the goal of bye.
+	if !m.Accept && m.Kind == proto.KindVCReply && m.Depth == svc.RefuseStaleSession {
+		if m.From != 0 {
+			t.incarn = m.From
+		}
+		if in.kind == proto.KindBye {
+			t.done = true
+			t.inflight = nil
+			return nil
+		}
+		t.reattachPlan(in)
+		return nil
+	}
+
+	switch in.kind {
+	case proto.KindHello:
+		if m.Kind == proto.KindHello && m.Accept {
+			t.helloed = true
+			if m.From != 0 {
+				t.incarn = m.From
+			}
+			t.inflight = nil
+		}
+	case proto.KindVCRequest:
+		if m.Kind != proto.KindVCReply {
+			return nil
+		}
+		if m.Accept {
+			got := cell.VCI(m.Depth)
+			key := [2]uint64{t.id, t.inNonce}
+			if prev, ok := t.h.grants[key]; ok && prev != got {
+				return &Violation{Slot: t.h.nowMS, Invariant: "double-grant",
+					Detail: fmt.Sprintf("tenant %d nonce %d granted VCI %d then %d", t.id, t.inNonce, prev, got)}
+			}
+			t.h.grants[key] = got
+			t.grants++
+			if in.user != 0 {
+				t.alias[in.user] = got // re-attach reopen
+			} else {
+				t.ledger[got] = svcLedgerEntry{src: in.src, dst: in.dst, rate: in.rate}
+				t.alias[got] = got
+			}
+		} else if in.user != 0 {
+			// A reopen the new world refused: the circuit is gone.
+			delete(t.ledger, in.user)
+			delete(t.alias, in.user)
+		}
+		t.inflight = nil
+	case proto.KindVCClose:
+		if m.Kind != proto.KindVCReply {
+			return nil
+		}
+		// Accepted, unknown-vc, whatever: the circuit is not ours now.
+		delete(t.ledger, in.vc)
+		delete(t.alias, in.vc)
+		t.inflight = nil
+	case proto.KindBye:
+		if m.Kind == proto.KindBye && m.Accept {
+			t.done = true
+			t.inflight = nil
+		}
+	}
+	return nil
+}

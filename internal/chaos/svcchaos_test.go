@@ -1,0 +1,144 @@
+package chaos
+
+import "testing"
+
+// Generated schedules — kills, brownouts, vanishing tenants, lossy
+// control — must hold every service invariant: that is the tentpole
+// claim (the service survives what the network survives).
+func TestSvcChaosGeneratedSchedulesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service chaos sweep is long")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		s := GenerateSvc(seed, SvcGenConfig{})
+		res, err := RunSvc(s)
+		if err != nil {
+			t.Fatalf("seed %d: harness: %v", seed, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("seed %d: %v\nreproducer:\n%s", seed, res.Violation, s)
+		}
+		if res.Restarts == 0 {
+			t.Fatalf("seed %d: schedule exercised no restart", seed)
+		}
+		if res.Grants == 0 {
+			t.Fatalf("seed %d: no circuits ever granted — harness inert", seed)
+		}
+	}
+}
+
+// A kill mid-churn must force observable re-attaches: tenants notice the
+// new incarnation via stale refusals and rebuild their sessions.
+func TestSvcChaosKillForcesReattach(t *testing.T) {
+	s := SvcSchedule{
+		Seed: 3, HorizonMS: 2000, GraceMS: 600, Tenants: 6,
+		LeaseDurMS: 400, OrphanGraceMS: 400,
+		Outages: []SvcOutage{{Kill: true, StartMS: 700, EndMS: 900}},
+	}
+	res, err := RunSvc(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("%v\nreproducer:\n%s", res.Violation, s)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", res.Restarts)
+	}
+	if res.Reattaches == 0 {
+		t.Fatal("no tenant re-attached across the restart")
+	}
+	if res.Byes == 0 {
+		t.Fatal("no tenant completed bye")
+	}
+}
+
+// With lease GC disabled (the regression arm), a tenant that vanishes
+// without bye leaks its circuits forever: the no-orphan-vc invariant
+// must fire, and SvcShrink must keep the failure while simplifying.
+func TestSvcChaosCatchesLeakWithoutLeaseGC(t *testing.T) {
+	s := SvcSchedule{
+		Seed: 11, HorizonMS: 1500, GraceMS: 500, Tenants: 5, Vanish: 2,
+		LeaseDurMS: 400, OrphanGraceMS: 400,
+		UnsafeNoLeaseGC: true,
+		Outages:         []SvcOutage{{Kill: true, StartMS: 500, EndMS: 650}},
+	}
+	res, err := RunSvc(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("no-lease-GC run passed: vanished tenants leaked nothing?")
+	}
+	if res.Violation.Invariant != "no-orphan-vc" {
+		t.Fatalf("violation = %v, want no-orphan-vc", res.Violation)
+	}
+
+	min, v, runs, err := SvcShrink(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Invariant != "no-orphan-vc" {
+		t.Fatalf("shrink lost the violation: %v", v)
+	}
+	if runs < 2 {
+		t.Fatalf("shrink spent %d runs — tried nothing", runs)
+	}
+	// The reproducer must replay deterministically from its struct alone.
+	again, err := RunSvc(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Violation == nil || again.Violation.Invariant != "no-orphan-vc" {
+		t.Fatalf("minimal reproducer did not replay: %v\n%s", again.Violation, min)
+	}
+	t.Logf("shrunk in %d runs to:\n%s", runs, min)
+}
+
+// The same schedule with lease GC on must pass: expired sessions are
+// collected, so vanished tenants leak nothing.
+func TestSvcChaosLeaseGCCollectsVanished(t *testing.T) {
+	s := SvcSchedule{
+		Seed: 11, HorizonMS: 1500, GraceMS: 500, Tenants: 5, Vanish: 2,
+		LeaseDurMS: 400, OrphanGraceMS: 400,
+		Outages: []SvcOutage{{Kill: true, StartMS: 500, EndMS: 650}},
+	}
+	res, err := RunSvc(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("%v\nreproducer:\n%s", res.Violation, s)
+	}
+	// Vanished tenants leave either live sessions whose leases expire
+	// (vanished after the restart) or circuits the new incarnation adopts
+	// and reclaims (vanished before it) — some GC must have happened.
+	if res.FinalStats.LeaseExpired+res.FinalStats.OrphansReclaimed == 0 {
+		t.Fatal("nothing was garbage-collected — vanish arm inert")
+	}
+}
+
+// Determinism: equal schedules produce identical results, down to the
+// tenant-observed counters. Without this, shrinking is meaningless.
+func TestSvcChaosDeterministic(t *testing.T) {
+	s := GenerateSvc(5, SvcGenConfig{HorizonMS: 1200, GraceMS: 500})
+	a, err := RunSvc(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSvc(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Grants != b.Grants || a.Reattaches != b.Reattaches || a.Byes != b.Byes ||
+		a.Restarts != b.Restarts {
+		t.Fatalf("same schedule diverged: %+v vs %+v", a, b)
+	}
+	if (a.Violation == nil) != (b.Violation == nil) {
+		t.Fatalf("violation nondeterminism: %v vs %v", a.Violation, b.Violation)
+	}
+	if a.FinalStats.Requests != b.FinalStats.Requests ||
+		a.FinalStats.LeaseExpired != b.FinalStats.LeaseExpired {
+		t.Fatalf("server stats diverged: %+v vs %+v", a.FinalStats, b.FinalStats)
+	}
+}

@@ -326,6 +326,11 @@ func (l *LAN) HostStats(host topology.NodeID) (*simnet.HostStats, bool) {
 // NetStats returns network-wide counters.
 func (l *LAN) NetStats() simnet.NetStats { return l.net.Stats() }
 
+// Snapshot returns the data plane's cell-accounting snapshot, whose
+// Conserved check is the global no-cell-created-or-lost invariant chaos
+// harnesses assert every step.
+func (l *LAN) Snapshot() simnet.Snapshot { return l.net.Snapshot() }
+
 // LinkUtilization returns per-link carried load in cells/slot.
 func (l *LAN) LinkUtilization() map[topology.LinkID]float64 {
 	return l.net.LinkUtilization()

@@ -39,13 +39,16 @@ const Version = 1
 type Kind uint8
 
 // Message kinds. Values are wire-stable. Kinds 1-4 are the
-// reconfiguration protocol; kinds 5-10 are the VC service's
+// reconfiguration protocol; kinds 5-12 are the VC service's
 // tenant-session protocol (package svc), which reuses this frame — same
 // header, same trailing CRC — with the fields repurposed per kind:
 // Epoch carries the tenant id, Initiator the request nonce, Depth the
-// requested rate / granted VCI / cell count / refusal code, Accept the
-// grant flag, and Links[0] the (src, dst) host pair. See package svc for
-// the per-kind field contracts.
+// requested rate / granted VCI / cell count / refusal code / lease ms,
+// Accept the grant flag, From the server incarnation (client requests
+// echo it; traffic carries the VCI there instead), and Links[0] the
+// (src, dst) host pair. KindLease is the session heartbeat; KindDrain
+// toggles the server's drain mode. See package svc for the per-kind
+// field contracts.
 const (
 	KindInvite Kind = iota + 1
 	KindAck
@@ -57,6 +60,8 @@ const (
 	KindVCClose
 	KindTraffic
 	KindBye
+	KindLease
+	KindDrain
 	kindMax
 )
 
@@ -83,6 +88,10 @@ func (k Kind) String() string {
 		return "traffic"
 	case KindBye:
 		return "bye"
+	case KindLease:
+		return "lease"
+	case KindDrain:
+		return "drain"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -3,11 +3,15 @@ package svc
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cell"
 	"repro/internal/ctrlnet"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/topology"
 )
@@ -18,6 +22,25 @@ import (
 // by nonce, and a timed-out request retransmits the SAME nonce — the
 // server's idempotency cache makes the retry safe even when the original
 // was executed and only its reply was lost.
+//
+// # Survivability
+//
+// The client is built to outlive the server. It keeps its own LEDGER of
+// every circuit it opened (src, dst, rate); when any session RPC comes
+// back RefuseStaleSession — the server restarted under a new incarnation,
+// or the session's lease expired — the client RE-ATTACHES transparently:
+// one goroutine re-registers with hello, re-opens every ledger circuit,
+// and records the new server-side VCI in an alias table so the VCIs the
+// application already holds keep working. Callers never see the restart,
+// only (at worst) latency.
+//
+// Retransmits pace themselves with capped exponential backoff and full
+// jitter: attempt 0 waits Timeout, attempt i draws uniformly from
+// [Timeout/2, min(RetryCap, Timeout·2^i)]. A thousand clients orphaned by
+// the same crash therefore return decorrelated, not as a thundering herd.
+// NoJitter restores the fixed-interval pacing, as the control arm for
+// experiments. An overload refusal (RefuseOverloaded) is honored the same
+// way: back off, then resend the same nonce for a fresh decision.
 type Client struct {
 	tr     ctrlnet.Transport
 	waiter ctrlnet.Waiter
@@ -25,16 +48,70 @@ type Client struct {
 	server topology.NodeID
 	tenant uint64
 
-	// timeout is one RPC attempt's reply deadline; retries is how many
-	// attempts total before giving up.
-	timeout time.Duration
-	retries int
+	// timeout is attempt 0's reply deadline; retries is how many attempts
+	// total before giving up; retryCap bounds the backoff.
+	timeout  time.Duration
+	retries  int
+	retryCap time.Duration
+	noJitter bool
+
+	// incarn is the server incarnation this session believes in, learned
+	// from replies and stamped into requests.
+	incarn atomic.Int32
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu      sync.Mutex
 	nonce   uint64
 	pending map[uint64]chan *proto.Message
 	closed  bool
 	stopped chan struct{}
+	hbStop  chan struct{}
+
+	// ledger is the client's own record of its circuits, keyed by the VCI
+	// the application holds; alias maps that to the VCI the CURRENT server
+	// incarnation knows (identical until a re-attach re-opens them).
+	ledger map[cell.VCI]ledgerEntry
+	alias  map[cell.VCI]cell.VCI
+
+	// reMu single-flights re-attach; reGen counts completed re-attaches so
+	// concurrent RPCs that hit the same stale refusal do only one.
+	reMu  sync.Mutex
+	reGen uint64
+
+	stats ClientStats
+
+	obsOrphans    *obs.Counter
+	obsRetrans    *obs.Counter
+	obsReattach   *obs.Counter
+	obsReattFail  *obs.Counter
+	obsReattLatUS *obs.Histogram
+}
+
+type ledgerEntry struct {
+	src, dst topology.NodeID
+	rate     int
+}
+
+// ClientStats is the client's resilience accounting.
+type ClientStats struct {
+	// Retransmits counts request frames re-sent after a timeout or an
+	// overload refusal.
+	Retransmits int64
+	// Reattaches counts completed re-attach rounds (hello + ledger
+	// re-open after a stale-session refusal).
+	Reattaches int64
+	// ReattachVCs / ReattachFailedVCs count ledger circuits re-opened /
+	// refused during re-attach (refused ones are dropped from the ledger).
+	ReattachVCs       int64
+	ReattachFailedVCs int64
+	// OrphanReplies counts replies the read loop could not deliver:
+	// undecodable frames and nonces with no waiter (late duplicates).
+	OrphanReplies int64
+	// LastReattachAt / LastReattachDur describe the most recent re-attach.
+	LastReattachAt  time.Time
+	LastReattachDur time.Duration
 }
 
 // ClientConfig configures a tenant session.
@@ -48,16 +125,34 @@ type ClientConfig struct {
 	// is the service's id. Tenant is the tenant identity sent as Epoch.
 	Self, Server topology.NodeID
 	Tenant       uint64
-	// Timeout is one attempt's reply deadline (default 250ms); Retries
-	// is total attempts before an RPC fails (default 4).
+	// Timeout is attempt 0's reply deadline (default 250ms); Retries is
+	// total attempts before an RPC fails (default 4).
 	Timeout time.Duration
 	Retries int
+	// RetryCap bounds the exponential backoff between attempts
+	// (default 2s).
+	RetryCap time.Duration
+	// NoJitter replaces backoff+jitter with fixed Timeout pacing — the
+	// thundering-herd control arm for experiments, not for production.
+	NoJitter bool
+	// Seed seeds the jitter RNG for reproducible runs (0: time-seeded).
+	Seed int64
+	// Heartbeat, if > 0, starts a goroutine renewing the session lease at
+	// this period, keeping an idle session alive and detecting a server
+	// restart promptly. Pick well under the server's LeaseDur.
+	Heartbeat time.Duration
+	// Obs, if set, receives the client instruments (svc_client_*,
+	// svc_reattach_*).
+	Obs *obs.Registry
 }
 
 // RPC errors.
 var (
 	ErrRPCTimeout = errors.New("svc: rpc timed out after all retries")
 	ErrClientDone = errors.New("svc: client closed")
+	// ErrReattach reports that re-attach itself kept hitting stale
+	// refusals — the server is restarting faster than we can register.
+	ErrReattach = errors.New("svc: re-attach did not converge")
 )
 
 // Refused reports an admission refusal: the request was answered, and
@@ -83,23 +178,48 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Retries <= 0 {
 		cfg.Retries = 4
 	}
-	c := &Client{
-		tr:      cfg.Transport,
-		waiter:  w,
-		self:    cfg.Self,
-		server:  cfg.Server,
-		tenant:  cfg.Tenant,
-		timeout: cfg.Timeout,
-		retries: cfg.Retries,
-		pending: make(map[uint64]chan *proto.Message),
-		stopped: make(chan struct{}),
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 2 * time.Second
 	}
+	if cfg.RetryCap < cfg.Timeout {
+		cfg.RetryCap = cfg.Timeout
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{
+		tr:       cfg.Transport,
+		waiter:   w,
+		self:     cfg.Self,
+		server:   cfg.Server,
+		tenant:   cfg.Tenant,
+		timeout:  cfg.Timeout,
+		retries:  cfg.Retries,
+		retryCap: cfg.RetryCap,
+		noJitter: cfg.NoJitter,
+		rng:      rand.New(rand.NewSource(seed)),
+		pending:  make(map[uint64]chan *proto.Message),
+		stopped:  make(chan struct{}),
+		ledger:   make(map[cell.VCI]ledgerEntry),
+		alias:    make(map[cell.VCI]cell.VCI),
+	}
+	reg := cfg.Obs
+	c.obsOrphans = reg.Counter("svc_client_orphan_replies")
+	c.obsRetrans = reg.Counter("svc_client_retransmits_total")
+	c.obsReattach = reg.Counter("svc_reattach_total")
+	c.obsReattFail = reg.Counter("svc_reattach_failed_vcs_total")
+	c.obsReattLatUS = reg.Histogram("svc_reattach_latency_us")
 	go c.readLoop()
+	if cfg.Heartbeat > 0 {
+		c.hbStop = make(chan struct{})
+		go c.heartbeatLoop(cfg.Heartbeat)
+	}
 	return c, nil
 }
 
-// Close stops the reader and fails all in-flight RPCs. It does not close
-// the underlying transport.
+// Close stops the reader (and heartbeat) and fails all in-flight RPCs.
+// It does not close the underlying transport.
 func (c *Client) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -111,9 +231,23 @@ func (c *Client) Close() {
 		close(ch)
 		delete(c.pending, nonce)
 	}
+	hb := c.hbStop
 	c.mu.Unlock()
+	if hb != nil {
+		close(hb)
+	}
 	<-c.stopped
 }
+
+// Stats returns a snapshot of the client's resilience accounting.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Incarnation returns the server incarnation this session last saw.
+func (c *Client) Incarnation() int32 { return c.incarn.Load() }
 
 func (c *Client) readLoop() {
 	defer close(c.stopped)
@@ -126,20 +260,72 @@ func (c *Client) readLoop() {
 		}
 		for _, d := range ds {
 			m, err := proto.Unmarshal(d.Wire)
-			if err != nil || m.Epoch != c.tenant {
-				continue // corrupt, or another tenant sharing the endpoint
+			if err != nil {
+				// Corrupt or foreign datagram on our port: visible, not
+				// silent — misrouted traffic is an operations signal.
+				c.stats.OrphanReplies++
+				c.obsOrphans.Inc(0)
+				continue
+			}
+			if m.Epoch != c.tenant {
+				continue // another tenant sharing the endpoint
 			}
 			if ch, ok := c.pending[m.Initiator]; ok {
 				delete(c.pending, m.Initiator)
 				ch <- m // buffered: never blocks the reader
+			} else {
+				// A reply nobody is waiting for: usually the original
+				// answer arriving after its retransmit was already served.
+				c.stats.OrphanReplies++
+				c.obsOrphans.Inc(0)
 			}
 		}
 		c.mu.Unlock()
 	}
 }
 
+// heartbeatLoop renews the lease at a fixed period; a stale refusal on
+// the heartbeat triggers re-attach just like any session RPC, so an idle
+// client discovers a server restart within one heartbeat.
+func (c *Client) heartbeatLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+			_ = c.Lease()
+		}
+	}
+}
+
+// backoffWait returns how long to wait for attempt's reply before
+// retransmitting: Timeout for attempt 0 (and always under NoJitter),
+// otherwise a full-jitter draw from [Timeout/2, min(RetryCap, Timeout·2^i)].
+func (c *Client) backoffWait(attempt int) time.Duration {
+	if attempt <= 0 || c.noJitter {
+		return c.timeout
+	}
+	hi := c.retryCap
+	if attempt < 30 {
+		if shifted := c.timeout << uint(attempt); shifted < hi {
+			hi = shifted
+		}
+	}
+	lo := c.timeout / 2
+	if hi <= lo {
+		return hi
+	}
+	c.rngMu.Lock()
+	d := lo + time.Duration(c.rng.Int63n(int64(hi-lo)+1))
+	c.rngMu.Unlock()
+	return d
+}
+
 // rpc sends the request under a fresh nonce and waits for its reply,
-// retransmitting the same nonce on each timeout.
+// retransmitting the same nonce on each timeout (and on each overload
+// refusal) with backoff pacing. One reusable timer serves every attempt.
 func (c *Client) rpc(m *proto.Message) (*proto.Message, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -160,22 +346,74 @@ func (c *Client) rpc(m *proto.Message) (*proto.Message, error) {
 		c.abandon(nonce)
 		return nil, err
 	}
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
 	for attempt := 0; attempt < c.retries; attempt++ {
+		if attempt > 0 {
+			c.noteRetransmit()
+		}
 		if _, err := c.tr.Send(c.self, c.server, wire, 0); err != nil {
 			c.abandon(nonce)
 			return nil, err
+		}
+		if attempt > 0 {
+			// Drained by the previous loop turn; safe to Reset.
+			timer.Reset(c.backoffWait(attempt))
 		}
 		select {
 		case rep, ok := <-ch:
 			if !ok {
 				return nil, ErrClientDone
 			}
+			if !rep.Accept && rep.Kind == proto.KindVCReply &&
+				rep.Depth == RefuseOverloaded && attempt+1 < c.retries {
+				// The server shed us: that is a pacing signal, not an
+				// answer. Re-arm the same nonce and come back after a
+				// backoff — the idempotency contract still holds.
+				if !c.rearm(nonce, ch) {
+					return nil, ErrClientDone
+				}
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(c.backoffWait(attempt + 1))
+				select {
+				case <-timer.C:
+				case rep2, ok2 := <-ch: // late duplicate raced the backoff
+					if !ok2 {
+						return nil, ErrClientDone
+					}
+					if rep2.Accept || rep2.Depth != RefuseOverloaded {
+						return rep2, nil
+					}
+					if !c.rearm(nonce, ch) {
+						return nil, ErrClientDone
+					}
+				}
+				continue
+			}
 			return rep, nil
-		case <-time.After(c.timeout):
+		case <-timer.C:
 		}
 	}
 	c.abandon(nonce)
 	return nil, fmt.Errorf("%w (nonce %d)", ErrRPCTimeout, nonce)
+}
+
+// rearm re-registers a nonce's reply channel after its entry was
+// consumed, so a resend of the same nonce can be answered. Reports false
+// if the client closed meanwhile.
+func (c *Client) rearm(nonce uint64, ch chan *proto.Message) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	c.pending[nonce] = ch
+	return true
 }
 
 func (c *Client) abandon(nonce uint64) {
@@ -184,12 +422,138 @@ func (c *Client) abandon(nonce uint64) {
 	c.mu.Unlock()
 }
 
+func (c *Client) noteRetransmit() {
+	c.mu.Lock()
+	c.stats.Retransmits++
+	c.mu.Unlock()
+	c.obsRetrans.Inc(0)
+}
+
+// noteIncarnation records the server incarnation a reply carried.
+func (c *Client) noteIncarnation(from int32) {
+	if from != 0 {
+		c.incarn.Store(from)
+	}
+}
+
+// sessionRPC runs one session-scoped RPC, transparently re-attaching on a
+// stale-session refusal and retrying the operation against the new
+// incarnation.
+func (c *Client) sessionRPC(build func(incarn int32) *proto.Message) (*proto.Message, error) {
+	for round := 0; round < 3; round++ {
+		gen := c.generation()
+		rep, err := c.rpc(build(c.incarn.Load()))
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Accept && rep.Kind == proto.KindVCReply && rep.Depth == RefuseStaleSession {
+			// The refusal itself names the living incarnation.
+			c.noteIncarnation(rep.From)
+			if err := c.reattach(gen); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		c.noteIncarnation(rep.From)
+		return rep, nil
+	}
+	return nil, ErrReattach
+}
+
+func (c *Client) generation() uint64 {
+	c.reMu.Lock()
+	defer c.reMu.Unlock()
+	return c.reGen
+}
+
+// reattach re-registers the session and re-opens every ledger circuit
+// against the current server incarnation. Single-flight: concurrent RPCs
+// refused by the same restart do one re-attach between them — callers
+// pass the generation they observed before failing, and a generation that
+// moved on means someone else already fixed the world.
+func (c *Client) reattach(sawGen uint64) error {
+	c.reMu.Lock()
+	defer c.reMu.Unlock()
+	if c.reGen != sawGen {
+		return nil // a concurrent re-attach already completed
+	}
+	start := time.Now()
+
+	// Register: hello is session-creating and incarnation-blind, so it
+	// succeeds against whatever server is alive and tells us who that is.
+	rep, err := c.rpc(&proto.Message{Kind: proto.KindHello})
+	if err != nil {
+		return err
+	}
+	c.noteIncarnation(rep.From)
+	incarn := c.incarn.Load()
+
+	// Re-open the ledger in stable order; a circuit the new world refuses
+	// (capacity changed, quotas tightened) is dropped from the ledger —
+	// the application finds out at next use, as it would after any close.
+	type rec struct {
+		user cell.VCI
+		e    ledgerEntry
+	}
+	c.mu.Lock()
+	recs := make([]rec, 0, len(c.ledger))
+	for vc, e := range c.ledger {
+		recs = append(recs, rec{user: vc, e: e})
+	}
+	c.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].user < recs[j].user })
+
+	var reopened, failed int64
+	for _, r := range recs {
+		user, e := r.user, r.e
+		rep, err := c.rpc(&proto.Message{
+			Kind:  proto.KindVCRequest,
+			From:  incarn,
+			Depth: int32(e.rate),
+			Links: []proto.LinkRec{{A: int32(e.src), B: int32(e.dst)}},
+		})
+		if err != nil {
+			return err
+		}
+		if !rep.Accept {
+			if rep.Depth == RefuseStaleSession {
+				return ErrReattach // restarted again mid-re-attach
+			}
+			failed++
+			c.obsReattFail.Inc(0)
+			c.mu.Lock()
+			delete(c.ledger, user)
+			delete(c.alias, user)
+			c.mu.Unlock()
+			continue
+		}
+		reopened++
+		c.mu.Lock()
+		c.alias[user] = cell.VCI(rep.Depth)
+		c.mu.Unlock()
+	}
+
+	dur := time.Since(start)
+	c.mu.Lock()
+	c.stats.Reattaches++
+	c.stats.ReattachVCs += reopened
+	c.stats.ReattachFailedVCs += failed
+	c.stats.LastReattachAt = time.Now()
+	c.stats.LastReattachDur = dur
+	c.mu.Unlock()
+	c.obsReattach.Inc(0)
+	c.obsReattLatUS.Observe(0, dur.Microseconds())
+	c.reGen++
+	return nil
+}
+
 // Hello announces the session and returns the host roster.
 func (c *Client) Hello() ([]topology.NodeID, error) {
 	rep, err := c.rpc(&proto.Message{Kind: proto.KindHello})
 	if err != nil {
 		return nil, err
 	}
+	c.noteIncarnation(rep.From)
 	hosts := make([]topology.NodeID, 0, len(rep.Links))
 	for _, l := range rep.Links {
 		hosts = append(hosts, topology.NodeID(l.A))
@@ -197,16 +561,29 @@ func (c *Client) Hello() ([]topology.NodeID, error) {
 	return hosts, nil
 }
 
+// Lease sends one explicit lease heartbeat, re-attaching if the session
+// is stale.
+func (c *Client) Lease() error {
+	_, err := c.sessionRPC(func(incarn int32) *proto.Message {
+		return &proto.Message{Kind: proto.KindLease, From: incarn}
+	})
+	return err
+}
+
 // Open requests a circuit: rate > 0 asks for that many guaranteed
 // cells/frame, rate == 0 asks for best-effort. A *Refused error means the
 // server answered no (quota, capacity, bad request); other errors mean
-// the request itself failed.
+// the request itself failed. The returned VCI stays valid across server
+// restarts: re-attach re-opens the circuit and aliases this VCI to the
+// new one.
 func (c *Client) Open(src, dst topology.NodeID, rate int) (cell.VCI, error) {
-	rep, err := c.rpc(&proto.Message{
-		Kind:  proto.KindVCRequest,
-		From:  int32(src),
-		Depth: int32(rate),
-		Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
+	rep, err := c.sessionRPC(func(incarn int32) *proto.Message {
+		return &proto.Message{
+			Kind:  proto.KindVCRequest,
+			From:  incarn,
+			Depth: int32(rate),
+			Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
+		}
 	})
 	if err != nil {
 		return 0, err
@@ -214,15 +591,36 @@ func (c *Client) Open(src, dst topology.NodeID, rate int) (cell.VCI, error) {
 	if !rep.Accept {
 		return 0, &Refused{Code: rep.Depth}
 	}
-	return cell.VCI(rep.Depth), nil
+	vc := cell.VCI(rep.Depth)
+	c.mu.Lock()
+	c.ledger[vc] = ledgerEntry{src: src, dst: dst, rate: rate}
+	c.alias[vc] = vc
+	c.mu.Unlock()
+	return vc, nil
+}
+
+// serverVCI translates an application-held VCI through the alias table.
+func (c *Client) serverVCI(vc cell.VCI) cell.VCI {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.alias[vc]; ok {
+		return cur
+	}
+	return vc
 }
 
 // CloseVC tears down one of this tenant's circuits.
 func (c *Client) CloseVC(vc cell.VCI) error {
-	rep, err := c.rpc(&proto.Message{Kind: proto.KindVCClose, Depth: int32(vc)})
+	rep, err := c.sessionRPC(func(incarn int32) *proto.Message {
+		return &proto.Message{Kind: proto.KindVCClose, From: incarn, Depth: int32(c.serverVCI(vc))}
+	})
 	if err != nil {
 		return err
 	}
+	c.mu.Lock()
+	delete(c.ledger, vc)
+	delete(c.alias, vc)
+	c.mu.Unlock()
 	if !rep.Accept {
 		return &Refused{Code: rep.Depth}
 	}
@@ -234,7 +632,7 @@ func (c *Client) Traffic(vc cell.VCI, cells int) error {
 	m := &proto.Message{
 		Kind:    proto.KindTraffic,
 		Epoch:   c.tenant,
-		From:    int32(vc),
+		From:    int32(c.serverVCI(vc)),
 		Depth:   int32(cells),
 		VTimeUS: time.Now().UnixMicro(),
 	}
@@ -247,7 +645,21 @@ func (c *Client) Traffic(vc cell.VCI, cells int) error {
 }
 
 // Bye ends the session; the server closes every circuit the tenant holds.
+// A stale-session refusal counts as success: either way, the session is
+// gone — re-attaching just to say goodbye would resurrect it.
 func (c *Client) Bye() error {
-	_, err := c.rpc(&proto.Message{Kind: proto.KindBye})
-	return err
+	rep, err := c.rpc(&proto.Message{
+		Kind: proto.KindBye, From: c.incarn.Load(),
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.ledger = make(map[cell.VCI]ledgerEntry)
+	c.alias = make(map[cell.VCI]cell.VCI)
+	c.mu.Unlock()
+	if !rep.Accept && rep.Kind == proto.KindVCReply && rep.Depth != RefuseStaleSession {
+		return &Refused{Code: rep.Depth}
+	}
+	return nil
 }

@@ -10,16 +10,46 @@
 // The session protocol reuses the proto reconfiguration frame — same
 // header, same trailing CRC — with fields repurposed per kind:
 //
-//	kind        Epoch    Initiator  From      Depth             Accept  Links
-//	hello       tenant   nonce      —         —                 —       (reply) host roster, one host per rec in A
-//	vc-request  tenant   nonce      src host  rate (0 = BE)     —       [0] = (src, dst)
-//	vc-reply    tenant   nonce      —         VCI / refusal     grant   —
-//	vc-close    tenant   nonce      —         VCI               —       —
-//	traffic     tenant   nonce      VCI       cells this burst  —       —
-//	bye         tenant   nonce      —         —                 (reply) —
+//	kind        Epoch    Initiator  From            Depth             Accept  Links
+//	hello       tenant   nonce      (reply) incarn  (reply) lease ms  —       (reply) host roster, one host per rec in A
+//	vc-request  tenant   nonce      incarnation     rate (0 = BE)     —       [0] = (src, dst)
+//	vc-reply    tenant   nonce      incarnation     VCI / refusal     grant   —
+//	vc-close    tenant   nonce      incarnation     VCI               —       —
+//	traffic     tenant   nonce      VCI             cells this burst  —       —
+//	bye         tenant   nonce      incarnation     —                 (reply) —
+//	lease       tenant   nonce      incarnation     (reply) lease ms  (reply) —
+//	drain       —        nonce      —               1 = begin, 0 = cancel     —
 //
 // VTimeUS carries the sender's wall-clock µs stamp and is echoed in every
 // reply so either side can measure RTT without synchronized clocks.
+//
+// # Survivability
+//
+// The service is built to survive the failures the paper's network
+// survives one layer down: the server process dying, tenants vanishing,
+// and overload.
+//
+//   - Sessions are LEASED. Hello opens a session and grants a lease
+//     (Config.LeaseDur); any authenticated message renews it, and an idle
+//     tenant keeps it alive with lease heartbeats. When a lease expires
+//     the server garbage-collects the tenant — every VC closed, every
+//     reserved cell returned — so a crashed client cannot leak resources
+//     forever.
+//   - The server stamps an INCARNATION number into every reply, and
+//     clients echo it in every request. A restarted server (fresh
+//     incarnation, empty tenant table) refuses requests from the previous
+//     incarnation with RefuseStaleSession; clients re-attach
+//     transparently — re-register and re-open circuits from their own
+//     ledger. Circuits the dead incarnation left in the fabric are
+//     adopted as ORPHANS at startup and reclaimed after an adoption
+//     grace, so a crash strands capacity only until leases would have
+//     expired anyway.
+//   - DRAIN mode (Server.Drain, or a KindDrain message) refuses new
+//     circuits with RefuseDraining while existing sessions wind down —
+//     the graceful half of a restart.
+//   - Overload SHEDS: when the request backlog passes Config.ShedWatermark
+//     the server refuses opens with RefuseOverloaded instead of queueing
+//     without bound; clients treat that as a backoff signal and retry.
 //
 // The server is single-threaded over the transport's blocking Wait: every
 // admission decision, schedule mutation, and data-plane step happens on
@@ -29,12 +59,17 @@
 // retransmits with the same nonce), so every state-changing request is
 // idempotent: the server keeps a bounded per-tenant cache of reply frames
 // keyed by nonce and re-sends the cached reply for a nonce it has already
-// served, without re-executing the request.
+// served, without re-executing the request. Draining, overload, and
+// stale-session refusals are deliberately NOT cached: they describe the
+// server's current weather, not the request's outcome, and a later retry
+// of the same nonce deserves a fresh decision.
 package svc
 
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cell"
@@ -47,12 +82,15 @@ import (
 
 // Refusal codes carried in a refused vc-reply's Depth field.
 const (
-	RefuseBadRequest  = 1 // unknown host, src == dst, malformed
-	RefuseQuotaVCs    = 2 // tenant at MaxVCsPerTenant
-	RefuseQuotaCells  = 3 // tenant at MaxGuaranteedPerTenant
-	RefuseCapacity    = 4 // admission refused: no route with schedule headroom
-	RefuseUnknownVC   = 5 // close/traffic for a VC the tenant does not own
-	RefuseServerError = 6 // internal failure opening the circuit
+	RefuseBadRequest   = 1 // unknown host, src == dst, malformed
+	RefuseQuotaVCs     = 2 // tenant at MaxVCsPerTenant
+	RefuseQuotaCells   = 3 // tenant at MaxGuaranteedPerTenant
+	RefuseCapacity     = 4 // admission refused: no route with schedule headroom
+	RefuseUnknownVC    = 5 // close/traffic for a VC the tenant does not own
+	RefuseServerError  = 6 // internal failure opening the circuit
+	RefuseStaleSession = 7 // unknown session or stale incarnation: re-attach
+	RefuseDraining     = 8 // server draining: no new circuits
+	RefuseOverloaded   = 9 // request backlog past the watermark: back off
 )
 
 // RefusalString names a refusal code.
@@ -70,10 +108,21 @@ func RefusalString(code int32) string {
 		return "unknown-vc"
 	case RefuseServerError:
 		return "server-error"
+	case RefuseStaleSession:
+		return "stale-session"
+	case RefuseDraining:
+		return "draining"
+	case RefuseOverloaded:
+		return "overloaded"
 	default:
 		return fmt.Sprintf("refusal(%d)", code)
 	}
 }
+
+// refusalCodes lists every code, for obs counter pre-registration.
+var refusalCodes = []int32{RefuseBadRequest, RefuseQuotaVCs, RefuseQuotaCells,
+	RefuseCapacity, RefuseUnknownVC, RefuseServerError, RefuseStaleSession,
+	RefuseDraining, RefuseOverloaded}
 
 // nonceCacheSize bounds the per-tenant idempotency window. A client
 // retries a nonce only until its RPC deadline, so the window needs to
@@ -105,11 +154,34 @@ type Config struct {
 	// Tick is the blocking-receive timeout: the pace of data-plane
 	// stepping and gauge refresh when no requests arrive (default 2ms).
 	Tick time.Duration
+	// Incarnation identifies this server lifetime. Replies carry it and
+	// requests must echo it; a mismatch (or an unknown session) is
+	// refused with RefuseStaleSession. Zero derives a nonzero value from
+	// the wall clock — pass an explicit value for deterministic runs and
+	// for "the restart bumped it" semantics in tests.
+	Incarnation int32
+	// LeaseDur is the session lease granted at hello and renewed by any
+	// authenticated message (default 10s). An expired lease
+	// garbage-collects the tenant: every VC closed, every quota freed.
+	LeaseDur time.Duration
+	// OrphanGrace is how long circuits inherited from a previous
+	// incarnation (found open in the LAN at startup) are held for their
+	// owners before being reclaimed (default: LeaseDur).
+	OrphanGrace time.Duration
+	// ShedWatermark is the request-backlog depth past which vc-requests
+	// are refused with RefuseOverloaded instead of queued (default 1024
+	// messages in one receive batch).
+	ShedWatermark int
+	// Now is the clock (default time.Now). Virtual-time harnesses
+	// (package chaos) substitute their own so lease expiry is
+	// deterministic.
+	Now func() time.Time
 	// Obs, if set, receives the service instruments (svc_* series).
 	Obs *obs.Registry
 }
 
-// Server is the VC service. All fields are owned by the Serve goroutine.
+// Server is the VC service. All fields are owned by the Serve goroutine
+// except the small atomic mirrors noted below.
 type Server struct {
 	cfg     Config
 	lan     *core.LAN
@@ -118,24 +190,52 @@ type Server struct {
 	hosts   map[topology.NodeID]bool
 	roster  []proto.LinkRec
 	tenants map[uint64]*tenant
+	// admitCount is per-tenant admissions over the server's whole life —
+	// it survives bye and lease GC, because fairness is a property of
+	// history, not of whoever happens to be connected right now.
+	admitCount map[uint64]int64
 	// vcOwner maps every open VC to its owning tenant, so traffic and
 	// close are validated in O(1).
 	vcOwner map[cell.VCI]uint64
+	// orphans are circuits inherited from a previous incarnation: open in
+	// the LAN at startup but owned by no live session. Each waits for its
+	// reclaim deadline, then is closed.
+	orphans   map[cell.VCI]time.Time
+	leaseMS   int32
+	nextSweep time.Time
+	// backlog is how many received-but-unhandled messages remain in the
+	// current batch — the shed signal.
+	backlog int
 	stop    chan struct{}
 	done    chan struct{}
 
+	// Atomic mirrors readable from other goroutines (drain controllers,
+	// Quiesced pollers) while Serve runs.
+	draining int32
+	nTenants int64
+	nOrphans int64
+	nVCs     int64
+
 	stats Stats
 
-	obsRequests *obs.Counter
-	obsReqGtd   *obs.Counter
-	obsAdmitBE  *obs.Counter
-	obsAdmitGtd *obs.Counter
-	obsRefused  map[int32]*obs.Counter
-	obsTraffic  *obs.Counter
-	obsReplays  *obs.Counter
-	obsTenants  *obs.Gauge
-	obsVCs      *obs.Gauge
-	obsFairness *obs.Gauge
+	obsRequests  *obs.Counter
+	obsReqGtd    *obs.Counter
+	obsAdmitBE   *obs.Counter
+	obsAdmitGtd  *obs.Counter
+	obsRefused   map[int32]*obs.Counter
+	obsTraffic   *obs.Counter
+	obsReplays   *obs.Counter
+	obsRenewals  *obs.Counter
+	obsExpired   *obs.Counter
+	obsGCVCs     *obs.Counter
+	obsShed      *obs.Counter
+	obsReclaimed *obs.Counter
+	obsTenants   *obs.Gauge
+	obsVCs       *obs.Gauge
+	obsOrphans   *obs.Gauge
+	obsDraining  *obs.Gauge
+	obsIncarn    *obs.Gauge
+	obsFairness  *obs.Gauge
 }
 
 // Stats is the server's aggregate accounting.
@@ -148,14 +248,24 @@ type Stats struct {
 	TrafficCells int64
 	Replays      int64 // duplicate nonces answered from the cache
 	Steps        int64 // data-plane slots advanced while serving
+
+	LeaseRenewals    int64 // explicit lease heartbeats served
+	LeaseExpired     int64 // tenants garbage-collected by lease expiry
+	LeaseGCVCs       int64 // circuits closed by lease expiry
+	OrphansAdopted   int64 // circuits inherited from a prior incarnation
+	OrphansReclaimed int64 // inherited circuits closed after the grace
+	Shed             int64 // vc-requests refused by overload shedding
 }
 
 // tenant is one tenant's server-side session state.
 type tenant struct {
 	id   uint64
-	node topology.NodeID // transport endpoint, refreshed per message
+	node topology.NodeID  // transport endpoint, refreshed per message
 	vcs  map[cell.VCI]int // VCI -> reserved cells/frame (0 = best-effort)
 	gtd  int              // total reserved cells/frame
+
+	// leaseExpiry is when this session dies unless renewed.
+	leaseExpiry time.Time
 
 	// Idempotency: replies already sent, keyed by nonce, FIFO-bounded.
 	replies map[uint64][]byte
@@ -168,7 +278,11 @@ type tenant struct {
 // ErrNoWaiter reports a transport without blocking receive.
 var ErrNoWaiter = errors.New("svc: transport does not implement ctrlnet.Waiter")
 
-// NewServer builds the service over an existing LAN.
+// NewServer builds the service over an existing LAN. Circuits already
+// open in the LAN (a previous incarnation's grants, surviving in the
+// fabric the way reservations survive in real switch schedules) are
+// adopted as orphans and reclaimed after Config.OrphanGrace unless the
+// LAN is fresh.
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.LAN == nil {
 		return nil, errors.New("svc: nil LAN")
@@ -191,15 +305,38 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Tick <= 0 {
 		cfg.Tick = 2 * time.Millisecond
 	}
+	if cfg.LeaseDur <= 0 {
+		cfg.LeaseDur = 10 * time.Second
+	}
+	if cfg.OrphanGrace <= 0 {
+		cfg.OrphanGrace = cfg.LeaseDur
+	}
+	if cfg.ShedWatermark <= 0 {
+		cfg.ShedWatermark = 1024
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Incarnation == 0 {
+		// Wall-derived, never zero: distinct across restarts at
+		// second granularity, which is as fast as an operator restarts.
+		cfg.Incarnation = int32(time.Now().Unix()&0x3FFFFFFF) | 1
+	}
 	s := &Server{
-		cfg:     cfg,
-		lan:     cfg.LAN,
-		tr:      cfg.Transport,
-		hosts:   make(map[topology.NodeID]bool),
-		tenants: make(map[uint64]*tenant),
-		vcOwner: make(map[cell.VCI]uint64),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:        cfg,
+		lan:        cfg.LAN,
+		tr:         cfg.Transport,
+		hosts:      make(map[topology.NodeID]bool),
+		tenants:    make(map[uint64]*tenant),
+		admitCount: make(map[uint64]int64),
+		vcOwner:    make(map[cell.VCI]uint64),
+		orphans:    make(map[cell.VCI]time.Time),
+		leaseMS:    int32(cfg.LeaseDur / time.Millisecond),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if s.leaseMS <= 0 {
+		s.leaseMS = 1
 	}
 	s.waiter, _ = cfg.Transport.(ctrlnet.Waiter)
 	for _, h := range cfg.LAN.Topology().Hosts() {
@@ -207,6 +344,16 @@ func NewServer(cfg Config) (*Server, error) {
 		s.roster = append(s.roster, proto.LinkRec{A: int32(h), B: int32(h)})
 	}
 	s.stats.RefusedBy = make(map[int32]int64)
+	// Adopt what the previous incarnation left in the fabric. Sorted so
+	// virtual-time replays do identical work.
+	inherited := cfg.LAN.Circuits()
+	sort.Slice(inherited, func(i, j int) bool { return inherited[i] < inherited[j] })
+	deadline := cfg.Now().Add(cfg.OrphanGrace)
+	for _, vc := range inherited {
+		s.orphans[vc] = deadline
+		s.stats.OrphansAdopted++
+	}
+	atomic.StoreInt64(&s.nOrphans, int64(len(s.orphans)))
 	// A nil registry hands out nil instruments, and every obs method is a
 	// no-op on a nil handle — observability off costs nothing.
 	reg := cfg.Obs
@@ -215,17 +362,29 @@ func NewServer(cfg Config) (*Server, error) {
 	s.obsAdmitBE = reg.Counter("svc_admitted_total", "class", "best-effort")
 	s.obsAdmitGtd = reg.Counter("svc_admitted_total", "class", "guaranteed")
 	s.obsRefused = make(map[int32]*obs.Counter)
-	for _, code := range []int32{RefuseBadRequest, RefuseQuotaVCs, RefuseQuotaCells,
-		RefuseCapacity, RefuseUnknownVC, RefuseServerError} {
+	for _, code := range refusalCodes {
 		s.obsRefused[code] = reg.Counter("svc_refused_total", "reason", RefusalString(code))
 	}
 	s.obsTraffic = reg.Counter("svc_traffic_cells_total")
 	s.obsReplays = reg.Counter("svc_replayed_replies_total")
+	s.obsRenewals = reg.Counter("svc_lease_renewals_total")
+	s.obsExpired = reg.Counter("svc_lease_expired_total")
+	s.obsGCVCs = reg.Counter("svc_lease_gc_vcs_total")
+	s.obsShed = reg.Counter("svc_shed_total")
+	s.obsReclaimed = reg.Counter("svc_orphan_reclaimed_total")
 	s.obsTenants = reg.Gauge("svc_tenants")
 	s.obsVCs = reg.Gauge("svc_vcs_open")
+	s.obsOrphans = reg.Gauge("svc_orphan_vcs")
+	s.obsDraining = reg.Gauge("svc_draining")
+	s.obsIncarn = reg.Gauge("svc_incarnation")
 	s.obsFairness = reg.Gauge("svc_admission_fairness_x1000")
+	s.obsIncarn.Set(int64(s.cfg.Incarnation))
+	s.obsOrphans.Set(int64(len(s.orphans)))
 	return s, nil
 }
+
+// Incarnation returns the server's incarnation stamp.
+func (s *Server) Incarnation() int32 { return s.cfg.Incarnation }
 
 // Stats returns a snapshot of the server's accounting. Call only when the
 // serve loop is stopped (or from within the serving goroutine).
@@ -237,6 +396,34 @@ func (s *Server) Stats() Stats {
 	}
 	return out
 }
+
+// Drain enters (or leaves) drain mode: new circuits are refused with
+// RefuseDraining while existing sessions keep renewing, closing, and
+// saying bye. Safe to call from any goroutine while Serve runs.
+func (s *Server) Drain(on bool) {
+	var v int32
+	if on {
+		v = 1
+	}
+	atomic.StoreInt32(&s.draining, v)
+	s.obsDraining.Set(int64(v))
+}
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return atomic.LoadInt32(&s.draining) != 0 }
+
+// Quiesced reports that no sessions, circuits, or orphans remain — the
+// drain-complete signal an operator polls before stopping the server.
+// Safe from any goroutine.
+func (s *Server) Quiesced() bool {
+	return atomic.LoadInt64(&s.nTenants) == 0 &&
+		atomic.LoadInt64(&s.nVCs) == 0 &&
+		atomic.LoadInt64(&s.nOrphans) == 0
+}
+
+// OrphanVCs returns the number of inherited circuits not yet reclaimed.
+// Safe from any goroutine.
+func (s *Server) OrphanVCs() int64 { return atomic.LoadInt64(&s.nOrphans) }
 
 // Serve runs the service loop until Stop: block for traffic, handle it,
 // and step the data plane on idle ticks. Requires a Waiter transport.
@@ -253,16 +440,17 @@ func (s *Server) Serve() error {
 		}
 		ds := s.waiter.Wait(s.cfg.Tick)
 		if len(ds) == 0 {
-			// Idle tick: drain queued traffic through the fabric and
-			// refresh the gauges tenants scrape.
+			// Idle tick: drain queued traffic through the fabric,
+			// collect expired leases and orphans, and refresh the
+			// gauges tenants scrape.
 			s.lan.Run(s.cfg.StepSlots)
 			s.stats.Steps += s.cfg.StepSlots
+			s.maybeSweep()
 			s.updateGauges()
 			continue
 		}
-		for _, d := range ds {
-			s.handle(d)
-		}
+		s.ServeBatch(ds)
+		s.maybeSweep()
 	}
 }
 
@@ -283,57 +471,234 @@ func (s *Server) Stop() {
 // in-memory-transport path used by deterministic tests.
 func (s *Server) ServeOne(d ctrlnet.Delivery) { s.handle(d) }
 
+// ServeBatch handles a batch of deliveries synchronously, with the batch
+// backlog driving overload shedding: while more than Config.ShedWatermark
+// messages still wait behind the one being handled, vc-requests are
+// refused with RefuseOverloaded.
+func (s *Server) ServeBatch(ds []ctrlnet.Delivery) {
+	for i, d := range ds {
+		s.backlog = len(ds) - i - 1
+		s.handle(d)
+	}
+	s.backlog = 0
+}
+
+// Sweep runs one lease/orphan garbage-collection pass at the
+// configured clock — the direct-drive path for tests and virtual-time
+// harnesses (Serve calls it automatically on its own ticks).
+func (s *Server) Sweep() { s.sweep(s.cfg.Now()) }
+
+// maybeSweep rate-limits GC to an eighth of the lease (bounded to
+// [Tick, 1s]) so an idle 2ms tick loop is not scanning tenants every
+// pass.
+func (s *Server) maybeSweep() {
+	now := s.cfg.Now()
+	if now.Before(s.nextSweep) {
+		return
+	}
+	every := s.cfg.LeaseDur / 8
+	if every < s.cfg.Tick {
+		every = s.cfg.Tick
+	}
+	if every > time.Second {
+		every = time.Second
+	}
+	s.nextSweep = now.Add(every)
+	s.sweep(now)
+}
+
+// sweep garbage-collects expired sessions and past-grace orphans.
+// Iteration is sorted so virtual-time replays are deterministic.
+func (s *Server) sweep(now time.Time) {
+	if len(s.tenants) > 0 {
+		var expired []uint64
+		for id, tn := range s.tenants {
+			if now.After(tn.leaseExpiry) {
+				expired = append(expired, id)
+			}
+		}
+		sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+		for _, id := range expired {
+			tn := s.tenants[id]
+			vcs := make([]cell.VCI, 0, len(tn.vcs))
+			for vc := range tn.vcs {
+				vcs = append(vcs, vc)
+			}
+			sort.Slice(vcs, func(i, j int) bool { return vcs[i] < vcs[j] })
+			for _, vc := range vcs {
+				_ = s.lan.Close(vc)
+				delete(s.vcOwner, vc)
+				s.stats.LeaseGCVCs++
+				s.obsGCVCs.Inc(0)
+			}
+			delete(s.tenants, id)
+			s.stats.LeaseExpired++
+			s.obsExpired.Inc(0)
+		}
+	}
+	if len(s.orphans) > 0 {
+		var due []cell.VCI
+		for vc, dl := range s.orphans {
+			if now.After(dl) {
+				due = append(due, vc)
+			}
+		}
+		sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+		for _, vc := range due {
+			_ = s.lan.Close(vc)
+			delete(s.orphans, vc)
+			s.stats.OrphansReclaimed++
+			s.obsReclaimed.Inc(0)
+		}
+	}
+	s.syncMirrors()
+}
+
+func (s *Server) syncMirrors() {
+	atomic.StoreInt64(&s.nTenants, int64(len(s.tenants)))
+	atomic.StoreInt64(&s.nVCs, int64(len(s.vcOwner)))
+	atomic.StoreInt64(&s.nOrphans, int64(len(s.orphans)))
+}
+
 // handle decodes and dispatches one delivery.
 func (s *Server) handle(d ctrlnet.Delivery) {
 	m, err := proto.Unmarshal(d.Wire)
 	if err != nil {
 		return // corrupt or foreign datagram: CRC did its job, drop
 	}
-	tn := s.tenantFor(m.Epoch, d.From)
+	now := s.cfg.Now()
 	switch m.Kind {
+	case proto.KindDrain:
+		s.handleDrain(d, m)
+		return
 	case proto.KindHello:
-		s.reply(tn, m, &proto.Message{
-			Kind: proto.KindHello, Accept: true, Links: s.roster,
-		})
-	case proto.KindVCRequest:
-		s.handleRequest(tn, m)
-	case proto.KindVCClose:
-		s.handleClose(tn, m)
+		s.handleHello(d, m, now)
+		return
 	case proto.KindTraffic:
-		s.handleTraffic(tn, m)
-	case proto.KindBye:
-		s.handleBye(tn, m)
+		// Fire-and-forget; ownership is the only authentication, and a
+		// live owner's lease is renewed by its own traffic.
+		if tn, ok := s.tenants[m.Epoch]; ok {
+			tn.node = d.From
+			tn.leaseExpiry = now.Add(s.cfg.LeaseDur)
+			s.handleTraffic(tn, m)
+		}
+		return
+	case proto.KindVCRequest, proto.KindVCClose, proto.KindBye, proto.KindLease:
+		tn, ok := s.tenants[m.Epoch]
+		if !ok || m.From != s.cfg.Incarnation {
+			// A session this incarnation never opened (the server
+			// restarted, or the lease expired and was collected), or a
+			// request stamped with a dead incarnation. The typed refusal
+			// tells the client to re-attach rather than guess.
+			s.refuseStale(d, m)
+			return
+		}
+		tn.node = d.From
+		tn.leaseExpiry = now.Add(s.cfg.LeaseDur)
+		switch m.Kind {
+		case proto.KindVCRequest:
+			s.handleRequest(tn, m)
+		case proto.KindVCClose:
+			s.handleClose(tn, m)
+		case proto.KindBye:
+			s.handleBye(tn, m)
+		case proto.KindLease:
+			s.handleLease(tn, m)
+		}
 	default:
 		// Reconfiguration kinds do not belong on the service socket.
 	}
 }
 
-func (s *Server) tenantFor(id uint64, node topology.NodeID) *tenant {
-	tn, ok := s.tenants[id]
+// handleHello opens (or refreshes) a session: the only kind that creates
+// tenant state. The reply carries the incarnation (From) and the lease
+// grant in ms (Depth) alongside the host roster.
+func (s *Server) handleHello(d ctrlnet.Delivery, m *proto.Message, now time.Time) {
+	tn, ok := s.tenants[m.Epoch]
 	if !ok {
 		tn = &tenant{
-			id:      id,
+			id:      m.Epoch,
 			vcs:     make(map[cell.VCI]int),
 			replies: make(map[uint64][]byte),
 		}
-		s.tenants[id] = tn
+		s.tenants[m.Epoch] = tn
+		s.syncMirrors()
 	}
-	tn.node = node
-	return tn
+	tn.node = d.From
+	tn.leaseExpiry = now.Add(s.cfg.LeaseDur)
+	if s.replayed(tn, m.Initiator) {
+		return
+	}
+	s.reply(tn, m, &proto.Message{
+		Kind: proto.KindHello, Accept: true, Depth: s.leaseMS, Links: s.roster,
+	})
 }
 
-// reply finishes one request: echo tenant, nonce, and timestamp, cache
-// the frame under the nonce, and send it to the tenant's endpoint.
+// handleLease serves a heartbeat: the lease was already renewed by the
+// dispatch path; the reply confirms the grant and the incarnation.
+func (s *Server) handleLease(tn *tenant, m *proto.Message) {
+	if s.replayed(tn, m.Initiator) {
+		return
+	}
+	s.stats.LeaseRenewals++
+	s.obsRenewals.Inc(0)
+	s.reply(tn, m, &proto.Message{Kind: proto.KindLease, Accept: true, Depth: s.leaseMS})
+}
+
+// handleDrain toggles drain mode from the wire (Depth 1 = begin, 0 =
+// cancel). Sessionless and uncached: an operator tool, not a tenant.
+func (s *Server) handleDrain(d ctrlnet.Delivery, m *proto.Message) {
+	s.Drain(m.Depth != 0)
+	var state int32
+	if s.Draining() {
+		state = 1
+	}
+	s.sendTo(d.From, m, &proto.Message{Kind: proto.KindDrain, Accept: true, Depth: state})
+}
+
+// reply finishes one request: echo tenant, nonce, and timestamp, stamp
+// the incarnation, cache the frame under the nonce, and send it to the
+// tenant's endpoint.
 func (s *Server) reply(tn *tenant, req *proto.Message, rep *proto.Message) {
 	rep.Epoch = tn.id
 	rep.Initiator = req.Initiator
 	rep.VTimeUS = req.VTimeUS
+	rep.From = s.cfg.Incarnation
 	wire, err := proto.Marshal(rep)
 	if err != nil {
 		return
 	}
 	s.remember(tn, req.Initiator, wire)
 	s.send(tn, wire)
+}
+
+// replyUncached is reply without the nonce cache: for weather refusals
+// (draining, overloaded) whose answer should change when the weather
+// does.
+func (s *Server) replyUncached(tn *tenant, req *proto.Message, rep *proto.Message) {
+	rep.Epoch = tn.id
+	rep.Initiator = req.Initiator
+	rep.VTimeUS = req.VTimeUS
+	rep.From = s.cfg.Incarnation
+	wire, err := proto.Marshal(rep)
+	if err != nil {
+		return
+	}
+	s.send(tn, wire)
+}
+
+// sendTo answers a sessionless request (stale refusals, drain acks)
+// straight to the delivery's source endpoint.
+func (s *Server) sendTo(node topology.NodeID, req, rep *proto.Message) {
+	rep.Epoch = req.Epoch
+	rep.Initiator = req.Initiator
+	rep.VTimeUS = req.VTimeUS
+	rep.From = s.cfg.Incarnation
+	wire, err := proto.Marshal(rep)
+	if err != nil {
+		return
+	}
+	_, _ = s.tr.Send(s.cfg.Node, node, wire, 0)
 }
 
 func (s *Server) send(tn *tenant, wire []byte) {
@@ -366,14 +731,35 @@ func (s *Server) remember(tn *tenant, nonce uint64, wire []byte) {
 	tn.replies[nonce] = wire
 }
 
-func (s *Server) refuse(tn *tenant, req *proto.Message, code int32) {
-	tn.refused++
+func (s *Server) countRefusal(tn *tenant, code int32) {
+	if tn != nil {
+		tn.refused++
+	}
 	s.stats.Refused++
 	s.stats.RefusedBy[code]++
 	if c, ok := s.obsRefused[code]; ok {
 		c.Inc(0)
 	}
+}
+
+func (s *Server) refuse(tn *tenant, req *proto.Message, code int32) {
+	s.countRefusal(tn, code)
 	s.reply(tn, req, &proto.Message{Kind: proto.KindVCReply, Accept: false, Depth: code})
+}
+
+// refuseTransient refuses without caching: the same nonce retried later
+// deserves a fresh decision (drain lifted, backlog drained).
+func (s *Server) refuseTransient(tn *tenant, req *proto.Message, code int32) {
+	s.countRefusal(tn, code)
+	s.replyUncached(tn, req, &proto.Message{Kind: proto.KindVCReply, Accept: false, Depth: code})
+}
+
+// refuseStale answers a request from a session this incarnation does not
+// know. Uncached (there is no session to cache under) and typed so the
+// client re-attaches instead of treating it as a permanent failure.
+func (s *Server) refuseStale(d ctrlnet.Delivery, m *proto.Message) {
+	s.countRefusal(nil, RefuseStaleSession)
+	s.sendTo(d.From, m, &proto.Message{Kind: proto.KindVCReply, Accept: false, Depth: RefuseStaleSession})
 }
 
 func (s *Server) handleRequest(tn *tenant, m *proto.Message) {
@@ -386,6 +772,16 @@ func (s *Server) handleRequest(tn *tenant, m *proto.Message) {
 		s.obsReqGtd.Inc(0)
 	} else {
 		s.obsRequests.Inc(0)
+	}
+	if s.Draining() {
+		s.refuseTransient(tn, m, RefuseDraining)
+		return
+	}
+	if s.backlog > s.cfg.ShedWatermark {
+		s.stats.Shed++
+		s.obsShed.Inc(0)
+		s.refuseTransient(tn, m, RefuseOverloaded)
+		return
 	}
 	if len(m.Links) != 1 || rate < 0 {
 		s.refuse(tn, m, RefuseBadRequest)
@@ -429,6 +825,7 @@ func (s *Server) handleRequest(tn *tenant, m *proto.Message) {
 	tn.gtd += rate
 	s.vcOwner[vc] = tn.id
 	tn.admitted++
+	s.admitCount[tn.id]++
 	if rate > 0 {
 		s.stats.AdmittedGtd++
 		s.obsAdmitGtd.Inc(0)
@@ -436,6 +833,7 @@ func (s *Server) handleRequest(tn *tenant, m *proto.Message) {
 		s.stats.AdmittedBE++
 		s.obsAdmitBE.Inc(0)
 	}
+	s.syncMirrors()
 	s.reply(tn, m, &proto.Message{Kind: proto.KindVCReply, Accept: true, Depth: int32(vc)})
 }
 
@@ -453,6 +851,7 @@ func (s *Server) handleClose(tn *tenant, m *proto.Message) {
 	delete(tn.vcs, vc)
 	delete(s.vcOwner, vc)
 	tn.gtd -= rate
+	s.syncMirrors()
 	s.reply(tn, m, &proto.Message{Kind: proto.KindVCReply, Accept: true, Depth: int32(vc)})
 }
 
@@ -484,17 +883,28 @@ func (s *Server) handleTraffic(tn *tenant, m *proto.Message) {
 	s.obsTraffic.Add(0, sent)
 }
 
+// handleBye ends the session: every circuit closed, the session itself
+// deleted. A retransmitted bye whose session is already gone gets a
+// stale-session refusal, which the client treats as success — either way
+// the session no longer exists.
 func (s *Server) handleBye(tn *tenant, m *proto.Message) {
 	if s.replayed(tn, m.Initiator) {
 		return
 	}
-	for vc, rate := range tn.vcs {
+	vcs := make([]cell.VCI, 0, len(tn.vcs))
+	for vc := range tn.vcs {
+		vcs = append(vcs, vc)
+	}
+	sort.Slice(vcs, func(i, j int) bool { return vcs[i] < vcs[j] })
+	for _, vc := range vcs {
 		_ = s.lan.Close(vc)
 		delete(s.vcOwner, vc)
-		tn.gtd -= rate
 	}
 	tn.vcs = make(map[cell.VCI]int)
+	tn.gtd = 0
 	s.reply(tn, m, &proto.Message{Kind: proto.KindBye, Accept: true})
+	delete(s.tenants, tn.id)
+	s.syncMirrors()
 }
 
 // updateGauges refreshes the live-state gauges and the Jain fairness
@@ -507,14 +917,16 @@ func (s *Server) updateGauges() {
 	}
 	s.obsTenants.Set(int64(len(s.tenants)))
 	s.obsVCs.Set(int64(len(s.vcOwner)))
+	s.obsOrphans.Set(int64(len(s.orphans)))
 	s.obsFairness.Set(int64(JainX1000(s.AdmissionCounts())))
 }
 
-// AdmissionCounts returns each tenant's admitted-request count.
+// AdmissionCounts returns each tenant's lifetime admitted-request count,
+// including tenants whose sessions have since ended.
 func (s *Server) AdmissionCounts() []int64 {
-	out := make([]int64, 0, len(s.tenants))
-	for _, tn := range s.tenants {
-		out = append(out, tn.admitted)
+	out := make([]int64, 0, len(s.admitCount))
+	for _, n := range s.admitCount {
+		out = append(out, n)
 	}
 	return out
 }

@@ -65,7 +65,8 @@ func directServer(t *testing.T, reg *obs.Registry) (*Server, *loopNet, []topolog
 	ln := &loopNet{}
 	s, err := NewServer(Config{
 		LAN: lan, Transport: ln, Node: 0,
-		MaxVCsPerTenant: 2, MaxGuaranteedPerTenant: 8, Obs: reg,
+		MaxVCsPerTenant: 2, MaxGuaranteedPerTenant: 8,
+		Incarnation: 1, Obs: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -73,13 +74,26 @@ func directServer(t *testing.T, reg *obs.Registry) (*Server, *loopNet, []topolog
 	return s, ln, lan.Topology().Hosts()
 }
 
+// hello opens tenant's session (sessions are hello-first since leases)
+// and clears the captured replies so test indexes start at the first
+// real request.
+func hello(t *testing.T, s *Server, ln *loopNet, from topology.NodeID, tenant uint64) {
+	t.Helper()
+	deliver(t, s, from, &proto.Message{Kind: proto.KindHello, Epoch: tenant, Initiator: 1 << 40})
+	if got := ln.sent[len(ln.sent)-1]; got.Kind != proto.KindHello || !got.Accept {
+		t.Fatalf("hello reply = %+v", got)
+	}
+	ln.sent = nil
+}
+
 func TestAdmissionQuotaAndIdempotency(t *testing.T) {
 	reg := obs.NewRegistry(1)
 	s, ln, hosts := directServer(t, reg)
 	src, dst := hosts[0], hosts[1]
+	hello(t, s, ln, 9, 42)
 	req := func(nonce uint64, rate int32) *proto.Message {
 		return &proto.Message{
-			Kind: proto.KindVCRequest, Epoch: 42, Initiator: nonce,
+			Kind: proto.KindVCRequest, Epoch: 42, Initiator: nonce, From: 1,
 			Depth: rate, Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
 		}
 	}
@@ -115,7 +129,7 @@ func TestAdmissionQuotaAndIdempotency(t *testing.T) {
 	// Close the guaranteed VC (its reply Depth is the VCI), then the
 	// slot frees up under the VC quota.
 	deliver(t, s, 9, &proto.Message{
-		Kind: proto.KindVCClose, Epoch: 42, Initiator: 4, Depth: ln.sent[0].Depth,
+		Kind: proto.KindVCClose, Epoch: 42, Initiator: 4, From: 1, Depth: ln.sent[0].Depth,
 	})
 	deliver(t, s, 9, req(5, 0))
 	if got := ln.sent[len(ln.sent)-1]; !got.Accept {
@@ -133,13 +147,14 @@ func TestAdmissionQuotaAndIdempotency(t *testing.T) {
 func TestGuaranteedQuotaCellsAndCapacity(t *testing.T) {
 	s, ln, hosts := directServer(t, nil)
 	src, dst := hosts[0], hosts[1]
+	hello(t, s, ln, 9, 1)
 	// Tenant quota is 8 cells/frame: 6 + 4 exceeds it.
 	deliver(t, s, 9, &proto.Message{
-		Kind: proto.KindVCRequest, Epoch: 1, Initiator: 1, Depth: 6,
+		Kind: proto.KindVCRequest, Epoch: 1, Initiator: 1, From: 1, Depth: 6,
 		Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
 	})
 	deliver(t, s, 9, &proto.Message{
-		Kind: proto.KindVCRequest, Epoch: 1, Initiator: 2, Depth: 4,
+		Kind: proto.KindVCRequest, Epoch: 1, Initiator: 2, From: 1, Depth: 4,
 		Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
 	})
 	if !ln.sent[0].Accept {
@@ -155,8 +170,9 @@ func TestGuaranteedQuotaCellsAndCapacity(t *testing.T) {
 	// must be RefuseCapacity, not a quota code.
 	gotCapacity := false
 	for tenantID := uint64(2); tenantID < 12 && !gotCapacity; tenantID++ {
+		hello(t, s, ln, 9, tenantID)
 		deliver(t, s, 9, &proto.Message{
-			Kind: proto.KindVCRequest, Epoch: tenantID, Initiator: 1, Depth: 8,
+			Kind: proto.KindVCRequest, Epoch: tenantID, Initiator: 1, From: 1, Depth: 8,
 			Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
 		})
 		rep := ln.sent[len(ln.sent)-1]
@@ -176,15 +192,16 @@ func TestGuaranteedQuotaCellsAndCapacity(t *testing.T) {
 func TestByeClosesEverything(t *testing.T) {
 	s, ln, hosts := directServer(t, nil)
 	src, dst := hosts[0], hosts[1]
+	hello(t, s, ln, 9, 7)
 	deliver(t, s, 9, &proto.Message{
-		Kind: proto.KindVCRequest, Epoch: 7, Initiator: 1, Depth: 4,
+		Kind: proto.KindVCRequest, Epoch: 7, Initiator: 1, From: 1, Depth: 4,
 		Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
 	})
 	deliver(t, s, 9, &proto.Message{
-		Kind: proto.KindVCRequest, Epoch: 7, Initiator: 2, Depth: 0,
+		Kind: proto.KindVCRequest, Epoch: 7, Initiator: 2, From: 1, Depth: 0,
 		Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
 	})
-	deliver(t, s, 9, &proto.Message{Kind: proto.KindBye, Epoch: 7, Initiator: 3})
+	deliver(t, s, 9, &proto.Message{Kind: proto.KindBye, Epoch: 7, Initiator: 3, From: 1})
 	if got := ln.sent[len(ln.sent)-1]; got.Kind != proto.KindBye || !got.Accept {
 		t.Fatalf("bye reply = %+v", got)
 	}
@@ -192,8 +209,9 @@ func TestByeClosesEverything(t *testing.T) {
 		t.Fatalf("%d VCs survive bye", len(s.vcOwner))
 	}
 	// The freed schedule capacity is reusable by another tenant.
+	hello(t, s, ln, 9, 8)
 	deliver(t, s, 9, &proto.Message{
-		Kind: proto.KindVCRequest, Epoch: 8, Initiator: 1, Depth: 4,
+		Kind: proto.KindVCRequest, Epoch: 8, Initiator: 1, From: 1, Depth: 4,
 		Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
 	})
 	if got := ln.sent[len(ln.sent)-1]; !got.Accept {
@@ -204,8 +222,9 @@ func TestByeClosesEverything(t *testing.T) {
 func TestTrafficValidatesOwnership(t *testing.T) {
 	s, ln, hosts := directServer(t, nil)
 	src, dst := hosts[0], hosts[1]
+	hello(t, s, ln, 9, 5)
 	deliver(t, s, 9, &proto.Message{
-		Kind: proto.KindVCRequest, Epoch: 5, Initiator: 1, Depth: 0,
+		Kind: proto.KindVCRequest, Epoch: 5, Initiator: 1, From: 1, Depth: 0,
 		Links: []proto.LinkRec{{A: int32(src), B: int32(dst)}},
 	})
 	vc := ln.sent[0].Depth

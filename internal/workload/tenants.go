@@ -55,7 +55,28 @@ type TenantsConfig struct {
 	Seed    int64
 	Timeout time.Duration
 	Retries int
+
+	// DropProb, when > 0, wraps each tenant's UDP endpoint in
+	// ctrlnet.Faulty with this drop probability, so every request (and
+	// traffic frame) risks the floor. Reply-direction loss is the server
+	// operator's to configure — wrap the server transport the same way.
+	DropProb float64
+	// RetryCap and NoJitter pass through to the client's backoff engine:
+	// RetryCap bounds the exponential backoff, NoJitter restores fixed
+	// Timeout pacing (the thundering-herd control arm).
+	RetryCap time.Duration
+	NoJitter bool
+	// Survivable tolerates transient RPC failure — retry exhaustion or a
+	// failed re-attach while the server is down — by retrying the flow
+	// instead of failing the tenant, up to a fixed per-tenant budget.
+	// Required for any run that kills and restarts the server mid-churn.
+	Survivable bool
 }
+
+// survivalBudget bounds how many transient flow failures one tenant
+// absorbs before giving up: enough to ride out a restart, small enough
+// that a permanently dead server still fails the run.
+const survivalBudget = 64
 
 // TenantsReport is what the run measured.
 type TenantsReport struct {
@@ -90,6 +111,21 @@ type TenantsReport struct {
 	LightGtdAdmitRate     float64
 
 	TrafficCells int64
+
+	// Resilience aggregates, summed from each client's ClientStats.
+	Retransmits       int64
+	Reattaches        int64
+	ReattachVCs       int64
+	ReattachFailedVCs int64
+	OrphanReplies     int64
+	// ReattachedTenants counts tenants that completed ≥1 re-attach;
+	// LastReattachAt is the latest re-attach completion across the fleet
+	// (measured against the kill instant it bounds the unavailability
+	// window); ReattachUS summarizes each tenant's last re-attach
+	// duration in µs.
+	ReattachedTenants int
+	LastReattachAt    time.Time
+	ReattachUS        metrics.Summary
 }
 
 func (c TenantsConfig) withDefaults() TenantsConfig {
@@ -137,6 +173,7 @@ type tenantTally struct {
 	gtdAdmitted  int64
 	traffic      int64
 	setupUS      *metrics.Histogram
+	stats        svc.ClientStats
 	err          error
 }
 
@@ -175,11 +212,25 @@ func RunTenants(cfg TenantsConfig) (*TenantsReport, error) {
 		ElapsedSec:        elapsed.Seconds(),
 	}
 	merged := &metrics.Histogram{}
+	reattachUS := &metrics.Histogram{}
 	var lightAdmitted []int64
 	var aggReq, aggAdm, lightReq, lightAdm int64
 	for i, tally := range tallies {
 		if tally.err != nil {
 			return nil, fmt.Errorf("workload: tenant %d: %w", i+1, tally.err)
+		}
+		cs := tally.stats
+		rep.Retransmits += cs.Retransmits
+		rep.Reattaches += cs.Reattaches
+		rep.ReattachVCs += cs.ReattachVCs
+		rep.ReattachFailedVCs += cs.ReattachFailedVCs
+		rep.OrphanReplies += cs.OrphanReplies
+		if cs.Reattaches > 0 {
+			rep.ReattachedTenants++
+			reattachUS.Observe(cs.LastReattachDur.Microseconds())
+			if cs.LastReattachAt.After(rep.LastReattachAt) {
+				rep.LastReattachAt = cs.LastReattachAt
+			}
 		}
 		rep.Flows += tally.flows
 		rep.AdmittedBE += tally.admittedBE
@@ -200,6 +251,7 @@ func RunTenants(cfg TenantsConfig) (*TenantsReport, error) {
 		}
 	}
 	rep.Setup = merged.Summarize()
+	rep.ReattachUS = reattachUS.Summarize()
 	if rep.ElapsedSec > 0 {
 		rep.SetupPerSec = float64(rep.Flows) / rep.ElapsedSec
 	}
@@ -217,27 +269,68 @@ func RunTenants(cfg TenantsConfig) (*TenantsReport, error) {
 // own share of the flow budget.
 func runTenant(cfg TenantsConfig, i, flows int, tally *tenantTally) error {
 	self := cfg.BaseNode + topology.NodeID(i)
-	tr, err := ctrlnet.NewUDP(ctrlnet.UDPConfig{
+	udp, err := ctrlnet.NewUDP(ctrlnet.UDPConfig{
 		Local: map[topology.NodeID]string{self: "127.0.0.1:0"},
 		Peers: map[topology.NodeID]string{cfg.ServerNode: cfg.ServerAddr},
 	})
 	if err != nil {
 		return err
 	}
+	var tr ctrlnet.Transport = udp
+	if cfg.DropProb > 0 {
+		f, ferr := ctrlnet.Faulty(udp, ctrlnet.Config{
+			DropProb: cfg.DropProb,
+			Seed:     cfg.Seed + int64(i)*104729 + 1,
+		})
+		if ferr != nil {
+			udp.Close()
+			return ferr
+		}
+		tr = f
+	}
 	defer tr.Close()
 	cl, err := svc.NewClient(svc.ClientConfig{
 		Transport: tr, Self: self, Server: cfg.ServerNode,
 		Tenant:  uint64(i + 1),
 		Timeout: cfg.Timeout, Retries: cfg.Retries,
+		RetryCap: cfg.RetryCap, NoJitter: cfg.NoJitter,
+		Seed: cfg.Seed + int64(i)*6151 + 1,
 	})
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
+	defer func() { tally.stats = cl.Stats() }()
 
-	hosts, err := cl.Hello()
-	if err != nil {
-		return fmt.Errorf("hello: %w", err)
+	budget := 0
+	if cfg.Survivable {
+		budget = survivalBudget
+	}
+	// transient reports whether a failed op may be retried: anything that
+	// is not a server refusal — retry exhaustion, a failed re-attach —
+	// can mean "the server is restarting", and a survivable run waits it
+	// out on the tenant's budget.
+	transient := func(err error) bool {
+		var ref *svc.Refused
+		if err == nil || errors.As(err, &ref) {
+			return false
+		}
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return true
+	}
+
+	var hosts []topology.NodeID
+	for {
+		hosts, err = cl.Hello()
+		if err == nil {
+			break
+		}
+		if !transient(err) {
+			return fmt.Errorf("hello: %w", err)
+		}
 	}
 	if len(hosts) < 2 {
 		return fmt.Errorf("roster has %d hosts", len(hosts))
@@ -256,20 +349,29 @@ func runTenant(cfg TenantsConfig, i, flows int, tally *tenantTally) error {
 			if aggressor {
 				rate = cfg.AggressorRate
 			}
-			tally.gtdRequested++
 		}
 		t0 := time.Now()
 		vc, err := cl.Open(src, dst, rate)
+		var ref *svc.Refused
+		refused := errors.As(err, &ref)
+		if err != nil && !refused {
+			if transient(err) {
+				f-- // retry this flow slot once the server is back
+				continue
+			}
+			return fmt.Errorf("open flow %d: %w", f, err)
+		}
+		// Only definitive outcomes count as flows (and as latency samples):
+		// a retried outage attempt is unavailability, not admission.
 		tally.setupUS.Observe(time.Since(t0).Microseconds())
 		tally.flows++
-		var ref *svc.Refused
-		if errors.As(err, &ref) {
+		if rate > 0 {
+			tally.gtdRequested++
+		}
+		if refused {
 			tally.refused++
 			tally.refusedBy[ref.Code]++
 			continue
-		}
-		if err != nil {
-			return fmt.Errorf("open flow %d: %w", f, err)
 		}
 		if rate > 0 {
 			tally.admittedGtd++
@@ -279,15 +381,25 @@ func runTenant(cfg TenantsConfig, i, flows int, tally *tenantTally) error {
 		}
 		if cfg.TrafficEvery > 0 && f%cfg.TrafficEvery == 0 {
 			if err := cl.Traffic(vc, cfg.TrafficCells); err != nil {
-				return err
+				if !transient(err) {
+					return err
+				}
+			} else {
+				tally.traffic += int64(cfg.TrafficCells)
 			}
-			tally.traffic += int64(cfg.TrafficCells)
 		}
 		if err := closeVC(cl, vc); err != nil {
-			return fmt.Errorf("close flow %d: %w", f, err)
+			// A close lost to an outage is safe to skip: bye (or, failing
+			// that, lease expiry) closes everything the session still holds.
+			if !transient(err) {
+				return fmt.Errorf("close flow %d: %w", f, err)
+			}
 		}
 	}
-	return cl.Bye()
+	if err := cl.Bye(); err != nil && !transient(err) {
+		return err
+	}
+	return nil
 }
 
 // closeVC tolerates the one benign race retries create: a close whose
