@@ -282,4 +282,92 @@ func TestBenchTrajectoryNoE2Regression(t *testing.T) {
 	} else if jitter >= fixed {
 		t.Errorf("E33: jittered backoff peak %d not below fixed-pacing peak %d", jitter, fixed)
 	}
+
+	// BENCH_10 (the tracing PR): E2 still on trajectory — span plumbing
+	// must not perturb the data plane — nothing lost since BENCH_9, E30
+	// still byte-identical, E32 still at ≥10⁵ flows, E33's invariants
+	// intact plus its new trace-merge validation (the unavailability
+	// window reconstructed from spans alone within ±10% of ground truth),
+	// and E34 present proving tracing-disabled adds exactly 0 allocs to
+	// the request hot path.
+	obs := loadSnapshot(t, "BENCH_10.json")
+	now10, ok := obs["E2"]
+	if !ok {
+		t.Fatal("BENCH_10.json has no E2 record")
+	}
+	if !reflect.DeepEqual(prev.Tables, now10.Tables) {
+		t.Errorf("E2 tables changed in BENCH_10.json:\nold: %+v\nnew: %+v", prev.Tables, now10.Tables)
+	}
+	if limit := prev.WallMillis + prev.WallMillis/20; now10.WallMillis > limit {
+		t.Errorf("E2 wall time regressed in BENCH_10: %d ms -> %d ms (limit %d)", prev.WallMillis, now10.WallMillis, limit)
+	}
+	for id := range srv {
+		if _, ok := obs[id]; !ok {
+			t.Errorf("experiment %s vanished from BENCH_10.json", id)
+		}
+	}
+	e30obs := obs["E30"]
+	if !reflect.DeepEqual(e30srv.Tables, e30obs.Tables) {
+		t.Errorf("E30 tables changed between BENCH_9 and BENCH_10 — the tracing work must not perturb the fabric runs:\nold: %+v\nnew: %+v",
+			e30srv.Tables, e30obs.Tables)
+	}
+	e32obs, ok := obs["E32"]
+	if !ok {
+		t.Fatal("experiment E32 missing from BENCH_10.json")
+	}
+	flowsOK = false
+	for _, row := range e32obs.Tables[0].Rows {
+		if len(row) < 2 || row[0] != "flows completed" {
+			continue
+		}
+		if n, err := strconv.ParseInt(row[1], 10, 64); err != nil || n < 100_000 {
+			t.Errorf("E32 flows-completed regressed in BENCH_10: %v", row)
+		}
+		flowsOK = true
+	}
+	if !flowsOK {
+		t.Error("E32 in BENCH_10.json has no flows-completed row")
+	}
+	e33obs, ok := obs["E33"]
+	if !ok {
+		t.Fatal("experiment E33 missing from BENCH_10.json")
+	}
+	e33r := make(map[string]string)
+	for _, tab := range e33obs.Tables {
+		for _, row := range tab.Rows {
+			if len(row) >= 2 {
+				e33r[row[0]] = row[1]
+			}
+		}
+	}
+	if live, re := e33r["live tenants"], e33r["tenants re-attached"]; live == "" || live != re {
+		t.Errorf("E33 in BENCH_10: tenants re-attached (%q) != live tenants (%q)", re, live)
+	}
+	if orphans := e33r["orphan VCs after lease expiry"]; orphans != "0" {
+		t.Errorf("E33 in BENCH_10: orphan VCs after lease expiry = %q, want 0", orphans)
+	}
+	traceErr, err := strconv.ParseFloat(e33r["trace window error (%)"], 64)
+	if err != nil {
+		t.Errorf("E33 trace-window-error row unparseable: %q", e33r["trace window error (%)"])
+	} else if traceErr < 0 || traceErr > 10.0 {
+		t.Errorf("E33: unavailability window from merged traces off by %.1f%%, want within 10%% of ground truth", traceErr)
+	}
+	e34, ok := obs["E34"]
+	if !ok {
+		t.Fatal("experiment E34 missing from BENCH_10.json")
+	}
+	e34rows := make(map[string]string)
+	for _, tab := range e34.Tables {
+		for _, row := range tab.Rows {
+			if len(row) >= 2 {
+				e34rows[row[0]] = row[1]
+			}
+		}
+	}
+	if added := e34rows["added allocs/op (tracing disabled)"]; added != "0.00" {
+		t.Errorf("E34: tracing disabled added %q allocs/op to the request hot path, want exactly 0.00", added)
+	}
+	if _, err := strconv.ParseFloat(e34rows["throughput overhead (%)"], 64); err != nil {
+		t.Errorf("E34 throughput-overhead row unparseable: %q", e34rows["throughput overhead (%)"])
+	}
 }

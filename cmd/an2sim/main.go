@@ -77,12 +77,17 @@ func run(args []string) error {
 		drop       = fs.Float64("drop", 0, "with -connect, drop this fraction of tenant-side control frames (lossy-network drill)")
 		survivable = fs.Bool("survivable", false, "with -connect, ride out a server kill+restart mid-churn instead of failing")
 		rpcTimeout = fs.Duration("rpc-timeout", 2*time.Second, "with -connect, per-attempt RPC reply timeout")
+		traceSpans = fs.String("trace-spans", "", "with -serve or -connect, write this process's service spans as JSONL to this file (merge two sides with an2trace -merge)")
+		recorder   = fs.Int("recorder", 1024, "with -serve or -connect, flight-recorder ring size in spans (0 disables)")
+		dumpPath   = fs.String("dump-path", "", "with -serve or -connect, flight-recorder dump path: the server dumps on panic/drain/shed/refusal-rate (suffixed with the trigger), the tenant fleet dumps on exit")
+		refusalTrg = fs.Int("dump-refusal-rate", 0, "with -serve, dump the flight recorder when refusals/second exceed this (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *connectTo != "" {
-		return connectMode(*connectTo, *tenants, *flows, *seed, *drop, *survivable, *rpcTimeout)
+		return connectMode(*connectTo, *tenants, *flows, *seed, *drop, *survivable, *rpcTimeout,
+			traceOpts{spanPath: *traceSpans, recorder: *recorder, dumpPath: *dumpPath})
 	}
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -146,6 +151,10 @@ func run(args []string) error {
 		opts := serveOpts{
 			maxVCs: *maxVCs, maxGtd: *maxGtd,
 			lease: *lease, incarnation: *incarn, drainGrace: *drainGrace,
+			trace: traceOpts{
+				spanPath: *traceSpans, recorder: *recorder,
+				dumpPath: *dumpPath, refusalTrigger: *refusalTrg,
+			},
 		}
 		if err := serveMode(lan, reg, *serveAddr, *serveFor, opts); err != nil {
 			return err

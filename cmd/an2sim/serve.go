@@ -29,6 +29,46 @@ type serveOpts struct {
 	lease          time.Duration
 	incarnation    int
 	drainGrace     time.Duration
+	trace          traceOpts
+}
+
+// traceOpts are the tracing knobs shared by serve and connect mode (see
+// DESIGN.md §16): a span JSONL destination, a flight-recorder ring size,
+// and where the recorder dumps.
+type traceOpts struct {
+	spanPath       string
+	recorder       int
+	dumpPath       string
+	refusalTrigger int
+}
+
+// openSpans opens the span sink and the flight recorder (either may be
+// absent). The returned flush writes buffered spans and reports where
+// they went; call it after the mode's work is done.
+func (o traceOpts) openSpans() (sw *obs.SpanWriter, ring *obs.Ring, flush func(), err error) {
+	var f *os.File
+	if o.spanPath != "" {
+		f, err = os.Create(o.spanPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sw = obs.NewSpanWriter(f)
+	}
+	if o.recorder > 0 {
+		ring = obs.NewRing(o.recorder)
+	}
+	flush = func() {
+		if sw == nil {
+			return
+		}
+		if err := sw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "an2sim: spans:", err)
+		} else {
+			fmt.Printf("spans: written to %s\n", o.spanPath)
+		}
+		f.Close()
+	}
+	return sw, ring, flush, nil
 }
 
 // serveMode runs the VC service over the booted LAN until SIGINT (or for
@@ -43,6 +83,11 @@ func serveMode(lan *core.LAN, reg *obs.Registry, addr string, dur time.Duration,
 		return err
 	}
 	defer tr.Close()
+	sw, ring, flushSpans, err := o.trace.openSpans()
+	if err != nil {
+		return err
+	}
+	defer flushSpans()
 	srv, err := svc.NewServer(svc.Config{
 		LAN: lan, Transport: tr, Node: 0,
 		MaxVCsPerTenant:        o.maxVCs,
@@ -50,6 +95,10 @@ func serveMode(lan *core.LAN, reg *obs.Registry, addr string, dur time.Duration,
 		LeaseDur:               o.lease,
 		Incarnation:            int32(o.incarnation),
 		Obs:                    reg,
+		Spans:                  sw,
+		Ring:                   ring,
+		DumpPath:               o.trace.dumpPath,
+		RefusalRateTrigger:     o.trace.refusalTrigger,
 	})
 	if err != nil {
 		return err
@@ -124,8 +173,13 @@ func serveMode(lan *core.LAN, reg *obs.Registry, addr string, dur time.Duration,
 // -survivable the fleet rides out a server kill+restart mid-churn
 // (jittered backoff, transparent re-attach); -drop makes the tenant side
 // of the control plane lossy.
-func connectMode(addr string, tenants, flows int, seed int64, drop float64, survivable bool, timeout time.Duration) error {
+func connectMode(addr string, tenants, flows int, seed int64, drop float64, survivable bool, timeout time.Duration, trace traceOpts) error {
 	fmt.Printf("connecting %d tenants to udp://%s for %d flows\n", tenants, addr, flows)
+	sw, ring, flushSpans, err := trace.openSpans()
+	if err != nil {
+		return err
+	}
+	defer flushSpans()
 	rep, err := workload.RunTenants(workload.TenantsConfig{
 		ServerAddr: addr,
 		Tenants:    tenants,
@@ -134,7 +188,16 @@ func connectMode(addr string, tenants, flows int, seed int64, drop float64, surv
 		DropProb:   drop,
 		Survivable: survivable,
 		Timeout:    timeout,
+		Spans:      sw,
+		Ring:       ring,
 	})
+	if trace.dumpPath != "" {
+		if n, derr := ring.DumpFile(trace.dumpPath); derr != nil {
+			fmt.Fprintln(os.Stderr, "an2sim: recorder dump:", derr)
+		} else if n > 0 {
+			fmt.Printf("flight recorder: %d spans dumped to %s\n", n, trace.dumpPath)
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,24 @@
 //	an2trace -chrome out.json run.jsonl
 //	an2sim -trace - ... | an2trace # read the stream from stdin
 //
+// Cross-process service traces (see DESIGN.md §16):
+//
+//	an2trace -merge client.jsonl server.jsonl [server2.jsonl ...]
+//
+// joins the span streams two processes wrote with an2sim -trace-spans
+// (give each server incarnation's file separately — a killed server's
+// file legitimately ends mid-line and is repaired per file):
+// it estimates each server incarnation's clock offset from matched
+// request/reply pairs (NTP midpoint method, per-incarnation median),
+// aligns server spans onto the client clock, and reports per-tenant
+// latency decomposition (network / server queue / handler / backoff /
+// unavailability) plus any restart unavailability windows — all from the
+// traces alone. -json emits the merge as one JSON object instead.
+//
+// A flight-recorder dump (an2sim -dump-path, written on panic, drain,
+// shed, or a refusal-rate trigger) is the same span JSONL: loading it as
+// a single file prints the span listing report.
+//
 // With -chrome the trace is converted to Chrome trace_event format and
 // written to the named file; load it in Perfetto (ui.perfetto.dev) or
 // chrome://tracing to see data-plane cells (pid 1, one track per VC) and
@@ -31,9 +49,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/svc"
 )
 
 func main() {
@@ -50,9 +71,38 @@ func run(w io.Writer, args []string) error {
 		slotUS   = fs.Int64("slotus", 10, "microseconds per cell slot for -chrome timestamps")
 		top      = fs.Int("top", 10, "contended output ports to show (0 hides the table)")
 		jsonFlag = fs.Bool("json", false, "emit the analysis as JSON instead of tables")
+		merge    = fs.Bool("merge", false, "merge a client and a server span stream (exactly two file args) into clock offsets, latency decomposition, and unavailability windows")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *merge {
+		if fs.NArg() < 2 {
+			return fmt.Errorf("-merge needs a client trace and at least one server trace: client.jsonl server.jsonl [server2.jsonl ...]")
+		}
+		client, err := readFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		// Each server incarnation may have written its own file (and a
+		// SIGKILLed one ends mid-line, which only per-file reading can
+		// forgive); read separately, merge as one server stream.
+		var server []obs.Event
+		for _, name := range fs.Args()[1:] {
+			evs, err := readFile(name)
+			if err != nil {
+				return err
+			}
+			server = append(server, evs...)
+		}
+		res := obs.MergeTraces(client, server)
+		if *jsonFlag {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res)
+		}
+		res.WriteReport(w)
+		return nil
 	}
 
 	var r io.Reader
@@ -92,6 +142,10 @@ func run(w io.Writer, args []string) error {
 		return nil
 	}
 
+	if spansOnly(events) {
+		spanReport(w, events)
+		return nil
+	}
 	a := obs.Analyze(events)
 	if *jsonFlag {
 		enc := json.NewEncoder(w)
@@ -100,6 +154,92 @@ func run(w io.Writer, args []string) error {
 	}
 	report(w, a, *top)
 	return nil
+}
+
+// readFile loads one JSONL event file ("-" for stdin).
+func readFile(name string) ([]obs.Event, error) {
+	if name == "-" {
+		return obs.ReadJSONL(os.Stdin)
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadJSONL(f)
+}
+
+// spansOnly reports whether the trace is a pure service-span stream — a
+// -trace-spans file or a flight-recorder dump — which the slot-based
+// Analyze cannot say anything useful about.
+func spansOnly(events []obs.Event) bool {
+	for i := range events {
+		if !strings.HasPrefix(events[i].Kind, "svc-") {
+			return false
+		}
+	}
+	return len(events) > 0
+}
+
+// spanReport summarizes a single-process span stream: what a recorder
+// dump holds, without needing the other side for a merge.
+func spanReport(w io.Writer, events []obs.Event) {
+	traces := make(map[uint64]bool)
+	incs := make(map[int32]bool)
+	kinds := make(map[string]int)
+	refusals := make(map[uint64]int)
+	var dumps []obs.Event
+	for i := range events {
+		ev := &events[i]
+		kinds[ev.Kind]++
+		if ev.Trace != 0 {
+			traces[ev.Trace] = true
+		}
+		if ev.Node != 0 {
+			incs[ev.Node] = true
+		}
+		switch ev.Kind {
+		case obs.KindSvcRefuse:
+			refusals[ev.Seq]++
+		case obs.KindSvcDump:
+			dumps = append(dumps, *ev)
+		}
+	}
+	var incList []int32
+	for inc := range incs {
+		incList = append(incList, inc)
+	}
+	sort.Slice(incList, func(i, j int) bool { return incList[i] < incList[j] })
+	fmt.Fprintf(w, "service span stream: %d spans, %d traces, incarnations %v\n",
+		len(events), len(traces), incList)
+
+	kt := metrics.NewTable("spans by kind", "kind", "count")
+	var kindList []string
+	for k := range kinds {
+		kindList = append(kindList, k)
+	}
+	sort.Strings(kindList)
+	for _, k := range kindList {
+		kt.AddRow(k, kinds[k])
+	}
+	fmt.Fprintln(w, kt.String())
+
+	if len(refusals) > 0 {
+		rt := metrics.NewTable("refusals by code", "code", "refusal", "count")
+		var codes []uint64
+		for c := range refusals {
+			codes = append(codes, c)
+		}
+		sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+		for _, c := range codes {
+			rt.AddRow(c, svc.RefusalString(int32(c)), refusals[c])
+		}
+		fmt.Fprintln(w, rt.String())
+	}
+	for _, d := range dumps {
+		fmt.Fprintf(w, "recorder dump marker: trigger=%d wall_us=%d incarnation=%d\n",
+			d.Seq, d.WallUS, d.Node)
+	}
 }
 
 // report renders the full text report.

@@ -237,6 +237,104 @@ func TestChromeConversion(t *testing.T) {
 	}
 }
 
+// writeSpans writes a span stream as JSONL, the way an2sim -trace-spans
+// (or a recorder dump) would.
+func writeSpans(t *testing.T, name string, events []obs.Event) string {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := obs.NewSpanWriter(&buf)
+	for i := range events {
+		sw.Emit(&events[i])
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// mergeFixture is a miniature two-process trace with a known +5000 µs
+// server clock offset: one clean op and one unanswered send for tenant 3.
+func mergeFixture() (client, server []obs.Event) {
+	client = []obs.Event{
+		{Kind: obs.KindSvcSend, WallUS: 1000, Trace: 100, Span: 11, Parent: 10, Epoch: 3},
+		{Kind: obs.KindSvcRecv, WallUS: 1270, Trace: 100, Span: 11, Parent: 10, Node: 1},
+		{Kind: obs.KindSvcOp, WallUS: 1000, Dur: 270, Trace: 100, Span: 10, Epoch: 3, Seq: 1},
+		{Kind: obs.KindSvcSend, WallUS: 2000, Trace: 200, Span: 21, Parent: 20, Epoch: 3},
+	}
+	server = []obs.Event{
+		{Kind: obs.KindSvcQueue, WallUS: 6020, Dur: 30, Trace: 100, Span: 101, Parent: 11, Node: 1, Epoch: 3},
+		{Kind: obs.KindSvcHandle, WallUS: 6050, Dur: 200, Trace: 100, Span: 102, Parent: 11, Node: 1, Epoch: 3},
+	}
+	return client, server
+}
+
+// TestMergeMode drives the -merge CLI end to end over two span files and
+// checks the rendered offset and decomposition tables.
+func TestMergeMode(t *testing.T) {
+	client, server := mergeFixture()
+	cp := writeSpans(t, "client.jsonl", client)
+	sp := writeSpans(t, "server.jsonl", server)
+	var out bytes.Buffer
+	if err := run(&out, []string{"-merge", cp, sp}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, needle := range []string{
+		"1 matched attempts", "1 unanswered sends",
+		"clock offsets", "5000", "per-tenant latency decomposition",
+	} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("merge report missing %q:\n%s", needle, got)
+		}
+	}
+
+	out.Reset()
+	if err := run(&out, []string{"-merge", "-json", cp, sp}); err != nil {
+		t.Fatal(err)
+	}
+	var res obs.MergeResult
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Offsets) != 1 || res.Offsets[0].OffsetUS != 5000 {
+		t.Fatalf("json offsets = %+v, want one +5000", res.Offsets)
+	}
+
+	if err := run(&bytes.Buffer{}, []string{"-merge", cp}); err == nil {
+		t.Fatal("-merge with one file accepted")
+	}
+}
+
+// TestRecorderDumpReport loads a flight-recorder dump (a span-only JSONL)
+// as a single file: the span listing must render, not the slot analyzer.
+func TestRecorderDumpReport(t *testing.T) {
+	dump := []obs.Event{
+		{Kind: obs.KindSvcRefuse, WallUS: 500, Trace: 7, Span: 2, Parent: 1, Node: 2, Epoch: 4, Seq: 7},
+		{Kind: obs.KindSvcHandle, WallUS: 600, Dur: 40, Trace: 8, Span: 4, Parent: 3, Node: 2, Epoch: 4, Seq: 2},
+		{Kind: obs.KindSvcDump, WallUS: 700, Trace: 7, Span: 5, Parent: 1, Node: 2, Seq: 4},
+	}
+	path := writeSpans(t, "recorder.jsonl.refusal-rate", dump)
+	var out bytes.Buffer
+	if err := run(&out, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, needle := range []string{
+		"service span stream: 3 spans",
+		"spans by kind",
+		"stale-session", // refusal code 7 named
+		"recorder dump marker: trigger=4",
+	} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("span report missing %q:\n%s", needle, got)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	if err := run(&bytes.Buffer{}, []string{filepath.Join(t.TempDir(), "missing.jsonl")}); err == nil {
 		t.Fatal("missing file accepted")

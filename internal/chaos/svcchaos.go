@@ -10,6 +10,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/ctrlnet"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/svc"
 	"repro/internal/topology"
@@ -198,6 +199,12 @@ type SvcResult struct {
 	Byes       int64
 	// FinalStats is the LAST incarnation's server accounting.
 	FinalStats svc.Stats
+	// Recorder is the server-side flight recorder at the end of the run:
+	// one ring shared by every incarnation, so the spans that led into a
+	// kill survive the restart that followed it. Scripted tenants stamp a
+	// deterministic trace id (tenant<<32 | nonce) on every request, so a
+	// recorder span is attributable without any merge step.
+	Recorder []obs.Event
 }
 
 // ---- harness ----------------------------------------------------------
@@ -223,6 +230,7 @@ type svcHarness struct {
 	hosts  []topology.NodeID
 	eng    *ctrlnet.Net
 	srv    *svc.Server
+	ring   *obs.Ring // shared across incarnations: the flight recorder
 	alive  bool
 	incarn int32
 
@@ -310,6 +318,8 @@ func (h *svcHarness) startServer() error {
 		LeaseDur:               lease,
 		OrphanGrace:            grace,
 		Now:                    h.clock,
+		Ring:                   h.ring,
+		SpanSeed:               uint64(h.s.Seed)*0x9E3779B9 + uint64(h.incarn),
 	})
 	if err != nil {
 		return err
@@ -361,6 +371,7 @@ func RunSvc(s SvcSchedule) (*SvcResult, error) {
 		lan:     lan,
 		hosts:   lan.Topology().Hosts(),
 		eng:     eng,
+		ring:    obs.NewRing(2048),
 		tenants: make(map[topology.NodeID]*svcTenant),
 		grants:  make(map[[2]uint64]cell.VCI),
 	}
@@ -470,6 +481,7 @@ func (h *svcHarness) finish() *SvcResult {
 			h.res.Byes++
 		}
 	}
+	h.res.Recorder = h.ring.Snapshot()
 	return &h.res
 }
 
@@ -626,9 +638,14 @@ func (t *svcTenant) begin(in svcIntent) {
 
 // transmit (re)sends the in-flight RPC with the current incarnation
 // stamp — a retransmit after a re-attach must not carry the dead one.
+// Every attempt carries a deterministic trace context (trace = tenant
+// id<<32 | nonce, span varied per attempt) so the server's flight
+// recorder attributes each span to a scripted op with no merge step.
 func (t *svcTenant) transmit() {
 	in := t.inflight
 	m := &proto.Message{Epoch: t.id, Initiator: t.inNonce, VTimeUS: t.h.nowUS()}
+	m.TraceID = t.id<<32 | t.inNonce
+	m.Span = m.TraceID ^ uint64(t.attempts+1)
 	switch in.kind {
 	case proto.KindHello:
 		m.Kind = proto.KindHello

@@ -1,6 +1,11 @@
 package chaos
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/svc"
+)
 
 // Generated schedules — kills, brownouts, vanishing tenants, lossy
 // control — must hold every service invariant: that is the tentpole
@@ -115,6 +120,63 @@ func TestSvcChaosLeaseGCCollectsVanished(t *testing.T) {
 	// and reclaims (vanished before it) — some GC must have happened.
 	if res.FinalStats.LeaseExpired+res.FinalStats.OrphansReclaimed == 0 {
 		t.Fatal("nothing was garbage-collected — vanish arm inert")
+	}
+}
+
+// The flight recorder rides through a kill+restart: the ring is shared
+// across incarnations, every scripted request carries a deterministic
+// trace id, and after the drill the recorder must hold both stale-session
+// refusal spans (from the restart) and ordinary handler spans, each
+// attributable to a tenant trace.
+func TestSvcChaosRecorderSurvivesRestart(t *testing.T) {
+	// The kill lands late in the horizon so the restart's stale refusals
+	// are still in the ring at the end — a flight recorder holds RECENT
+	// history, and this drill reads it the way an operator would: right
+	// after the incident.
+	s := SvcSchedule{
+		Seed: 3, HorizonMS: 2000, GraceMS: 600, Tenants: 6,
+		LeaseDurMS: 400, OrphanGraceMS: 400,
+		Outages: []SvcOutage{{Kill: true, StartMS: 1600, EndMS: 1800}},
+	}
+	res, err := RunSvc(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("%v\nreproducer:\n%s", res.Violation, s)
+	}
+	if len(res.Recorder) == 0 {
+		t.Fatal("flight recorder empty after a traced chaos run")
+	}
+	var handles, staleRefusals, badTrace int
+	for _, ev := range res.Recorder {
+		if ev.Trace == 0 {
+			badTrace++
+			continue
+		}
+		// Deterministic stamping: trace = tenant<<32 | nonce, and the
+		// server tags spans with the tenant it served.
+		tenant := ev.Trace >> 32
+		if tenant < 1 || tenant > uint64(s.Tenants) {
+			t.Fatalf("span %v carries trace %#x outside the tenant range", ev.Kind, ev.Trace)
+		}
+		switch ev.Kind {
+		case obs.KindSvcHandle:
+			handles++
+		case obs.KindSvcRefuse:
+			if ev.Seq == uint64(svc.RefuseStaleSession) {
+				staleRefusals++
+			}
+		}
+	}
+	if badTrace > 0 {
+		t.Fatalf("%d recorder spans carry no trace id", badTrace)
+	}
+	if handles == 0 {
+		t.Fatal("recorder holds no handler spans")
+	}
+	if staleRefusals == 0 {
+		t.Fatal("recorder holds no stale-session refusals despite a kill+restart")
 	}
 }
 

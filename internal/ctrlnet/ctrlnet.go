@@ -100,10 +100,15 @@ type Partition struct {
 }
 
 // Delivery is one wire image the channel hands the receiver To, at AtUS.
+// RecvUS is the receiver's wall clock at socket receive, in µs since the
+// Unix epoch — stamped only by the socket transports (zero on the
+// in-memory channels, which have no wall clock), and consumed by the
+// service plane's queue-wait spans.
 type Delivery struct {
 	From, To topology.NodeID
 	Wire     []byte
 	AtUS     int64
+	RecvUS   int64
 }
 
 // Stats counts the injector's decisions.

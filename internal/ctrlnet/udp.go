@@ -198,10 +198,11 @@ func (u *UDP) readLoop(conn *net.UDPConn) {
 		// as they keep talking.
 		u.peers[src] = from
 		u.queue = append(u.queue, Delivery{
-			From: src,
-			To:   dst,
-			Wire: append([]byte(nil), buf[udpEnvSize:n]...),
-			AtUS: atUS,
+			From:   src,
+			To:     dst,
+			Wire:   append([]byte(nil), buf[udpEnvSize:n]...),
+			AtUS:   atUS,
+			RecvUS: time.Now().UnixMicro(),
 		})
 		u.recvd++
 		u.cond.Broadcast()

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -65,6 +66,14 @@ func runE33(seed int64) ([]*metrics.Table, error) {
 		outage      = 250 * time.Millisecond
 	)
 	reg := obs.NewRegistry(1)
+	// Both processes' span streams, captured in memory exactly as
+	// -trace-spans would write them to disk: one client stream for the
+	// whole tenant fleet, one server stream shared by both incarnations.
+	// After the run, obs.MergeTraces must reproduce the unavailability
+	// window from these streams ALONE — the cross-process tracing claim.
+	var clientBuf, serverBuf bytes.Buffer
+	clientSpans := obs.NewSpanWriter(&clientBuf)
+	serverSpans := obs.NewSpanWriter(&serverBuf)
 	newServer := func(addr string, incarnation int32, faultSeed int64) (*svc.Server, *ctrlnet.FaultyTransport, string, error) {
 		udp, err := ctrlnet.NewUDP(ctrlnet.UDPConfig{
 			Local: map[topology.NodeID]string{0: addr},
@@ -87,6 +96,8 @@ func runE33(seed int64) ([]*metrics.Table, error) {
 			LeaseDur:               leaseDur,
 			OrphanGrace:            orphanGrace,
 			Obs:                    reg,
+			Spans:                  serverSpans,
+			SpanSeed:               uint64(seed) + uint64(incarnation),
 		})
 		if err != nil {
 			tr.Close()
@@ -118,6 +129,7 @@ func runE33(seed int64) ([]*metrics.Table, error) {
 			Retries:       8,
 			DropProb:      lossProb,
 			Survivable:    true,
+			Spans:         clientSpans,
 		})
 	}()
 
@@ -193,6 +205,33 @@ func runE33(seed int64) ([]*metrics.Table, error) {
 	if rep.ReattachedTenants > 0 {
 		unavailMS = rep.LastReattachAt.Sub(killAt).Milliseconds()
 	}
+
+	// The tracing acceptance: merge the two span streams and reproduce the
+	// unavailability window with no access to killAt or the workload's
+	// clocks — only what the traces carry.
+	if err := clientSpans.Flush(); err != nil {
+		return nil, err
+	}
+	if err := serverSpans.Flush(); err != nil {
+		return nil, err
+	}
+	clientEvents, err := obs.ReadJSONL(bytes.NewReader(clientBuf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("client span stream: %w", err)
+	}
+	serverEvents, err := obs.ReadJSONL(bytes.NewReader(serverBuf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("server span stream: %w", err)
+	}
+	merged := obs.MergeTraces(clientEvents, serverEvents)
+	tracedMS := merged.UnavailUS() / 1000
+	traceErrPct := float64(-1)
+	if unavailMS > 0 {
+		traceErrPct = 100 * float64(tracedMS-unavailMS) / float64(unavailMS)
+		if traceErrPct < 0 {
+			traceErrPct = -traceErrPct
+		}
+	}
 	yesno := func(b bool) string {
 		if b {
 			return "yes"
@@ -211,6 +250,11 @@ func runE33(seed int64) ([]*metrics.Table, error) {
 	t1.AddRow("ledger VCs re-opened", rep.ReattachVCs)
 	t1.AddRow("ledger VCs refused on re-open", rep.ReattachFailedVCs)
 	t1.AddRow("unavailability window (ms)", unavailMS)
+	t1.AddRow("unavailability window from traces (ms)", tracedMS)
+	t1.AddRow("trace window error (%)", fmt.Sprintf("%.1f", traceErrPct))
+	t1.AddRow("spans captured (client+server)", merged.ClientEvents+merged.ServerEvents)
+	t1.AddRow("matched request/reply pairs", merged.MatchedAttempts)
+	t1.AddRow("clock offsets recovered (incarnations)", len(merged.Offsets))
 	t1.AddRow("orphan VCs adopted at restart", orphansAdopted)
 	t1.AddRow("orphan VCs after lease expiry", orphansAfter)
 	t1.AddRow("orphans reclaimed", st2.OrphansReclaimed)

@@ -38,6 +38,33 @@ const (
 	// Chaos harness markers: a control-loss burst window opened/closed
 	// (Seq = drop probability in permille, Dur set on the closing event).
 	KindChaosBurst = "chaos-burst"
+
+	// Service plane (svc client + server). All carry Trace/Span/Parent
+	// and WallUS; Dur is µs. Field reuse mirrors the svc frame contract:
+	// Epoch = tenant id, Node = server incarnation, VC = granted VCI.
+	//
+	// Client side. svc-op covers one logical operation end to end
+	// (Seq = attempts used); svc-send is one wire attempt (Seq = attempt
+	// index, 0-based); svc-recv the matching reply (Seq = refusal code,
+	// 0 = accepted); svc-backoff one retransmit wait; svc-reattach a full
+	// Hello + ledger-replay re-attach (Seq = VCs replayed).
+	KindSvcOp       = "svc-op"
+	KindSvcSend     = "svc-send"
+	KindSvcRecv     = "svc-recv"
+	KindSvcBackoff  = "svc-backoff"
+	KindSvcReattach = "svc-reattach"
+
+	// Server side, children of the request's wire span: svc-decode covers
+	// frame decode (Seq = request kind), svc-queue the wait from socket
+	// receive to handler (Seq = batch backlog ahead of it), svc-handle
+	// the handler proper (Seq = request kind), svc-refuse a typed refusal
+	// (Seq = refusal code). svc-dump marks a flight-recorder dump
+	// (Seq = trigger code, Dur = spans dumped).
+	KindSvcDecode = "svc-decode"
+	KindSvcQueue  = "svc-queue"
+	KindSvcHandle = "svc-handle"
+	KindSvcRefuse = "svc-refuse"
+	KindSvcDump   = "svc-dump"
 )
 
 // AllKinds lists every kind above — the vocabulary round-trip tests and
@@ -50,4 +77,6 @@ var AllKinds = []string{
 	KindRecoveryDetect, KindRecoveryReconfig, KindRecoveryReroute,
 	KindRecoveryRepair, KindRecoveryRetry,
 	KindCtrlRound, KindChaosBurst,
+	KindSvcOp, KindSvcSend, KindSvcRecv, KindSvcBackoff, KindSvcReattach,
+	KindSvcDecode, KindSvcQueue, KindSvcHandle, KindSvcRefuse, KindSvcDump,
 }

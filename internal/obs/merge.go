@@ -1,0 +1,366 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file reconstructs cross-process request timelines from two span
+// streams — one written by the service client process, one by the server
+// process — that share no clock. Every matched request gives one NTP-style
+// offset sample: the client stamps send (t0) and receive (t3) on its wall
+// clock, the server stamps socket receive (t1) and handler end (t2) on
+// its; the midpoint method estimates the server-minus-client offset as
+// ((t1-t0)+(t2-t3))/2, and the per-incarnation median over all matched
+// requests rejects the outliers that retransmitted or queued requests
+// produce. With offsets in hand, server spans align onto the client
+// clock, per-tenant latency decomposes into network / queue / handler /
+// backoff / unavailability, and the gap between a dead incarnation's last
+// span and the fleet's last re-attach reproduces the survivable-service
+// unavailability window (E33) from traces alone.
+
+// IncarnationOffset is the estimated clock offset of one server
+// incarnation relative to the client process, in µs (server clock minus
+// client clock), with the matched-request sample count behind it.
+type IncarnationOffset struct {
+	Incarnation int32 `json:"incarnation"`
+	OffsetUS    int64 `json:"offset_us"`
+	Samples     int   `json:"samples"`
+}
+
+// TenantLat is one tenant's latency decomposition, summed over its
+// operations, all in µs on the client clock.
+type TenantLat struct {
+	Tenant   uint64 `json:"tenant"`
+	Ops      int64  `json:"ops"`
+	Attempts int64  `json:"attempts"`
+	Refusals int64  `json:"refusals"`
+	TotalUS  int64  `json:"total_us"`
+	NetUS    int64  `json:"net_us"`
+	QueueUS  int64  `json:"queue_us"`
+	HandleUS int64  `json:"handle_us"`
+	BackUS   int64  `json:"backoff_us"`
+	LostUS   int64  `json:"unavail_us"`
+}
+
+// Window is one unavailability window on the client clock: from the last
+// aligned span of a dead incarnation to the end of the last re-attach
+// that recovered from it.
+type Window struct {
+	Incarnation int32 `json:"incarnation"`
+	Next        int32 `json:"next"`
+	StartUS     int64 `json:"start_us"`
+	EndUS       int64 `json:"end_us"`
+}
+
+// DurUS is the window length in µs.
+func (w Window) DurUS() int64 { return w.EndUS - w.StartUS }
+
+// MergeResult is the outcome of MergeTraces.
+type MergeResult struct {
+	Offsets []IncarnationOffset `json:"offsets"`
+	Tenants []TenantLat         `json:"tenants"`
+	Windows []Window            `json:"windows"`
+
+	ClientEvents    int `json:"client_events"`
+	ServerEvents    int `json:"server_events"`
+	MatchedAttempts int `json:"matched_attempts"`
+	UnmatchedSends  int `json:"unmatched_sends"`
+	Reattaches      int `json:"reattaches"`
+}
+
+// UnavailUS returns the widest unavailability window in µs (0 if none).
+func (m *MergeResult) UnavailUS() int64 {
+	var max int64
+	for _, w := range m.Windows {
+		if d := w.DurUS(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// clientAttempt is one wire attempt seen from the client: its send and
+// (if any) receive wall stamps, keyed by the attempt span id the server
+// echoes back.
+type clientAttempt struct {
+	trace    uint64
+	t0, t3   int64
+	haveSend bool
+	haveRecv bool
+}
+
+// serverReq is the server's view of one attempt, keyed by the request's
+// span id (the server child spans' Parent).
+type serverReq struct {
+	inc       int32
+	rw        int64 // socket receive wall (queue span start)
+	he        int64 // handler end wall
+	haveQueue bool
+	haveEnd   bool
+}
+
+// MergeTraces joins a client-process span stream with a server-process
+// span stream (which may cover several incarnations) into offsets,
+// per-tenant latency decomposition and unavailability windows. Events of
+// non-service kinds are ignored, so full mixed traces can be fed in
+// unfiltered.
+func MergeTraces(client, server []Event) *MergeResult {
+	res := &MergeResult{ClientEvents: len(client), ServerEvents: len(server)}
+
+	attempts := make(map[uint64]*clientAttempt)
+	type opAgg struct {
+		tenant   uint64
+		total    int64
+		backoff  int64
+		attempts int64
+		refusals int64
+	}
+	ops := make(map[uint64]*opAgg) // by trace
+	op := func(trace uint64) *opAgg {
+		o := ops[trace]
+		if o == nil {
+			o = &opAgg{}
+			ops[trace] = o
+		}
+		return o
+	}
+	type reattach struct{ start, end int64 }
+	var reattaches []reattach
+	for i := range client {
+		ev := &client[i]
+		switch ev.Kind {
+		case KindSvcOp:
+			o := op(ev.Trace)
+			o.tenant = ev.Epoch
+			o.total += ev.Dur
+		case KindSvcSend:
+			a := attempts[ev.Span]
+			if a == nil {
+				a = &clientAttempt{}
+				attempts[ev.Span] = a
+			}
+			a.trace, a.t0, a.haveSend = ev.Trace, ev.WallUS, true
+			op(ev.Trace).attempts++
+		case KindSvcRecv:
+			a := attempts[ev.Span]
+			if a == nil {
+				a = &clientAttempt{}
+				attempts[ev.Span] = a
+			}
+			a.trace, a.t3, a.haveRecv = ev.Trace, ev.WallUS, true
+			if ev.Seq != 0 {
+				op(ev.Trace).refusals++
+			}
+		case KindSvcBackoff:
+			op(ev.Trace).backoff += ev.Dur
+		case KindSvcReattach:
+			reattaches = append(reattaches, reattach{ev.WallUS, ev.WallUS + ev.Dur})
+			res.Reattaches++
+		}
+	}
+
+	reqs := make(map[uint64]*serverReq)
+	type incAgg struct {
+		firstRaw, lastRaw int64
+		any               bool
+	}
+	incs := make(map[int32]*incAgg)
+	queueByTrace := make(map[uint64]int64)
+	handleByTrace := make(map[uint64]int64)
+	for i := range server {
+		ev := &server[i]
+		var req *serverReq
+		switch ev.Kind {
+		case KindSvcQueue, KindSvcDecode, KindSvcHandle, KindSvcRefuse:
+			req = reqs[ev.Parent]
+			if req == nil {
+				req = &serverReq{}
+				reqs[ev.Parent] = req
+			}
+			if ev.Node != 0 {
+				req.inc = ev.Node
+			}
+		default:
+			continue
+		}
+		switch ev.Kind {
+		case KindSvcQueue:
+			if !req.haveQueue { // first copy wins on duplicated frames
+				req.rw, req.haveQueue = ev.WallUS, true
+			}
+			queueByTrace[ev.Trace] += ev.Dur
+		case KindSvcHandle, KindSvcRefuse:
+			if !req.haveEnd {
+				req.he, req.haveEnd = ev.WallUS+ev.Dur, true
+			}
+			handleByTrace[ev.Trace] += ev.Dur
+		}
+		a := incs[ev.Node]
+		if a == nil {
+			a = &incAgg{}
+			incs[ev.Node] = a
+		}
+		end := ev.WallUS + ev.Dur
+		if !a.any || ev.WallUS < a.firstRaw {
+			a.firstRaw = ev.WallUS
+		}
+		if !a.any || end > a.lastRaw {
+			a.lastRaw = end
+		}
+		a.any = true
+	}
+
+	// Offset samples per incarnation, midpoint method per matched attempt.
+	samples := make(map[int32][]int64)
+	for span, req := range reqs {
+		a := attempts[span]
+		if a == nil || !a.haveSend || !a.haveRecv || !req.haveEnd {
+			continue
+		}
+		t1 := req.he
+		if req.haveQueue {
+			t1 = req.rw
+		}
+		samples[req.inc] = append(samples[req.inc], ((t1-a.t0)+(req.he-a.t3))/2)
+		res.MatchedAttempts++
+	}
+	for _, a := range attempts {
+		if a.haveSend && !a.haveRecv {
+			res.UnmatchedSends++
+		}
+	}
+	offsets := make(map[int32]int64)
+	for inc, ss := range samples {
+		sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+		med := ss[len(ss)/2]
+		if len(ss)%2 == 0 {
+			med = (ss[len(ss)/2-1] + ss[len(ss)/2]) / 2
+		}
+		offsets[inc] = med
+		res.Offsets = append(res.Offsets, IncarnationOffset{Incarnation: inc, OffsetUS: med, Samples: len(ss)})
+	}
+	sort.Slice(res.Offsets, func(i, j int) bool { return res.Offsets[i].Incarnation < res.Offsets[j].Incarnation })
+
+	// Per-trace network time over matched attempts, aligned to the
+	// client clock.
+	netByTrace := make(map[uint64]int64)
+	for span, req := range reqs {
+		a := attempts[span]
+		if a == nil || !a.haveSend || !a.haveRecv || !req.haveEnd {
+			continue
+		}
+		off, ok := offsets[req.inc]
+		if !ok {
+			continue
+		}
+		t1 := req.he
+		if req.haveQueue {
+			t1 = req.rw
+		}
+		net := (t1 - off - a.t0) + (a.t3 - (req.he - off))
+		if net < 0 {
+			net = 0
+		}
+		netByTrace[a.trace] += net
+	}
+
+	// Per-tenant decomposition. Unavailability is the residual of the
+	// op total after network, server queue, handler and backoff — the
+	// time spent on sends nobody answered.
+	byTenant := make(map[uint64]*TenantLat)
+	for trace, o := range ops {
+		tl := byTenant[o.tenant]
+		if tl == nil {
+			tl = &TenantLat{Tenant: o.tenant}
+			byTenant[o.tenant] = tl
+		}
+		tl.Ops++
+		tl.Attempts += o.attempts
+		tl.Refusals += o.refusals
+		tl.TotalUS += o.total
+		net, q, hd := netByTrace[trace], queueByTrace[trace], handleByTrace[trace]
+		tl.NetUS += net
+		tl.QueueUS += q
+		tl.HandleUS += hd
+		tl.BackUS += o.backoff
+		if lost := o.total - net - q - hd - o.backoff; lost > 0 {
+			tl.LostUS += lost
+		}
+	}
+	for _, tl := range byTenant {
+		res.Tenants = append(res.Tenants, *tl)
+	}
+	sort.Slice(res.Tenants, func(i, j int) bool { return res.Tenants[i].Tenant < res.Tenants[j].Tenant })
+
+	// Unavailability windows: align each incarnation's span range onto
+	// the client clock, then pair each dead incarnation (every one but
+	// the last to stop serving) with the re-attaches that recovered from
+	// it. Fallback when no re-attach follows: the next incarnation's
+	// first span.
+	type incSpan struct {
+		inc         int32
+		first, last int64
+	}
+	var spans []incSpan
+	for inc, a := range incs {
+		if !a.any {
+			continue
+		}
+		off := offsets[inc] // unmatched incarnations align with offset 0
+		spans = append(spans, incSpan{inc, a.firstRaw - off, a.lastRaw - off})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].last < spans[j].last })
+	for i := 0; i+1 < len(spans); i++ {
+		start := spans[i].last
+		end := int64(0)
+		for _, ra := range reattaches {
+			if ra.end > start && ra.end > end {
+				end = ra.end
+			}
+		}
+		if end == 0 {
+			end = spans[i+1].first
+		}
+		if end > start {
+			res.Windows = append(res.Windows, Window{
+				Incarnation: spans[i].inc, Next: spans[i+1].inc,
+				StartUS: start, EndUS: end,
+			})
+		}
+	}
+	return res
+}
+
+// WriteReport renders the merge as the text tables an2trace -merge
+// prints.
+func (m *MergeResult) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "merged trace: %d client + %d server events, %d matched attempts, %d unanswered sends, %d re-attaches\n",
+		m.ClientEvents, m.ServerEvents, m.MatchedAttempts, m.UnmatchedSends, m.Reattaches)
+
+	fmt.Fprintf(w, "\nclock offsets (server - client, midpoint method)\n")
+	fmt.Fprintf(w, "%12s %14s %9s\n", "incarnation", "offset (µs)", "samples")
+	for _, o := range m.Offsets {
+		fmt.Fprintf(w, "%12d %14d %9d\n", o.Incarnation, o.OffsetUS, o.Samples)
+	}
+
+	fmt.Fprintf(w, "\nper-tenant latency decomposition (ms, summed over ops)\n")
+	fmt.Fprintf(w, "%7s %6s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+		"tenant", "ops", "attempts", "refusals", "total", "network", "queue", "handler", "backoff", "unavail")
+	ms := func(us int64) string { return fmt.Sprintf("%.1f", float64(us)/1e3) }
+	for _, t := range m.Tenants {
+		fmt.Fprintf(w, "%7d %6d %9d %9d %9s %9s %9s %9s %9s %9s\n",
+			t.Tenant, t.Ops, t.Attempts, t.Refusals,
+			ms(t.TotalUS), ms(t.NetUS), ms(t.QueueUS), ms(t.HandleUS), ms(t.BackUS), ms(t.LostUS))
+	}
+
+	if len(m.Windows) > 0 {
+		fmt.Fprintf(w, "\nunavailability windows (client clock)\n")
+		fmt.Fprintf(w, "%12s %6s %12s %12s %10s\n", "incarnation", "next", "start (µs)", "end (µs)", "dur (ms)")
+		for _, win := range m.Windows {
+			fmt.Fprintf(w, "%12d %6d %12d %12d %10.1f\n",
+				win.Incarnation, win.Next, win.StartUS, win.EndUS, float64(win.DurUS())/1e3)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Synthetic two-process trace with known clock offsets: incarnation 1
+// runs +5000 µs ahead of the client, is killed, and incarnation 2 comes
+// up 2000 µs behind. Tenant 3 runs two ops against incarnation 1 (one
+// clean, one with a lost first attempt, a 300 µs backoff and a retry);
+// tenant 5 runs one op that incarnation 2 refuses as draining. The merge
+// must recover both offsets exactly (symmetric network delays), the
+// per-tenant decomposition, and the kill-to-reattach window.
+func mergeFixture() (client, server []Event) {
+	client = []Event{
+		// Noise from another plane: must be ignored.
+		{Slot: 1, Kind: KindInject, VC: 9},
+
+		// Op 100 (tenant 3): send 1000, recv 1270, clean.
+		{Kind: KindSvcSend, WallUS: 1000, Trace: 100, Span: 11, Parent: 10, Epoch: 3},
+		{Kind: KindSvcRecv, WallUS: 1270, Trace: 100, Span: 11, Parent: 10, Node: 1},
+		{Kind: KindSvcOp, WallUS: 1000, Dur: 270, Trace: 100, Span: 10, Epoch: 3, Seq: 1},
+
+		// Op 200 (tenant 3): first send lost, 300 µs backoff, retry OK.
+		{Kind: KindSvcSend, WallUS: 2000, Trace: 200, Span: 21, Parent: 20, Epoch: 3},
+		{Kind: KindSvcBackoff, WallUS: 2000, Dur: 300, Trace: 200, Span: 23, Parent: 20, Epoch: 3},
+		{Kind: KindSvcSend, WallUS: 2500, Trace: 200, Span: 22, Parent: 20, Epoch: 3, Seq: 1},
+		{Kind: KindSvcRecv, WallUS: 2630, Trace: 200, Span: 22, Parent: 20, Node: 1},
+		{Kind: KindSvcOp, WallUS: 2000, Dur: 630, Trace: 200, Span: 20, Epoch: 3, Seq: 2},
+
+		// The fleet re-attaches after incarnation 1 dies.
+		{Kind: KindSvcReattach, WallUS: 3000, Dur: 400, Trace: 200, Span: 24, Parent: 20, Node: 2, Seq: 2},
+
+		// Op 300 (tenant 5) against incarnation 2: refused as draining (8).
+		{Kind: KindSvcSend, WallUS: 4000, Trace: 300, Span: 31, Parent: 30, Epoch: 5},
+		{Kind: KindSvcRecv, WallUS: 4075, Trace: 300, Span: 31, Parent: 30, Node: 2, Seq: 8},
+		{Kind: KindSvcOp, WallUS: 4000, Dur: 75, Trace: 300, Span: 30, Epoch: 5, Seq: 1},
+	}
+	server = []Event{
+		// Incarnation 1 (server clock = client + 5000).
+		{Kind: KindSvcQueue, WallUS: 6020, Dur: 30, Trace: 100, Span: 101, Parent: 11, Node: 1, Epoch: 3},
+		{Kind: KindSvcHandle, WallUS: 6050, Dur: 200, Trace: 100, Span: 102, Parent: 11, Node: 1, Epoch: 3},
+		{Kind: KindSvcQueue, WallUS: 7510, Dur: 10, Trace: 200, Span: 103, Parent: 22, Node: 1, Epoch: 3},
+		{Kind: KindSvcHandle, WallUS: 7520, Dur: 100, Trace: 200, Span: 104, Parent: 22, Node: 1, Epoch: 3},
+		// Incarnation 2 (server clock = client - 2000) refuses op 300.
+		{Kind: KindSvcQueue, WallUS: 2010, Dur: 5, Trace: 300, Span: 201, Parent: 31, Node: 2, Epoch: 5},
+		{Kind: KindSvcRefuse, WallUS: 2015, Dur: 50, Trace: 300, Span: 202, Parent: 31, Node: 2, Epoch: 5, Seq: 8},
+	}
+	return client, server
+}
+
+func TestMergeRecoversOffsetsExactly(t *testing.T) {
+	client, server := mergeFixture()
+	m := MergeTraces(client, server)
+	if len(m.Offsets) != 2 {
+		t.Fatalf("offsets = %+v, want 2 incarnations", m.Offsets)
+	}
+	if o := m.Offsets[0]; o.Incarnation != 1 || o.OffsetUS != 5000 || o.Samples != 2 {
+		t.Fatalf("incarnation 1 offset = %+v, want +5000 from 2 samples", o)
+	}
+	if o := m.Offsets[1]; o.Incarnation != 2 || o.OffsetUS != -2000 || o.Samples != 1 {
+		t.Fatalf("incarnation 2 offset = %+v, want -2000 from 1 sample", o)
+	}
+	if m.MatchedAttempts != 3 || m.UnmatchedSends != 1 || m.Reattaches != 1 {
+		t.Fatalf("matched/unmatched/reattach = %d/%d/%d, want 3/1/1",
+			m.MatchedAttempts, m.UnmatchedSends, m.Reattaches)
+	}
+}
+
+func TestMergeLatencyDecomposition(t *testing.T) {
+	client, server := mergeFixture()
+	m := MergeTraces(client, server)
+	if len(m.Tenants) != 2 {
+		t.Fatalf("tenants = %+v, want 2", m.Tenants)
+	}
+	t3 := m.Tenants[0]
+	want3 := TenantLat{Tenant: 3, Ops: 2, Attempts: 3, Refusals: 0,
+		TotalUS: 900, NetUS: 60, QueueUS: 40, HandleUS: 300, BackUS: 300, LostUS: 200}
+	if t3 != want3 {
+		t.Fatalf("tenant 3:\n got %+v\nwant %+v", t3, want3)
+	}
+	t5 := m.Tenants[1]
+	want5 := TenantLat{Tenant: 5, Ops: 1, Attempts: 1, Refusals: 1,
+		TotalUS: 75, NetUS: 20, QueueUS: 5, HandleUS: 50, BackUS: 0, LostUS: 0}
+	if t5 != want5 {
+		t.Fatalf("tenant 5:\n got %+v\nwant %+v", t5, want5)
+	}
+}
+
+func TestMergeUnavailabilityWindow(t *testing.T) {
+	client, server := mergeFixture()
+	m := MergeTraces(client, server)
+	if len(m.Windows) != 1 {
+		t.Fatalf("windows = %+v, want 1", m.Windows)
+	}
+	w := m.Windows[0]
+	// Incarnation 1's last span ends at 7620 on its own clock = 2620
+	// aligned; the re-attach completes at 3400 on the client clock.
+	if w.Incarnation != 1 || w.Next != 2 || w.StartUS != 2620 || w.EndUS != 3400 {
+		t.Fatalf("window = %+v, want {1 2 2620 3400}", w)
+	}
+	if m.UnavailUS() != 780 {
+		t.Fatalf("UnavailUS = %d, want 780", m.UnavailUS())
+	}
+}
+
+func TestMergeReportRenders(t *testing.T) {
+	client, server := mergeFixture()
+	var buf bytes.Buffer
+	MergeTraces(client, server).WriteReport(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"3 matched attempts", "1 unanswered sends", "1 re-attaches",
+		"clock offsets", "per-tenant latency decomposition",
+		"unavailability windows",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeEmptyStreams(t *testing.T) {
+	m := MergeTraces(nil, nil)
+	if len(m.Offsets) != 0 || len(m.Tenants) != 0 || len(m.Windows) != 0 || m.UnavailUS() != 0 {
+		t.Fatalf("empty merge = %+v", m)
+	}
+	var buf bytes.Buffer
+	m.WriteReport(&buf) // must not panic
+}

@@ -52,25 +52,47 @@ type Event struct {
 	Epoch    uint64 `json:"epoch,omitempty"`
 	Incident int64  `json:"incident,omitempty"`
 	Dur      int64  `json:"dur,omitempty"`
+
+	// Distributed-tracing fields (the svc-* kinds). WallUS is the span's
+	// start on the emitting process's wall clock in µs since the Unix
+	// epoch — service spans carry it alongside the slot clock because two
+	// processes share no slot clock, and MergeTraces aligns the wall
+	// clocks instead. Trace names the logical client operation (shared by
+	// every retransmit, backoff wait, refusal and re-attach the operation
+	// caused); Span the individual attempt or server-side stage; Parent
+	// the span this one is causally under (0 = root). For svc-* kinds Dur
+	// is the span length in µs, not slots.
+	WallUS int64  `json:"wall_us,omitempty"`
+	Trace  uint64 `json:"trace,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // ReadJSONL decodes a JSONL event stream (the format simnet.JSONLTracer
 // writes), one Event per line. Blank lines are skipped; a malformed line
-// fails with its line number.
+// fails with its line number — except a malformed FINAL line, which is
+// dropped silently: a span file from a SIGKILLed or panicking process
+// (the flight-recorder use case) legitimately ends mid-line, and the
+// trace up to the cut must stay readable.
 func ReadJSONL(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	var out []Event
 	line := 0
+	var pending error
 	for sc.Scan() {
 		line++
+		if pending != nil {
+			return nil, pending
+		}
 		b := sc.Bytes()
 		if len(b) == 0 {
 			continue
 		}
 		var ev Event
 		if err := json.Unmarshal(b, &ev); err != nil {
-			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+			pending = fmt.Errorf("obs: line %d: %w", line, err)
+			continue
 		}
 		out = append(out, ev)
 	}

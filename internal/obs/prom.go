@@ -105,7 +105,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if k > 0 {
 				le = int64(1)<<uint(k) - 1
 			}
-			fmt.Fprintf(w, "%s %d\n", withLabel(name+"_bucket", inner, fmt.Sprintf("le=%q", fmt.Sprint(le))), cum)
+			// OpenMetrics exemplar suffix, only when a traced sample
+			// landed in the bucket — expositions without exemplars stay
+			// byte-identical to the pre-exemplar format.
+			ex := ""
+			if trace, v, ok := h.Exemplar(k); ok {
+				ex = fmt.Sprintf(" # {trace_id=\"%016x\"} %d", trace, v)
+			}
+			fmt.Fprintf(w, "%s %d%s\n", withLabel(name+"_bucket", inner, fmt.Sprintf("le=%q", fmt.Sprint(le))), cum, ex)
 		}
 		fmt.Fprintf(w, "%s %d\n", withLabel(name+"_bucket", inner, `le="+Inf"`), h.Count())
 		fmt.Fprintf(w, "%s %d\n", withLabel(name+"_sum", inner, ""), h.Sum())

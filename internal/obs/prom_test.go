@@ -59,6 +59,45 @@ func TestWritePrometheusDeterministic(t *testing.T) {
 	}
 }
 
+// ObserveEx attaches OpenMetrics exemplars to the buckets traced samples
+// land in; untraced histograms expose byte-identically to before (the CI
+// golden exposition has no exemplars).
+func TestPrometheusExemplars(t *testing.T) {
+	r := NewRegistry(2)
+	h := r.Histogram("svc_op_latency_us", "op", "open")
+	h.ObserveEx(0, 3, 0xabcdef) // traced -> exemplar on le="3"
+	h.ObserveEx(0, 100, 0)      // trace 0 -> plain Observe
+	h.Observe(0, 5000)          // untraced
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `svc_op_latency_us_bucket{op="open",le="3"} 1 # {trace_id="0000000000abcdef"} 3`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	if strings.Count(out, "trace_id") != 1 {
+		t.Fatalf("untraced buckets grew exemplars:\n%s", out)
+	}
+	if trace, v, ok := h.Exemplar(bucketOf(3)); !ok || trace != 0xabcdef || v != 3 {
+		t.Fatalf("Exemplar = (%#x, %d, %v)", trace, v, ok)
+	}
+	if _, _, ok := h.Exemplar(bucketOf(5000)); ok {
+		t.Fatal("untraced bucket has an exemplar")
+	}
+
+	// The pre-exemplar exposition shape is unchanged when no exemplars
+	// were ever recorded.
+	var plain strings.Builder
+	if err := populated().WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "#  {") || strings.Contains(plain.String(), "trace_id") {
+		t.Fatalf("exemplar syntax leaked into untraced exposition:\n%s", plain.String())
+	}
+}
+
 func TestHandlerServesMetrics(t *testing.T) {
 	rec := httptest.NewRecorder()
 	populated().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))

@@ -193,13 +193,24 @@ type histShard struct {
 	_       [6]int64
 }
 
+// exemplar is one concrete traced sample kept per histogram bucket, so
+// a slow bucket in the exposition links to a trace id an operator can
+// pull up with an2trace.
+type exemplar struct {
+	trace uint64
+	v     int64
+}
+
 // Histogram records a distribution into fixed exponential (power-of-two)
 // buckets. Unlike metrics.Histogram it never allocates on Observe and is
 // safe under concurrent writers, at the price of bucketed quantiles.
+// ObserveEx additionally attaches an exemplar (last traced sample) to the
+// bucket, exposed in OpenMetrics exemplar syntax by WritePrometheus.
 type Histogram struct {
-	id    string
-	mask  int
-	slots []histShard
+	id        string
+	mask      int
+	slots     []histShard
+	exemplars [histBuckets]atomic.Pointer[exemplar]
 }
 
 // Histogram returns the histogram for name+labels. Returns nil on a nil
@@ -241,6 +252,34 @@ func (h *Histogram) Observe(shard int, v int64) {
 	atomic.AddInt64(&s.count, 1)
 	atomic.AddInt64(&s.sum, v)
 	atomic.AddInt64(&s.buckets[bucketOf(v)], 1)
+}
+
+// ObserveEx records one sample like Observe and, if trace is nonzero,
+// remembers (trace, v) as the bucket's exemplar — the last traced sample
+// that landed there. The exemplar store allocates, so untraced hot paths
+// should call Observe; with trace == 0 this is exactly Observe. No-op on
+// a nil handle.
+func (h *Histogram) ObserveEx(shard int, v int64, trace uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(shard, v)
+	if trace != 0 {
+		h.exemplars[bucketOf(v)].Store(&exemplar{trace: trace, v: v})
+	}
+}
+
+// Exemplar returns the bucket's exemplar trace id and value, or ok=false
+// when none was recorded (or on a nil handle / out-of-range bucket).
+func (h *Histogram) Exemplar(bucket int) (trace uint64, v int64, ok bool) {
+	if h == nil || bucket < 0 || bucket >= histBuckets {
+		return 0, 0, false
+	}
+	e := h.exemplars[bucket].Load()
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.trace, e.v, true
 }
 
 // ObserveN records n identical samples of value v in one call — the batch

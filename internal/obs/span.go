@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// SpanWriter emits service spans as JSONL — the same format ReadJSONL
+// parses and simnet.JSONLTracer writes, so client- and server-side span
+// streams feed straight into cmd/an2trace. It is safe for concurrent
+// emitters (the tenant workload runs hundreds of goroutines) and buffers
+// internally; call Flush (or Close) before handing the underlying stream
+// to a reader. A nil *SpanWriter is the disabled state: Emit on it
+// returns after one pointer comparison, so callers thread it through
+// unconditionally, like a nil Registry handle.
+type SpanWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// NewSpanWriter wraps w in a buffered, locked JSONL span emitter.
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	return &SpanWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit appends one span. Marshal errors cannot occur for Event (plain
+// scalar fields); write errors surface on Flush.
+func (sw *SpanWriter) Emit(ev *Event) {
+	if sw == nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	sw.mu.Lock()
+	sw.w.Write(b)
+	sw.w.WriteByte('\n')
+	sw.mu.Unlock()
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (sw *SpanWriter) Flush() error {
+	if sw == nil {
+		return nil
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Flush()
+}
+
+// Ring is the incident flight recorder: a fixed-size lock-free ring of
+// the most recent spans. Both the service client and server keep one even
+// when full span emission is off, and dump it on panic, drain, a shed
+// watermark crossing, or a refusal-rate trigger — so a post-mortem of a
+// chaos kill does not require having had tracing enabled.
+//
+// Writers pay one atomic increment and one pointer store, never block,
+// and never see each other's cache lines for the counter vs. the slots.
+// Readers (Snapshot, the dump paths) are best-effort: under concurrent
+// writes a snapshot is each slot's latest fully-published span, which is
+// exactly what a flight recorder wants. A nil *Ring is the disabled
+// state — Put returns after one pointer comparison.
+type Ring struct {
+	pos   atomic.Uint64
+	slots []atomic.Pointer[Event]
+}
+
+// NewRing creates a recorder holding the last n spans (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Put records one span, overwriting the oldest when full. The event is
+// copied; the caller's value may be reused.
+func (r *Ring) Put(ev Event) {
+	if r == nil {
+		return
+	}
+	i := r.pos.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(&ev)
+}
+
+// Len reports how many spans the ring currently holds.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.pos.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Snapshot returns the recorded spans, oldest first (best-effort under
+// concurrent writers). Nil on a nil or empty ring.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	pos := r.pos.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if pos > n {
+		start = pos - n
+	}
+	out := make([]Event, 0, pos-start)
+	for i := start; i < pos; i++ {
+		if ev := r.slots[i%n].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// DumpJSONL writes the snapshot as JSONL and returns the span count.
+func (r *Ring) DumpJSONL(w io.Writer) (int, error) {
+	evs := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	for i := range evs {
+		b, err := json.Marshal(&evs[i])
+		if err != nil {
+			return i, err
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return len(evs), bw.Flush()
+}
+
+// DumpFile writes the snapshot to path (created or truncated) and
+// returns the span count. On a nil ring it writes nothing and returns 0.
+func (r *Ring) DumpFile(path string) (int, error) {
+	if r == nil || path == "" {
+		return 0, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := r.DumpJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSpanWriter(&buf)
+	in := []Event{
+		{Kind: KindSvcSend, WallUS: 100, Trace: 7, Span: 8, Parent: 1, Epoch: 3, Seq: 0},
+		{Kind: KindSvcRecv, WallUS: 250, Trace: 7, Span: 8, Parent: 1, Node: 2},
+		{Kind: KindSvcOp, WallUS: 100, Dur: 150, Trace: 7, Span: 1, Epoch: 3, Seq: 1},
+	}
+	for i := range in {
+		sw.Emit(&in[i])
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, wrote %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("event %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestSpanWriterNilIsNoOp(t *testing.T) {
+	var sw *SpanWriter
+	sw.Emit(&Event{Kind: KindSvcSend})
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanWriterConcurrentEmitters(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSpanWriter(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sw.Emit(&Event{Kind: KindSvcSend, Trace: uint64(g)<<32 | uint64(i), Span: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("interleaved lines corrupted: %v", err)
+	}
+	if len(evs) != 8*200 {
+		t.Fatalf("got %d events, want %d", len(evs), 8*200)
+	}
+}
+
+func TestRingWrapsAndSnapshotsOldestFirst(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 || r.Snapshot() != nil {
+		t.Fatal("empty ring should be empty")
+	}
+	for i := 1; i <= 10; i++ {
+		r.Put(Event{Kind: KindSvcSend, Seq: uint64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot %d spans, want 4", len(snap))
+	}
+	for i, ev := range snap {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (oldest first)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestRingNilIsNoOp(t *testing.T) {
+	var r *Ring
+	r.Put(Event{Kind: KindSvcSend})
+	if r.Len() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil ring should stay empty")
+	}
+	if n, err := r.DumpFile(filepath.Join(t.TempDir(), "x.jsonl")); n != 0 || err != nil {
+		t.Fatalf("nil DumpFile = (%d, %v)", n, err)
+	}
+}
+
+func TestRingDumpFileDecodes(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Put(Event{Kind: KindSvcRefuse, Trace: uint64(i + 1), Span: 9, Parent: 2, WallUS: int64(1000 * i), Seq: 8})
+	}
+	path := filepath.Join(t.TempDir(), "dump.jsonl")
+	n, err := r.DumpFile(path)
+	if err != nil || n != 5 {
+		t.Fatalf("DumpFile = (%d, %v)", n, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 5 || evs[4].Trace != 5 || evs[0].Kind != KindSvcRefuse {
+		t.Fatalf("dump decoded to %+v", evs)
+	}
+}
+
+func TestRingConcurrentWriters(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Put(Event{Kind: KindSvcHandle, Trace: uint64(g), Seq: uint64(i)})
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("final snapshot %d spans, want 64", len(snap))
+	}
+}
+
+// New trace fields must stay invisible when unset: the CI golden traces
+// predate them, and their JSON must re-encode without any new keys.
+func TestTraceFieldsOmitEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSpanWriter(&buf)
+	sw.Emit(&Event{Slot: 3, Kind: KindDeliver, VC: 1, Node: 2})
+	sw.Flush()
+	line := buf.String()
+	for _, key := range []string{"wall_us", "trace", "span", "parent"} {
+		if strings.Contains(line, key) {
+			t.Fatalf("unset field %q leaked into %s", key, line)
+		}
+	}
+}
+
+// A span file from a SIGKILLed process ends mid-line; the readable
+// prefix must survive. A malformed line mid-file is still an error —
+// that's corruption, not a crash cut.
+func TestReadJSONLTruncatedTail(t *testing.T) {
+	good := `{"kind":"svc-send","wall_us":100,"trace":7,"span":8}` + "\n"
+	evs, err := ReadJSONL(strings.NewReader(good + good + `{"kind":"svc-re`))
+	if err != nil {
+		t.Fatalf("truncated final line must be dropped, got error: %v", err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events before the cut, want 2", len(evs))
+	}
+	if _, err := ReadJSONL(strings.NewReader(good + "{broken}\n" + good)); err == nil {
+		t.Fatal("malformed mid-file line must still error")
+	}
+}

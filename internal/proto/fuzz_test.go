@@ -24,6 +24,16 @@ func FuzzDecode(f *testing.F) {
 	f.Add(seed(&Message{Kind: KindAck, Epoch: 1, Accept: true}))
 	f.Add(seed(&Message{Kind: KindReport, Epoch: 8, Links: []LinkRec{{A: 0, B: 1}, {A: 1, B: 2}}}))
 	f.Add(seed(&Message{Kind: KindDistribute, Epoch: 2, Initiator: 4, Links: []LinkRec{{A: 5, B: 6}}}))
+	// Version-2 traced frames: with and without links, and one with only
+	// the parent span set.
+	f.Add(seed(&Message{Kind: KindVCRequest, Epoch: 4, Initiator: 11, TraceID: 0xdeadbeef, Span: 7}))
+	f.Add(seed(&Message{Kind: KindVCReply, Epoch: 4, Accept: true, TraceID: 1, Span: 2, Links: []LinkRec{{A: 3, B: 4}}}))
+	f.Add(seed(&Message{Kind: KindHello, Epoch: 2, Span: 99}))
+	// A non-canonical v2 frame (zero trace fields): must be rejected.
+	v1 := seed(&Message{Kind: KindLease, Epoch: 6})
+	nc := append(append([]byte(nil), v1[:headerSize]...), make([]byte, traceExtSize)...)
+	nc[0] = VersionTraced
+	f.Add(appendCRC(nc))
 	// A valid image with one bit flipped: the CRC-reject path.
 	flipped := seed(&Message{Kind: KindInvite, Epoch: 1})
 	flipped[2] ^= 0x80
@@ -46,12 +56,14 @@ func FuzzDecode(f *testing.F) {
 
 // FuzzEncodeDecode fuzzes structured fields through Marshal∘Unmarshal.
 func FuzzEncodeDecode(f *testing.F) {
-	f.Add(uint8(1), uint64(3), uint64(9), int32(2), int64(100), true, int32(1), uint8(2))
-	f.Add(uint8(4), uint64(0), uint64(0), int32(-1), int64(-5), false, int32(0), uint8(0))
-	f.Fuzz(func(t *testing.T, kind uint8, epoch, init uint64, from int32, vt int64, accept bool, depth int32, nLinks uint8) {
+	f.Add(uint8(1), uint64(3), uint64(9), int32(2), int64(100), true, int32(1), uint8(2), uint64(0), uint64(0))
+	f.Add(uint8(4), uint64(0), uint64(0), int32(-1), int64(-5), false, int32(0), uint8(0), uint64(0), uint64(0))
+	f.Add(uint8(6), uint64(1), uint64(2), int32(3), int64(4), true, int32(5), uint8(1), uint64(0xabc), uint64(0xdef))
+	f.Fuzz(func(t *testing.T, kind uint8, epoch, init uint64, from int32, vt int64, accept bool, depth int32, nLinks uint8, trace, span uint64) {
 		in := &Message{
 			Kind: Kind(kind), Epoch: epoch, Initiator: init,
 			From: from, VTimeUS: vt, Accept: accept, Depth: depth,
+			TraceID: trace, Span: span,
 		}
 		for i := uint8(0); i < nLinks; i++ {
 			in.Links = append(in.Links, LinkRec{A: int32(i), B: int32(i) + 1})
@@ -69,7 +81,8 @@ func FuzzEncodeDecode(f *testing.F) {
 		}
 		if out.Kind != in.Kind || out.Epoch != in.Epoch || out.Initiator != in.Initiator ||
 			out.From != in.From || out.VTimeUS != in.VTimeUS || out.Accept != in.Accept ||
-			out.Depth != in.Depth || len(out.Links) != len(in.Links) {
+			out.Depth != in.Depth || out.TraceID != in.TraceID || out.Span != in.Span ||
+			len(out.Links) != len(in.Links) {
 			t.Fatalf("round-trip changed message:\n in: %+v\nout: %+v", in, out)
 		}
 		for i := range in.Links {

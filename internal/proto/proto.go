@@ -23,6 +23,19 @@
 //	bytes 35-38 link count (uint32)
 //	then        link records, 8 bytes each (two int32 node ids)
 //	last 4      CRC-32 (IEEE) over everything before it
+//
+// Version 2 extends the header with a tracing context between the link
+// count and the link records:
+//
+//	bytes 39-46 trace id (uint64)
+//	bytes 47-54 parent span id (uint64)
+//
+// Encoding is canonical: Marshal emits version 2 exactly when TraceID or
+// Span is nonzero, and Unmarshal rejects a version-2 frame whose trace
+// fields are both zero. Old (version 1) frames therefore still decode,
+// new frames without tracing are byte-identical to version 1, and every
+// accepted byte string round-trips to itself — the property the decode
+// fuzzer enforces.
 package proto
 
 import (
@@ -32,8 +45,12 @@ import (
 	"hash/crc32"
 )
 
-// Version is the current protocol version.
+// Version is the base protocol version (frames without trace context).
 const Version = 1
+
+// VersionTraced is the extended version carrying a trace id and parent
+// span id. Marshal selects it automatically; see the package comment.
+const VersionTraced = 2
 
 // Kind identifies a control message type.
 type Kind uint8
@@ -111,13 +128,20 @@ type Message struct {
 	VTimeUS   int64
 	Accept    bool
 	Depth     int32
-	Links     []LinkRec
+	// TraceID and Span are the distributed-tracing context: TraceID
+	// names the logical client operation (stable across retransmits and
+	// re-attach), Span the individual attempt. Zero means untraced; a
+	// message with either field nonzero is encoded as a version-2 frame.
+	TraceID uint64
+	Span    uint64
+	Links   []LinkRec
 }
 
 const (
-	headerSize  = 39
-	linkRecSize = 8
-	crcSize     = 4
+	headerSize   = 39
+	traceExtSize = 16
+	linkRecSize  = 8
+	crcSize      = 4
 )
 
 // MaxLinks bounds the topology payload (a 16-port switch network of any
@@ -126,12 +150,13 @@ const MaxLinks = 1 << 20
 
 // Decoding errors.
 var (
-	ErrShort    = errors.New("proto: message too short")
-	ErrVersion  = errors.New("proto: unsupported version")
-	ErrKind     = errors.New("proto: unknown message kind")
-	ErrChecksum = errors.New("proto: checksum mismatch")
-	ErrTooBig   = errors.New("proto: too many link records")
-	ErrTrailing = errors.New("proto: trailing bytes")
+	ErrShort     = errors.New("proto: message too short")
+	ErrVersion   = errors.New("proto: unsupported version")
+	ErrKind      = errors.New("proto: unknown message kind")
+	ErrChecksum  = errors.New("proto: checksum mismatch")
+	ErrTooBig    = errors.New("proto: too many link records")
+	ErrTrailing  = errors.New("proto: trailing bytes")
+	ErrCanonical = errors.New("proto: non-canonical encoding")
 )
 
 // Marshal encodes the message.
@@ -142,8 +167,16 @@ func Marshal(m *Message) ([]byte, error) {
 	if len(m.Links) > MaxLinks {
 		return nil, fmt.Errorf("%w: %d", ErrTooBig, len(m.Links))
 	}
-	buf := make([]byte, headerSize+linkRecSize*len(m.Links)+crcSize)
+	traced := m.TraceID|m.Span != 0
+	hdr := headerSize
+	if traced {
+		hdr += traceExtSize
+	}
+	buf := make([]byte, hdr+linkRecSize*len(m.Links)+crcSize)
 	buf[0] = Version
+	if traced {
+		buf[0] = VersionTraced
+	}
 	buf[1] = byte(m.Kind)
 	binary.BigEndian.PutUint64(buf[2:], m.Epoch)
 	binary.BigEndian.PutUint64(buf[10:], m.Initiator)
@@ -154,7 +187,11 @@ func Marshal(m *Message) ([]byte, error) {
 	}
 	binary.BigEndian.PutUint32(buf[31:], uint32(m.Depth))
 	binary.BigEndian.PutUint32(buf[35:], uint32(len(m.Links)))
-	off := headerSize
+	if traced {
+		binary.BigEndian.PutUint64(buf[39:], m.TraceID)
+		binary.BigEndian.PutUint64(buf[47:], m.Span)
+	}
+	off := hdr
 	for _, l := range m.Links {
 		binary.BigEndian.PutUint32(buf[off:], uint32(l.A))
 		binary.BigEndian.PutUint32(buf[off+4:], uint32(l.B))
@@ -174,8 +211,13 @@ func Unmarshal(data []byte) (*Message, error) {
 	if crc32.ChecksumIEEE(body) != want {
 		return nil, ErrChecksum
 	}
-	if body[0] != Version {
+	if body[0] != Version && body[0] != VersionTraced {
 		return nil, fmt.Errorf("%w: %d", ErrVersion, body[0])
+	}
+	traced := body[0] == VersionTraced
+	hdr := headerSize
+	if traced {
+		hdr += traceExtSize
 	}
 	kind := Kind(body[1])
 	if kind == 0 || kind >= kindMax {
@@ -185,7 +227,7 @@ func Unmarshal(data []byte) (*Message, error) {
 	if n > MaxLinks {
 		return nil, fmt.Errorf("%w: %d", ErrTooBig, n)
 	}
-	wantLen := headerSize + int(n)*linkRecSize
+	wantLen := hdr + int(n)*linkRecSize
 	if len(body) < wantLen {
 		return nil, fmt.Errorf("%w: %d links in %d bytes", ErrShort, n, len(body))
 	}
@@ -201,9 +243,18 @@ func Unmarshal(data []byte) (*Message, error) {
 		Accept:    body[30]&1 != 0,
 		Depth:     int32(binary.BigEndian.Uint32(body[31:])),
 	}
+	if traced {
+		m.TraceID = binary.BigEndian.Uint64(body[39:])
+		m.Span = binary.BigEndian.Uint64(body[47:])
+		if m.TraceID|m.Span == 0 {
+			// A v2 frame without trace context has a shorter v1
+			// encoding; rejecting it keeps encodings canonical.
+			return nil, fmt.Errorf("%w: traced frame with zero trace", ErrCanonical)
+		}
+	}
 	if n > 0 {
 		m.Links = make([]LinkRec, n)
-		off := headerSize
+		off := hdr
 		for i := range m.Links {
 			m.Links[i].A = int32(binary.BigEndian.Uint32(body[off:]))
 			m.Links[i].B = int32(binary.BigEndian.Uint32(body[off+4:]))

@@ -127,6 +127,81 @@ func TestVersionRejected(t *testing.T) {
 	}
 }
 
+// Traced messages round-trip through the version-2 frame, untraced
+// messages stay byte-identical to version 1, and a hand-built v2 frame
+// with zero trace context is rejected as non-canonical.
+func TestTracedRoundTrip(t *testing.T) {
+	m := sample()
+	m.TraceID = 0x1122334455667788
+	m.Span = 42
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != VersionTraced {
+		t.Fatalf("traced frame version = %d, want %d", data[0], VersionTraced)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != m.TraceID || got.Span != m.Span {
+		t.Fatalf("trace context = (%#x, %#x), want (%#x, %#x)",
+			got.TraceID, got.Span, m.TraceID, m.Span)
+	}
+	if len(got.Links) != len(m.Links) || got.Links[2] != m.Links[2] {
+		t.Fatalf("links after trace ext: %v vs %v", got.Links, m.Links)
+	}
+
+	// Untraced: version 1, and the frame is exactly 16 bytes shorter.
+	m.TraceID, m.Span = 0, 0
+	plain, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0] != Version {
+		t.Fatalf("untraced frame version = %d, want %d", plain[0], Version)
+	}
+	if len(plain) != len(data)-traceExtSize {
+		t.Fatalf("untraced len = %d, traced = %d, want diff %d",
+			len(plain), len(data), traceExtSize)
+	}
+
+	// Only one trace field set still selects version 2.
+	m.Span = 5
+	half, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half[0] != VersionTraced {
+		t.Fatalf("span-only frame version = %d, want %d", half[0], VersionTraced)
+	}
+	back, err := Unmarshal(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != 0 || back.Span != 5 {
+		t.Fatalf("span-only round-trip = (%d, %d)", back.TraceID, back.Span)
+	}
+}
+
+func TestNonCanonicalTracedRejected(t *testing.T) {
+	m := &Message{Kind: KindHello, Epoch: 3, Initiator: 8}
+	v1, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice a zeroed trace extension into the v1 frame and re-CRC.
+	nc := make([]byte, 0, len(v1)+16)
+	nc = append(nc, v1[:39]...)
+	nc[0] = VersionTraced
+	nc = append(nc, make([]byte, 16)...)
+	nc = appendCRC(nc)
+	if _, err := Unmarshal(nc); !errors.Is(err, ErrCanonical) {
+		t.Fatalf("non-canonical err = %v, want ErrCanonical", err)
+	}
+}
+
 func TestKindString(t *testing.T) {
 	names := map[Kind]string{
 		KindInvite: "invite", KindAck: "ack", KindReport: "report", KindDistribute: "distribute",

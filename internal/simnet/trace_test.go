@@ -136,6 +136,10 @@ func TestTraceKindsRoundTrip(t *testing.T) {
 			Epoch:    uint64(i % 3),
 			Incident: int64(i % 2),
 			Dur:      int64(10 * i),
+			WallUS:   int64(1_000_000 * i),
+			Trace:    uint64(i),
+			Span:     uint64(i * 2),
+			Parent:   uint64(i / 2),
 		}
 		jt.Trace(ev)
 		want = append(want, ev)
@@ -175,13 +179,15 @@ func TestTraceKindsRoundTrip(t *testing.T) {
 
 // TestTraceOmitEmpty pins the wire layout: zero-valued correlation fields
 // must vanish from the JSON so plain data-plane events stay as compact as
-// they were before the span model grew Epoch/Incident/Dur.
+// they were before the span model grew Epoch/Incident/Dur (and, with the
+// service plane, WallUS/Trace/Span/Parent) — old fixture traces must
+// re-encode byte-identically.
 func TestTraceOmitEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	jt := NewJSONLTracer(&buf)
 	jt.Trace(TraceEvent{Slot: 7, Kind: TraceInject, VC: 3, Node: 1, Link: 2, Seq: 9})
 	line := buf.String()
-	for _, forbidden := range []string{"epoch", "incident", "dur"} {
+	for _, forbidden := range []string{"epoch", "incident", "dur", "wall_us", "trace", "span", "parent"} {
 		if bytes.Contains([]byte(line), []byte(forbidden)) {
 			t.Errorf("zero %s field serialized: %s", forbidden, line)
 		}

@@ -87,6 +87,25 @@ type Client struct {
 	obsReattach   *obs.Counter
 	obsReattFail  *obs.Counter
 	obsReattLatUS *obs.Histogram
+
+	// Tracing: sp == nil is tracing fully off (the rpc hot path then takes
+	// no tracing branches beyond one pointer test and allocates nothing
+	// extra — pinned by TestClientTracingDisabledAddsNoAllocs). ring is
+	// kept for DumpRecorder.
+	sp       *spanner
+	ring     *obs.Ring
+	obsOpLat map[string]*obs.Histogram
+}
+
+// traceCtx is one logical operation's trace: a trace id shared by every
+// attempt, backoff, and re-attach the operation spawns, and a root span
+// the children parent under. nil means the operation is untraced.
+type traceCtx struct {
+	trace    uint64
+	root     uint64
+	op       string
+	start    time.Time
+	attempts int
 }
 
 type ledgerEntry struct {
@@ -142,8 +161,19 @@ type ClientConfig struct {
 	// restart promptly. Pick well under the server's LeaseDur.
 	Heartbeat time.Duration
 	// Obs, if set, receives the client instruments (svc_client_*,
-	// svc_reattach_*).
+	// svc_reattach_*, and — when tracing is on — svc_op_latency_us with
+	// trace-id exemplars).
 	Obs *obs.Registry
+	// Spans, if set, receives the client's service spans (svc-op,
+	// svc-send, svc-recv, svc-backoff, svc-reattach) as JSONL — one
+	// stream per process, merged offline against the server's by
+	// cmd/an2trace -merge.
+	Spans *obs.SpanWriter
+	// Ring, if set, is the client-side flight recorder: recent spans kept
+	// in memory even without Spans, dumped via DumpRecorder.
+	Ring *obs.Ring
+	// SpanSeed decorrelates span ids across processes (0: wall-derived).
+	SpanSeed uint64
 }
 
 // RPC errors.
@@ -210,6 +240,17 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	c.obsReattach = reg.Counter("svc_reattach_total")
 	c.obsReattFail = reg.Counter("svc_reattach_failed_vcs_total")
 	c.obsReattLatUS = reg.Histogram("svc_reattach_latency_us")
+	c.sp = newSpanner(cfg.Spans, cfg.Ring, cfg.SpanSeed)
+	c.ring = cfg.Ring
+	if c.sp != nil {
+		c.obsOpLat = map[string]*obs.Histogram{
+			"hello": reg.Histogram("svc_op_latency_us", "op", "hello"),
+			"open":  reg.Histogram("svc_op_latency_us", "op", "open"),
+			"close": reg.Histogram("svc_op_latency_us", "op", "close"),
+			"lease": reg.Histogram("svc_op_latency_us", "op", "lease"),
+			"bye":   reg.Histogram("svc_op_latency_us", "op", "bye"),
+		}
+	}
 	go c.readLoop()
 	if cfg.Heartbeat > 0 {
 		c.hbStop = make(chan struct{})
@@ -326,7 +367,11 @@ func (c *Client) backoffWait(attempt int) time.Duration {
 // rpc sends the request under a fresh nonce and waits for its reply,
 // retransmitting the same nonce on each timeout (and on each overload
 // refusal) with backoff pacing. One reusable timer serves every attempt.
-func (c *Client) rpc(m *proto.Message) (*proto.Message, error) {
+// With a trace context, every transmission gets its own span under the
+// operation's root (re-marshaled so the frame carries it), every reply a
+// recv span, and every expired wait a backoff span; with tc == nil the
+// frame is marshaled once and no tracing branch is taken.
+func (c *Client) rpc(m *proto.Message, tc *traceCtx) (*proto.Message, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -341,10 +386,13 @@ func (c *Client) rpc(m *proto.Message) (*proto.Message, error) {
 	m.Epoch = c.tenant
 	m.Initiator = nonce
 	m.VTimeUS = time.Now().UnixMicro()
-	wire, err := proto.Marshal(m)
-	if err != nil {
-		c.abandon(nonce)
-		return nil, err
+	var wire []byte
+	var err error
+	if tc == nil {
+		if wire, err = proto.Marshal(m); err != nil {
+			c.abandon(nonce)
+			return nil, err
+		}
 	}
 	timer := time.NewTimer(c.timeout)
 	defer timer.Stop()
@@ -352,9 +400,29 @@ func (c *Client) rpc(m *proto.Message) (*proto.Message, error) {
 		if attempt > 0 {
 			c.noteRetransmit()
 		}
+		var attemptSpan uint64
+		if tc != nil {
+			// A fresh span per transmission keeps retransmits separable in
+			// the merged timeline; the shared trace id ties them together.
+			attemptSpan = c.sp.next()
+			m.TraceID = tc.trace
+			m.Span = attemptSpan
+			m.VTimeUS = time.Now().UnixMicro()
+			if wire, err = proto.Marshal(m); err != nil {
+				c.abandon(nonce)
+				return nil, err
+			}
+		}
+		sendUS := wallUS()
 		if _, err := c.tr.Send(c.self, c.server, wire, 0); err != nil {
 			c.abandon(nonce)
 			return nil, err
+		}
+		if tc != nil {
+			tc.attempts++
+			c.sp.emit(&obs.Event{Kind: obs.KindSvcSend, WallUS: sendUS,
+				Trace: tc.trace, Span: attemptSpan, Parent: tc.root,
+				Epoch: c.tenant, Seq: uint64(attempt)})
 		}
 		if attempt > 0 {
 			// Drained by the previous loop turn; safe to Reset.
@@ -365,6 +433,7 @@ func (c *Client) rpc(m *proto.Message) (*proto.Message, error) {
 			if !ok {
 				return nil, ErrClientDone
 			}
+			c.noteRecv(tc, rep, attemptSpan)
 			if !rep.Accept && rep.Kind == proto.KindVCReply &&
 				rep.Depth == RefuseOverloaded && attempt+1 < c.retries {
 				// The server shed us: that is a pacing signal, not an
@@ -380,12 +449,15 @@ func (c *Client) rpc(m *proto.Message) (*proto.Message, error) {
 					}
 				}
 				timer.Reset(c.backoffWait(attempt + 1))
+				backUS := wallUS()
 				select {
 				case <-timer.C:
+					c.noteBackoff(tc, backUS, attempt+1)
 				case rep2, ok2 := <-ch: // late duplicate raced the backoff
 					if !ok2 {
 						return nil, ErrClientDone
 					}
+					c.noteRecv(tc, rep2, attemptSpan)
 					if rep2.Accept || rep2.Depth != RefuseOverloaded {
 						return rep2, nil
 					}
@@ -397,6 +469,7 @@ func (c *Client) rpc(m *proto.Message) (*proto.Message, error) {
 			}
 			return rep, nil
 		case <-timer.C:
+			c.noteBackoff(tc, sendUS, attempt)
 		}
 	}
 	c.abandon(nonce)
@@ -436,20 +509,85 @@ func (c *Client) noteIncarnation(from int32) {
 	}
 }
 
+// startOp opens one logical operation's trace (nil when tracing is off):
+// a fresh trace id, a root span, and a wall-clock start.
+func (c *Client) startOp(op string) *traceCtx {
+	if c.sp == nil {
+		return nil
+	}
+	return &traceCtx{trace: c.sp.next(), root: c.sp.next(), op: op, start: time.Now()}
+}
+
+// endOp closes the operation: the root svc-op span (Dur = the latency the
+// application saw, Seq = transmissions it took) and the per-op latency
+// histogram observation carrying the trace id as exemplar.
+func (c *Client) endOp(tc *traceCtx) {
+	if tc == nil {
+		return
+	}
+	durUS := time.Since(tc.start).Microseconds()
+	c.sp.emit(&obs.Event{Kind: obs.KindSvcOp, WallUS: tc.start.UnixMicro(), Dur: durUS,
+		Trace: tc.trace, Span: tc.root, Epoch: c.tenant, Seq: uint64(tc.attempts)})
+	c.obsOpLat[tc.op].ObserveEx(0, durUS, tc.trace)
+}
+
+// noteRecv records one reply: Span echoes the attempt the server actually
+// answered (the idempotency cache may answer a retransmit with the
+// original attempt's reply), Node carries the incarnation, and Seq the
+// refusal code (0 = accepted).
+func (c *Client) noteRecv(tc *traceCtx, rep *proto.Message, attemptSpan uint64) {
+	if tc == nil {
+		return
+	}
+	span := rep.Span
+	if span == 0 {
+		span = attemptSpan
+	}
+	var code uint64
+	if !rep.Accept && rep.Kind == proto.KindVCReply {
+		code = uint64(rep.Depth)
+	}
+	c.sp.emit(&obs.Event{Kind: obs.KindSvcRecv, WallUS: wallUS(),
+		Trace: tc.trace, Span: span, Parent: tc.root,
+		Node: rep.From, Epoch: c.tenant, Seq: code})
+}
+
+// noteBackoff records one wait that ended without a reply — the reply
+// deadline that doubles as the backoff interval, or an explicit
+// overload-refusal wait.
+func (c *Client) noteBackoff(tc *traceCtx, startUS int64, attempt int) {
+	if tc == nil {
+		return
+	}
+	c.sp.emit(&obs.Event{Kind: obs.KindSvcBackoff, WallUS: startUS, Dur: wallUS() - startUS,
+		Trace: tc.trace, Span: c.sp.next(), Parent: tc.root,
+		Epoch: c.tenant, Seq: uint64(attempt)})
+}
+
+// DumpRecorder writes the client's flight recorder to path — the hook an
+// embedder calls from its own panic/teardown paths. Returns the event
+// count written (0 without a configured ring).
+func (c *Client) DumpRecorder(path string) (int, error) {
+	return c.ring.DumpFile(path)
+}
+
 // sessionRPC runs one session-scoped RPC, transparently re-attaching on a
 // stale-session refusal and retrying the operation against the new
-// incarnation.
-func (c *Client) sessionRPC(build func(incarn int32) *proto.Message) (*proto.Message, error) {
+// incarnation. The whole operation — every attempt, refusal, and the
+// re-attach itself — shares one trace.
+func (c *Client) sessionRPC(op string, build func(incarn int32) *proto.Message) (*proto.Message, error) {
+	tc := c.startOp(op)
+	defer c.endOp(tc)
 	for round := 0; round < 3; round++ {
 		gen := c.generation()
-		rep, err := c.rpc(build(c.incarn.Load()))
+		rep, err := c.rpc(build(c.incarn.Load()), tc)
 		if err != nil {
 			return nil, err
 		}
 		if !rep.Accept && rep.Kind == proto.KindVCReply && rep.Depth == RefuseStaleSession {
 			// The refusal itself names the living incarnation.
 			c.noteIncarnation(rep.From)
-			if err := c.reattach(gen); err != nil {
+			if err := c.reattach(gen, tc); err != nil {
 				return nil, err
 			}
 			continue
@@ -471,7 +609,7 @@ func (c *Client) generation() uint64 {
 // refused by the same restart do one re-attach between them — callers
 // pass the generation they observed before failing, and a generation that
 // moved on means someone else already fixed the world.
-func (c *Client) reattach(sawGen uint64) error {
+func (c *Client) reattach(sawGen uint64, tc *traceCtx) error {
 	c.reMu.Lock()
 	defer c.reMu.Unlock()
 	if c.reGen != sawGen {
@@ -481,7 +619,7 @@ func (c *Client) reattach(sawGen uint64) error {
 
 	// Register: hello is session-creating and incarnation-blind, so it
 	// succeeds against whatever server is alive and tells us who that is.
-	rep, err := c.rpc(&proto.Message{Kind: proto.KindHello})
+	rep, err := c.rpc(&proto.Message{Kind: proto.KindHello}, tc)
 	if err != nil {
 		return err
 	}
@@ -511,7 +649,7 @@ func (c *Client) reattach(sawGen uint64) error {
 			From:  incarn,
 			Depth: int32(e.rate),
 			Links: []proto.LinkRec{{A: int32(e.src), B: int32(e.dst)}},
-		})
+		}, tc)
 		if err != nil {
 			return err
 		}
@@ -542,14 +680,25 @@ func (c *Client) reattach(sawGen uint64) error {
 	c.stats.LastReattachDur = dur
 	c.mu.Unlock()
 	c.obsReattach.Inc(0)
-	c.obsReattLatUS.Observe(0, dur.Microseconds())
+	var trace uint64
+	if tc != nil {
+		trace = tc.trace
+	}
+	c.obsReattLatUS.ObserveEx(0, dur.Microseconds(), trace)
+	if tc != nil {
+		c.sp.emit(&obs.Event{Kind: obs.KindSvcReattach, WallUS: start.UnixMicro(),
+			Dur: dur.Microseconds(), Trace: tc.trace, Span: c.sp.next(),
+			Parent: tc.root, Epoch: c.tenant, Seq: uint64(reopened)})
+	}
 	c.reGen++
 	return nil
 }
 
 // Hello announces the session and returns the host roster.
 func (c *Client) Hello() ([]topology.NodeID, error) {
-	rep, err := c.rpc(&proto.Message{Kind: proto.KindHello})
+	tc := c.startOp("hello")
+	rep, err := c.rpc(&proto.Message{Kind: proto.KindHello}, tc)
+	c.endOp(tc)
 	if err != nil {
 		return nil, err
 	}
@@ -564,7 +713,7 @@ func (c *Client) Hello() ([]topology.NodeID, error) {
 // Lease sends one explicit lease heartbeat, re-attaching if the session
 // is stale.
 func (c *Client) Lease() error {
-	_, err := c.sessionRPC(func(incarn int32) *proto.Message {
+	_, err := c.sessionRPC("lease", func(incarn int32) *proto.Message {
 		return &proto.Message{Kind: proto.KindLease, From: incarn}
 	})
 	return err
@@ -577,7 +726,7 @@ func (c *Client) Lease() error {
 // restarts: re-attach re-opens the circuit and aliases this VCI to the
 // new one.
 func (c *Client) Open(src, dst topology.NodeID, rate int) (cell.VCI, error) {
-	rep, err := c.sessionRPC(func(incarn int32) *proto.Message {
+	rep, err := c.sessionRPC("open", func(incarn int32) *proto.Message {
 		return &proto.Message{
 			Kind:  proto.KindVCRequest,
 			From:  incarn,
@@ -611,7 +760,7 @@ func (c *Client) serverVCI(vc cell.VCI) cell.VCI {
 
 // CloseVC tears down one of this tenant's circuits.
 func (c *Client) CloseVC(vc cell.VCI) error {
-	rep, err := c.sessionRPC(func(incarn int32) *proto.Message {
+	rep, err := c.sessionRPC("close", func(incarn int32) *proto.Message {
 		return &proto.Message{Kind: proto.KindVCClose, From: incarn, Depth: int32(c.serverVCI(vc))}
 	})
 	if err != nil {
@@ -648,9 +797,11 @@ func (c *Client) Traffic(vc cell.VCI, cells int) error {
 // A stale-session refusal counts as success: either way, the session is
 // gone — re-attaching just to say goodbye would resurrect it.
 func (c *Client) Bye() error {
+	tc := c.startOp("bye")
 	rep, err := c.rpc(&proto.Message{
 		Kind: proto.KindBye, From: c.incarn.Load(),
-	})
+	}, tc)
+	c.endOp(tc)
 	if err != nil {
 		return err
 	}

@@ -178,6 +178,50 @@ type Config struct {
 	Now func() time.Time
 	// Obs, if set, receives the service instruments (svc_* series).
 	Obs *obs.Registry
+	// Spans, if set, receives the server's service spans (svc-queue,
+	// svc-decode, svc-handle, svc-refuse, svc-dump) as JSONL for offline
+	// merge with a client-side stream (cmd/an2trace -merge). Only
+	// requests that carry a trace context emit spans, so tracing costs
+	// nothing until a traced client appears.
+	Spans *obs.SpanWriter
+	// Ring, if set, is the incident flight recorder: recent spans are
+	// recorded even without Spans, and dumped to disk on a trigger so a
+	// chaos-kill post-mortem does not require full tracing having been
+	// on.
+	Ring *obs.Ring
+	// DumpPath is the flight-recorder dump destination: a trigger writes
+	// the ring to DumpPath + "." + trigger ("drain", "shed",
+	// "refusal-rate", "panic"). Empty disables dumping.
+	DumpPath string
+	// RefusalRateTrigger dumps the recorder when more than this many
+	// refusals land within one wall second (0 = trigger off).
+	RefusalRateTrigger int
+	// SpanSeed decorrelates span ids across processes (0: wall-derived).
+	SpanSeed uint64
+}
+
+// Flight-recorder dump trigger codes (the Seq of a svc-dump span).
+const (
+	DumpPanic       = 1
+	DumpDrain       = 2
+	DumpShed        = 3
+	DumpRefusalRate = 4
+)
+
+// dumpTriggerName names a trigger code — also the dump file suffix.
+func dumpTriggerName(code uint64) string {
+	switch code {
+	case DumpPanic:
+		return "panic"
+	case DumpDrain:
+		return "drain"
+	case DumpShed:
+		return "shed"
+	case DumpRefusalRate:
+		return "refusal-rate"
+	default:
+		return "unknown"
+	}
 }
 
 // Server is the VC service. All fields are owned by the Serve goroutine
@@ -209,6 +253,21 @@ type Server struct {
 	stop    chan struct{}
 	done    chan struct{}
 
+	// Tracing state, all owned by the serve goroutine. sp == nil is
+	// tracing fully off; cur* carry the in-flight request's trace context
+	// from dispatch into the refusal paths.
+	sp        *spanner
+	curTrace  uint64
+	curParent uint64
+	curTenant uint64
+
+	// Flight-recorder trigger state. shedCrossed latches the first
+	// watermark crossing of a batch; refWindowStart/refWindow implement
+	// the refusals-per-second trigger.
+	shedCrossed    bool
+	refWindowStart time.Time
+	refWindow      int
+
 	// Atomic mirrors readable from other goroutines (drain controllers,
 	// Quiesced pollers) while Serve runs.
 	draining int32
@@ -236,6 +295,8 @@ type Server struct {
 	obsDraining  *obs.Gauge
 	obsIncarn    *obs.Gauge
 	obsFairness  *obs.Gauge
+	obsHandleLat *obs.Histogram
+	obsDumps     *obs.Counter
 }
 
 // Stats is the server's aggregate accounting.
@@ -378,8 +439,11 @@ func NewServer(cfg Config) (*Server, error) {
 	s.obsDraining = reg.Gauge("svc_draining")
 	s.obsIncarn = reg.Gauge("svc_incarnation")
 	s.obsFairness = reg.Gauge("svc_admission_fairness_x1000")
+	s.obsHandleLat = reg.Histogram("svc_handle_latency_us")
+	s.obsDumps = reg.Counter("svc_recorder_dumps_total")
 	s.obsIncarn.Set(int64(s.cfg.Incarnation))
 	s.obsOrphans.Set(int64(len(s.orphans)))
+	s.sp = newSpanner(cfg.Spans, cfg.Ring, cfg.SpanSeed)
 	return s, nil
 }
 
@@ -405,8 +469,13 @@ func (s *Server) Drain(on bool) {
 	if on {
 		v = 1
 	}
-	atomic.StoreInt32(&s.draining, v)
+	prev := atomic.SwapInt32(&s.draining, v)
 	s.obsDraining.Set(int64(v))
+	if on && prev == 0 {
+		// Entering drain is the start of an incident or a restart: preserve
+		// the recent span history before wind-down overwrites the ring.
+		s.dumpRecorder(DumpDrain, 0, 0, 0)
+	}
 }
 
 // Draining reports drain mode.
@@ -429,6 +498,7 @@ func (s *Server) OrphanVCs() int64 { return atomic.LoadInt64(&s.nOrphans) }
 // and step the data plane on idle ticks. Requires a Waiter transport.
 func (s *Server) Serve() error {
 	defer close(s.done)
+	defer s.DumpOnPanic()
 	if s.waiter == nil {
 		return ErrNoWaiter
 	}
@@ -481,6 +551,7 @@ func (s *Server) ServeBatch(ds []ctrlnet.Delivery) {
 		s.handle(d)
 	}
 	s.backlog = 0
+	s.shedCrossed = false
 }
 
 // Sweep runs one lease/orphan garbage-collection pass at the
@@ -560,12 +631,54 @@ func (s *Server) syncMirrors() {
 	atomic.StoreInt64(&s.nOrphans, int64(len(s.orphans)))
 }
 
-// handle decodes and dispatches one delivery.
+// handle decodes and dispatches one delivery. With tracing off (and no
+// registry) this is one decode and one dispatch, exactly the pre-tracing
+// hot path; a traced request additionally emits queue/decode child spans
+// before dispatch and a handle span after, all parented under the
+// client's attempt span.
 func (s *Server) handle(d ctrlnet.Delivery) {
+	if s.sp == nil && s.obsHandleLat == nil {
+		m, err := proto.Unmarshal(d.Wire)
+		if err != nil {
+			return // corrupt or foreign datagram: CRC did its job, drop
+		}
+		s.dispatch(d, m)
+		return
+	}
+	t0 := time.Now()
 	m, err := proto.Unmarshal(d.Wire)
 	if err != nil {
-		return // corrupt or foreign datagram: CRC did its job, drop
+		return
 	}
+	t1 := time.Now()
+	traced := s.sp != nil && m.TraceID != 0
+	if traced {
+		t0us, t1us := t0.UnixMicro(), t1.UnixMicro()
+		if d.RecvUS != 0 && d.RecvUS <= t0us {
+			// Socket receive to handler start: the queue wait. Seq is the
+			// batch backlog this request stood behind.
+			s.sp.emit(&obs.Event{Kind: obs.KindSvcQueue, WallUS: d.RecvUS, Dur: t0us - d.RecvUS,
+				Trace: m.TraceID, Span: s.sp.next(), Parent: m.Span,
+				Node: s.cfg.Incarnation, Epoch: m.Epoch, Seq: uint64(s.backlog)})
+		}
+		s.sp.emit(&obs.Event{Kind: obs.KindSvcDecode, WallUS: t0us, Dur: t1us - t0us,
+			Trace: m.TraceID, Span: s.sp.next(), Parent: m.Span,
+			Node: s.cfg.Incarnation, Epoch: m.Epoch, Seq: uint64(m.Kind)})
+		s.curTrace, s.curParent, s.curTenant = m.TraceID, m.Span, m.Epoch
+	}
+	s.dispatch(d, m)
+	durUS := time.Since(t1).Microseconds()
+	s.obsHandleLat.ObserveEx(0, durUS, m.TraceID)
+	if traced {
+		s.sp.emit(&obs.Event{Kind: obs.KindSvcHandle, WallUS: t1.UnixMicro(), Dur: durUS,
+			Trace: m.TraceID, Span: s.sp.next(), Parent: m.Span,
+			Node: s.cfg.Incarnation, Epoch: m.Epoch, Seq: uint64(m.Kind)})
+		s.curTrace, s.curParent, s.curTenant = 0, 0, 0
+	}
+}
+
+// dispatch routes one decoded message to its handler.
+func (s *Server) dispatch(d ctrlnet.Delivery, m *proto.Message) {
 	now := s.cfg.Now()
 	switch m.Kind {
 	case proto.KindDrain:
@@ -664,6 +777,8 @@ func (s *Server) reply(tn *tenant, req *proto.Message, rep *proto.Message) {
 	rep.Initiator = req.Initiator
 	rep.VTimeUS = req.VTimeUS
 	rep.From = s.cfg.Incarnation
+	rep.TraceID = req.TraceID
+	rep.Span = req.Span
 	wire, err := proto.Marshal(rep)
 	if err != nil {
 		return
@@ -680,6 +795,8 @@ func (s *Server) replyUncached(tn *tenant, req *proto.Message, rep *proto.Messag
 	rep.Initiator = req.Initiator
 	rep.VTimeUS = req.VTimeUS
 	rep.From = s.cfg.Incarnation
+	rep.TraceID = req.TraceID
+	rep.Span = req.Span
 	wire, err := proto.Marshal(rep)
 	if err != nil {
 		return
@@ -694,6 +811,8 @@ func (s *Server) sendTo(node topology.NodeID, req, rep *proto.Message) {
 	rep.Initiator = req.Initiator
 	rep.VTimeUS = req.VTimeUS
 	rep.From = s.cfg.Incarnation
+	rep.TraceID = req.TraceID
+	rep.Span = req.Span
 	wire, err := proto.Marshal(rep)
 	if err != nil {
 		return
@@ -740,6 +859,53 @@ func (s *Server) countRefusal(tn *tenant, code int32) {
 	if c, ok := s.obsRefused[code]; ok {
 		c.Inc(0)
 	}
+	if s.sp != nil {
+		if s.curTrace != 0 {
+			s.sp.emit(&obs.Event{Kind: obs.KindSvcRefuse, WallUS: wallUS(),
+				Trace: s.curTrace, Span: s.sp.next(), Parent: s.curParent,
+				Node: s.cfg.Incarnation, Epoch: s.curTenant, Seq: uint64(code)})
+		}
+		if s.cfg.RefusalRateTrigger > 0 {
+			now := s.cfg.Now()
+			if now.Sub(s.refWindowStart) >= time.Second {
+				s.refWindowStart = now
+				s.refWindow = 0
+			}
+			s.refWindow++
+			if s.refWindow == s.cfg.RefusalRateTrigger+1 {
+				s.dumpRecorder(DumpRefusalRate, s.curTrace, s.curParent, s.curTenant)
+			}
+		}
+	}
+}
+
+// dumpRecorder writes the flight recorder to DumpPath + "." + trigger and
+// emits a svc-dump span carrying the trigger code (and, when the trigger
+// fired inside a traced request, that request's context). Safe from any
+// goroutine: the ring and span sinks are concurrency-safe.
+func (s *Server) dumpRecorder(trigger, trace, parent, tnid uint64) {
+	if s.sp != nil {
+		s.sp.emit(&obs.Event{Kind: obs.KindSvcDump, WallUS: wallUS(),
+			Trace: trace, Span: s.sp.next(), Parent: parent,
+			Node: s.cfg.Incarnation, Epoch: tnid, Seq: trigger})
+	}
+	if s.cfg.Ring == nil || s.cfg.DumpPath == "" {
+		return
+	}
+	if _, err := s.cfg.Ring.DumpFile(s.cfg.DumpPath + "." + dumpTriggerName(trigger)); err == nil {
+		s.obsDumps.Inc(0)
+	}
+}
+
+// DumpOnPanic is a deferred hook: if a panic is unwinding the calling
+// goroutine, the flight recorder is dumped (trigger "panic") before the
+// panic continues — the last seconds of spans survive the crash. Serve
+// installs it; embedders driving ServeOne/ServeBatch directly can too.
+func (s *Server) DumpOnPanic() {
+	if r := recover(); r != nil {
+		s.dumpRecorder(DumpPanic, 0, 0, 0)
+		panic(r)
+	}
 }
 
 func (s *Server) refuse(tn *tenant, req *proto.Message, code int32) {
@@ -780,6 +946,12 @@ func (s *Server) handleRequest(tn *tenant, m *proto.Message) {
 	if s.backlog > s.cfg.ShedWatermark {
 		s.stats.Shed++
 		s.obsShed.Inc(0)
+		if !s.shedCrossed {
+			// First shed of this batch: capture the overload's onset once,
+			// not once per refused request.
+			s.shedCrossed = true
+			s.dumpRecorder(DumpShed, s.curTrace, s.curParent, s.curTenant)
+		}
 		s.refuseTransient(tn, m, RefuseOverloaded)
 		return
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/ctrlnet"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/svc"
 	"repro/internal/topology"
 )
@@ -71,6 +72,13 @@ type TenantsConfig struct {
 	// instead of failing the tenant, up to a fixed per-tenant budget.
 	// Required for any run that kills and restarts the server mid-churn.
 	Survivable bool
+
+	// Spans, if set, receives every tenant client's service spans (one
+	// shared writer — obs.SpanWriter is concurrency-safe). Ring is the
+	// shared client-side flight recorder; both nil leaves tracing off and
+	// the RPC hot path untouched.
+	Spans *obs.SpanWriter
+	Ring  *obs.Ring
 }
 
 // survivalBudget bounds how many transient flow failures one tenant
@@ -294,7 +302,9 @@ func runTenant(cfg TenantsConfig, i, flows int, tally *tenantTally) error {
 		Tenant:  uint64(i + 1),
 		Timeout: cfg.Timeout, Retries: cfg.Retries,
 		RetryCap: cfg.RetryCap, NoJitter: cfg.NoJitter,
-		Seed: cfg.Seed + int64(i)*6151 + 1,
+		Seed:  cfg.Seed + int64(i)*6151 + 1,
+		Spans: cfg.Spans, Ring: cfg.Ring,
+		SpanSeed: uint64(cfg.Seed) + uint64(i)*0x9E37 + 1,
 	})
 	if err != nil {
 		return err
